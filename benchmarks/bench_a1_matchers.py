@@ -1,0 +1,89 @@
+"""Ablation A1 — syntactic matcher scaling.
+
+The substrate the semantic layer wraps: brute force vs. the counting
+algorithm (paper ref [1]) vs. the cluster matcher (paper ref [4]) as
+the subscription table grows.  Expected shape: the indexed algorithms
+beat naive by a factor that widens with table size (naive is O(S·P)
+per event; counting/cluster touch only satisfied predicates / probed
+clusters).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.matching import create_matcher
+from repro.metrics import Table
+from repro.model.subscriptions import Subscription
+
+SIZES = (1_000, 5_000, 20_000)
+MATCHERS = ("naive", "counting", "cluster")
+
+
+def _load(matcher, subscriptions):
+    for subscription in subscriptions:
+        matcher.insert(
+            Subscription(subscription.predicates, sub_id=subscription.sub_id)
+        )
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s}subs")
+@pytest.mark.parametrize("name", MATCHERS)
+def test_a1_match_throughput(benchmark, synthetic_workload, name, size):
+    subscriptions, events = synthetic_workload
+    matcher = create_matcher(name)
+    _load(matcher, subscriptions[:size])
+    sample = events[:50]
+
+    def run():
+        return sum(len(matcher.match(event)) for event in sample)
+
+    matches = benchmark(run)
+    assert matches >= 0
+
+
+def test_a1_scaling_table(benchmark, synthetic_workload, capsys):
+    subscriptions, events = synthetic_workload
+    sample = events[:50]
+    table = Table(
+        "A1 — matcher scaling (ms per event)",
+        ["subscriptions", "naive", "counting", "cluster",
+         "naive/counting", "naive/cluster"],
+    )
+    timings: dict[tuple[str, int], float] = {}
+
+    def sweep():
+        table.rows.clear()
+        timings.clear()
+        for size in SIZES:
+            row: dict[str, float] = {}
+            reference = None
+            for name in MATCHERS:
+                matcher = create_matcher(name)
+                _load(matcher, subscriptions[:size])
+                started = time.perf_counter()
+                total = sum(len(matcher.match(event)) for event in sample)
+                elapsed = (time.perf_counter() - started) / len(sample)
+                row[name] = elapsed * 1000
+                timings[(name, size)] = elapsed
+                if reference is None:
+                    reference = total
+                else:
+                    assert total == reference, f"{name} diverged at {size}"
+            table.add(
+                size, row["naive"], row["counting"], row["cluster"],
+                row["naive"] / max(row["counting"], 1e-9),
+                row["naive"] / max(row["cluster"], 1e-9),
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table.print()
+
+    # shape: at the largest size the indexed matchers win clearly.
+    largest = SIZES[-1]
+    assert timings[("naive", largest)] > timings[("counting", largest)]
+    assert timings[("naive", largest)] > timings[("cluster", largest)]

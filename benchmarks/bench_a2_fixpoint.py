@@ -1,0 +1,93 @@
+"""Ablation A2 — cost of the hierarchy↔mapping fixpoint loop.
+
+"The concept hierarchy stage can create new events for which additional
+mapping functions exist and vice versa" (paper §3.2).  Synthetic rule
+chains of increasing depth force exactly d alternations; the bench
+measures how expansion cost grows with chain depth and checks the
+iteration counter tracks it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SemanticConfig
+from repro.core.pipeline import SemanticPipeline
+from repro.metrics import Table
+from repro.model.events import Event
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingRule
+
+DEPTHS = (1, 2, 4, 6)
+
+
+def _chained_kb(depth: int) -> KnowledgeBase:
+    """Rules r_i: when (a{i} = t{i}) then (a{i+1} = s{i+1}); the taxonomy
+    generalizes s{i} -> t{i}, so each fixpoint round enables the next
+    rule: mapping -> hierarchy -> mapping -> …"""
+    kb = KnowledgeBase()
+    taxonomy = kb.add_domain("chain")
+    for index in range(depth + 1):
+        taxonomy.add_isa(f"s{index}", f"t{index}")
+    for index in range(depth):
+        kb.add_rule(
+            MappingRule.equivalence(
+                f"r{index}",
+                {f"a{index}": f"t{index}"},
+                {f"a{index + 1}": f"s{index + 1}"},
+                domain="chain",
+            )
+        )
+    return kb
+
+
+@pytest.mark.parametrize("depth", DEPTHS, ids=lambda d: f"depth{d}")
+def test_a2_fixpoint_chain_cost(benchmark, depth):
+    kb = _chained_kb(depth)
+    pipeline = SemanticPipeline(
+        kb, SemanticConfig(max_iterations=2 * depth + 2)
+    )
+    event = Event({"a0": "s0"})
+
+    result = benchmark(pipeline.process_event, event)
+    # the chain is fully traversed: the last attribute was derived
+    assert any(f"a{depth}" in d.event for d in result.derived)
+
+
+def test_a2_chain_depth_table(benchmark, capsys):
+    table = Table(
+        "A2 — fixpoint chain sweep",
+        ["chain depth", "derived events", "iterations"],
+    )
+    iterations = {}
+
+    def sweep():
+        table.rows.clear()
+        iterations.clear()
+        for depth in DEPTHS:
+            pipeline = SemanticPipeline(
+                _chained_kb(depth), SemanticConfig(max_iterations=2 * depth + 2)
+            )
+            result = pipeline.process_event(Event({"a0": "s0"}))
+            iterations[depth] = result.iterations
+            table.add(depth, len(result.derived), result.iterations)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table.print()
+
+    # shape: iterations grow with chain depth (each round unlocks the
+    # next mapping), and never exceed the configured cap.
+    values = [iterations[d] for d in DEPTHS]
+    assert values == sorted(values)
+    assert values[-1] > values[0]
+
+
+def test_a2_iteration_cap_bounds_work(benchmark):
+    """The safety cap truncates a deep chain without livelock."""
+    kb = _chained_kb(8)
+    pipeline = SemanticPipeline(kb, SemanticConfig(max_iterations=2))
+    result = benchmark(pipeline.process_event, Event({"a0": "s0"}))
+    assert result.iterations <= 2
+    assert all("a8" not in d.event for d in result.derived)

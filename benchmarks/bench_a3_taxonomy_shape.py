@@ -1,0 +1,84 @@
+"""Ablation A3 — taxonomy shape vs. expansion cost.
+
+DESIGN.md §5: events generalize *upward* (bounded by depth), the design
+alternative — specializing subscriptions downward — explodes with
+fan-out.  The bench sweeps synthetic taxonomies of varying depth and
+fan-out and measures (a) upward event expansion, which grows with
+depth only, and (b) the size a downward subscription expansion would
+have (descendant count), which grows with fan-out^depth — the measured
+justification for the event-side design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SemanticConfig
+from repro.core.pipeline import SemanticPipeline
+from repro.metrics import Table
+from repro.model.events import Event
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.taxonomy import Taxonomy
+
+SHAPES = ((2, 2), (2, 4), (4, 2), (4, 4), (6, 2))  # (depth, fanout)
+
+
+def _tree(depth: int, fanout: int) -> tuple[KnowledgeBase, str]:
+    """A complete tree; returns the kb and one leaf term."""
+    kb = KnowledgeBase()
+    taxonomy = kb.add_domain("tree")
+    taxonomy.add_concept("root")
+    frontier = ["root"]
+    for level in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for child_index in range(fanout):
+                child = f"{parent}.{child_index}"
+                taxonomy.add_isa(child, parent)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return kb, frontier[0]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=lambda s: f"d{s[0]}f{s[1]}")
+def test_a3_upward_expansion_cost(benchmark, shape):
+    depth, fanout = shape
+    kb, leaf = _tree(depth, fanout)
+    pipeline = SemanticPipeline(kb, SemanticConfig())
+    event = Event({"v": leaf})
+
+    result = benchmark(pipeline.process_event, event)
+    # upward expansion size == depth (one derived event per ancestor)
+    assert len(result.derived) == 1 + depth
+
+
+def test_a3_shape_table(benchmark, capsys):
+    table = Table(
+        "A3 — taxonomy shape: event-up vs subscription-down expansion",
+        ["depth", "fanout", "concepts", "event-up derived",
+         "sub-down candidates"],
+    )
+    recorded = {}
+
+    def sweep():
+        table.rows.clear()
+        recorded.clear()
+        for depth, fanout in SHAPES:
+            kb, leaf = _tree(depth, fanout)
+            taxonomy: Taxonomy = kb.taxonomy("tree")
+            pipeline = SemanticPipeline(kb, SemanticConfig())
+            upward = len(pipeline.process_event(Event({"v": leaf})).derived) - 1
+            downward = len(taxonomy.descendants("root"))
+            recorded[(depth, fanout)] = (upward, downward)
+            table.add(depth, fanout, len(taxonomy), upward, downward)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table.print()
+
+    # shape: upward cost tracks depth and ignores fan-out; downward
+    # candidates explode with fan-out at fixed depth.
+    assert recorded[(2, 2)][0] == recorded[(2, 4)][0] == 2
+    assert recorded[(2, 4)][1] > recorded[(2, 2)][1]
+    assert recorded[(4, 4)][1] > 10 * recorded[(4, 4)][0]

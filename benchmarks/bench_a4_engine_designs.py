@@ -1,0 +1,102 @@
+"""Ablation A4 — event-side vs subscription-side hierarchy semantics.
+
+A3 measured the raw expansion asymmetry on synthetic trees; this bench
+compares the two *complete engines* on the job-finder workload:
+
+* :class:`~repro.core.engine.SToPSS` — the paper's design, events
+  generalize upward at publish time;
+* :class:`~repro.core.subexpand.SubscriptionExpandingEngine` — the
+  alternative, subscriptions expand downward (to IN-sets over
+  descendants) at subscribe time.
+
+Expected shape: the subscription-side engine wins publish latency (no
+per-event hierarchy expansion) but pays at subscribe time and loses
+per-match generality information — the documented trade-off.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.core.subexpand import SubscriptionExpandingEngine
+from repro.metrics import Table
+from repro.model.subscriptions import Subscription
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.workload.generator import SemanticSpec, SemanticWorkloadGenerator
+
+#: Equality-only workload: the regime where the two designs cover the
+#: same semantics (ordering predicates cannot be expanded downward).
+_SPEC = SemanticSpec.jobs(
+    seed=404,
+    predicates_per_subscription=(1, 2),
+    synonym_spelling_prob=0.4,
+    value_synonym_prob=0.0,
+)
+
+ENGINES = {
+    "event-side (paper)": lambda kb: SToPSS(kb, config=SemanticConfig()),
+    "subscription-side": lambda kb: SubscriptionExpandingEngine(kb),
+}
+
+
+def _fresh_workload(kb):
+    generator = SemanticWorkloadGenerator(kb, _SPEC)
+    subs = generator.subscriptions(200)
+    events = generator.events(60)
+    return subs, events
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_a4_publish_throughput(benchmark, jobs_kb, name):
+    subs, events = _fresh_workload(jobs_kb)
+    engine = ENGINES[name](jobs_kb)
+    for sub in subs:
+        engine.subscribe(Subscription(sub.predicates, sub_id=sub.sub_id))
+
+    def run():
+        return sum(len(engine.publish(event)) for event in events)
+
+    assert benchmark(run) > 0
+
+
+def test_a4_design_comparison_table(benchmark, jobs_kb, capsys):
+    table = Table(
+        "A4 — engine designs on the job-finder workload",
+        ["design", "subscribe ms", "publish ms", "matches"],
+    )
+    recorded = {}
+
+    def sweep():
+        table.rows.clear()
+        recorded.clear()
+        for name, factory in ENGINES.items():
+            subs, events = _fresh_workload(jobs_kb)
+            engine = factory(jobs_kb)
+            started = time.perf_counter()
+            for sub in subs:
+                engine.subscribe(Subscription(sub.predicates, sub_id=sub.sub_id))
+            subscribe_ms = 1000 * (time.perf_counter() - started)
+            started = time.perf_counter()
+            matched = set()
+            for event in events:
+                for match in engine.publish(event):
+                    matched.add((event.event_id, match.subscription.sub_id))
+            publish_ms = 1000 * (time.perf_counter() - started)
+            recorded[name] = (subscribe_ms, publish_ms, matched)
+            table.add(name, subscribe_ms, publish_ms, len(matched))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table.print()
+
+    event_side = recorded["event-side (paper)"]
+    sub_side = recorded["subscription-side"]
+    # Same workload, same matches (equality-only regime)...
+    assert event_side[2] == sub_side[2]
+    # ...but the publish-time cost sits on opposite sides.
+    assert sub_side[1] < event_side[1]

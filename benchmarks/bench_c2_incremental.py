@@ -1,0 +1,64 @@
+"""Experiment C2 — incremental stage composition.
+
+"The flexibility of this approach allows incremental extension (stage
+by stage) of matching algorithms, where the inclusion of any of the
+three stages improves semantic matching" (paper §3.2).  The bench
+replays one fixed workload under the stage ladder and reports each
+stage's match contribution; the shape assertion is strict monotonicity
+of the cumulative match count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import build_engine
+from repro.core.config import SemanticConfig
+from repro.metrics import Table
+
+LADDER = (
+    ("syntactic", SemanticConfig.syntactic()),
+    ("+synonyms", SemanticConfig.synonyms_only()),
+    ("+hierarchy", SemanticConfig(enable_mappings=False)),
+    ("+mappings", SemanticConfig()),
+)
+
+
+def _match_pairs(engine, events) -> set:
+    pairs = set()
+    for event in events:
+        for match in engine.publish(event):
+            pairs.add((event.event_id, match.subscription.sub_id))
+    return pairs
+
+
+def test_c2_incremental_stage_contribution(
+    benchmark, jobs_kb, semantic_workload, capsys
+):
+    subscriptions, events = semantic_workload
+    table = Table(
+        "C2 — incremental stage composition (cumulative matches)",
+        ["configuration", "matches", "gained vs previous"],
+    )
+    observed = {}
+
+    def sweep():
+        table.rows.clear()
+        observed.clear()
+        previous: set = set()
+        for name, config in LADDER:
+            engine = build_engine(jobs_kb, subscriptions, config)
+            pairs = _match_pairs(engine, events)
+            table.add(name, len(pairs), len(pairs - previous))
+            observed[name] = pairs
+            previous = pairs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table.print()
+
+    # C2 shape: each stage only adds matches, and the workload is rich
+    # enough that every stage adds some.
+    names = [name for name, _ in LADDER]
+    for earlier, later in zip(names, names[1:]):
+        assert observed[earlier] <= observed[later], f"{later} lost matches"
+    assert len(observed["+mappings"]) > len(observed["syntactic"])

@@ -1,0 +1,82 @@
+"""Experiment C4 — the information-loss tolerance knob.
+
+"Some users may be satisfied with fewer results for their semantic
+subscriptions, if the matching would be faster" (paper §3.2).  Sweeps
+the system-wide generality bound and measures recall (vs. the unbounded
+configuration) and the derived-event volume the engine had to process.
+Expected shape: both rise monotonically with the bound — lower
+tolerance really is cheaper, not merely filtered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_engine
+from repro.core.config import SemanticConfig
+from repro.metrics import Table
+
+BOUNDS = (0, 1, 2, 3, None)
+
+
+def _run(engine, events):
+    matches = 0
+    derived = 0
+    for event in events:
+        derived += len(engine.explain(event).derived)
+        matches += len(engine.publish(event))
+    return matches, derived
+
+
+@pytest.mark.parametrize("bound", BOUNDS, ids=lambda b: f"g{b}")
+def test_c4_publish_latency_by_tolerance(
+    benchmark, jobs_kb, semantic_workload, bound
+):
+    subscriptions, events = semantic_workload
+    engine = build_engine(
+        jobs_kb, subscriptions, SemanticConfig(max_generality=bound)
+    )
+
+    def run():
+        return sum(len(engine.publish(event)) for event in events[:20])
+
+    assert benchmark(run) >= 0
+
+
+def test_c4_tolerance_recall_table(benchmark, jobs_kb, semantic_workload, capsys):
+    subscriptions, events = semantic_workload
+    table = Table(
+        "C4 — tolerance sweep (recall vs unbounded)",
+        ["max_generality", "matches", "recall", "derived events"],
+    )
+    series = {}
+
+    def sweep():
+        table.rows.clear()
+        series.clear()
+        for bound in BOUNDS:
+            engine = build_engine(
+                jobs_kb, subscriptions, SemanticConfig(max_generality=bound)
+            )
+            series[bound] = _run(engine, events)
+        unbounded_matches = series[None][0]
+        for bound in BOUNDS:
+            matches, derived = series[bound]
+            table.add(
+                "unlimited" if bound is None else bound,
+                matches,
+                matches / max(1, unbounded_matches),
+                derived,
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table.print()
+
+    # C4 shape: recall and work both grow monotonically with the bound.
+    match_series = [series[b][0] for b in BOUNDS]
+    derived_series = [series[b][1] for b in BOUNDS]
+    assert match_series == sorted(match_series)
+    assert derived_series == sorted(derived_series)
+    assert match_series[0] < match_series[-1]

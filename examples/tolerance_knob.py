@@ -1,0 +1,65 @@
+"""The information-loss tolerance knob (paper §3.2 / claim C4).
+
+"Some users may be satisfied with fewer results for their semantic
+subscriptions, if the matching would be faster … one may restrict the
+level of a match generality."  This example sweeps the per-subscription
+generality bound and shows recall falling and the derived-event count
+(the work the engine does) falling with it.
+
+Run:  python examples/tolerance_knob.py
+"""
+
+from repro import SemanticConfig, SToPSS, parse_event, parse_subscription
+from repro.metrics import Table
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.workload import SemanticSpec, SemanticWorkloadGenerator
+
+
+def main() -> None:
+    kb = build_jobs_knowledge_base()
+    generator = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=7))
+    subscriptions = generator.subscriptions(60)
+    events = generator.events(40)
+
+    table = Table(
+        "tolerance sweep",
+        ["max_generality", "matches", "avg derived events / publication"],
+    )
+    for bound in (0, 1, 2, 3, None):
+        engine = SToPSS(kb, config=SemanticConfig(max_generality=bound))
+        for sub in subscriptions:
+            engine.subscribe(sub)
+        matches = 0
+        derived = 0
+        for event in events:
+            result = engine.explain(event)
+            derived += len(result.derived)
+            matches += len(engine.publish(event))
+        table.add(
+            "unlimited" if bound is None else bound,
+            matches,
+            derived / len(events),
+        )
+        for sub in subscriptions:
+            engine.unsubscribe(sub.sub_id)
+    table.print()
+
+    # The per-subscription flavor: an entry-level recruiter caps generality.
+    engine = SToPSS(kb)
+    engine.subscribe(
+        parse_subscription("(skill = software development)", sub_id="open")
+    )
+    engine.subscribe(
+        parse_subscription(
+            "(skill = software development)", sub_id="entry-level", max_generality=1
+        )
+    )
+    event = parse_event("(skill, COBOL programming)")  # two levels below
+    print("publishing", event.format())
+    for match in engine.publish(event):
+        print(f"  -> {match.subscription.sub_id} (generality {match.generality})")
+    print("('entry-level' filtered the distance-2 match)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Broker substrate: event dispatcher, client registry, and the
+multi-transport notification engine of the demonstration setup
+(paper Figure 2)."""
+
+from repro.broker.broker import Broker
+from repro.broker.clients import Client, ClientKind, ClientRegistry
+from repro.broker.dispatcher import EventDispatcher, PublishReport
+from repro.broker.notifications import (
+    DeliveryOutcome,
+    Notification,
+    NotificationEngine,
+)
+from repro.broker.transports import (
+    DeliveryRecord,
+    OutboundMessage,
+    SmsTransport,
+    SmtpTransport,
+    TcpTransport,
+    Transport,
+    TransportRegistry,
+    UdpTransport,
+    default_transports,
+)
+
+__all__ = [
+    "Broker",
+    "Client",
+    "ClientKind",
+    "ClientRegistry",
+    "EventDispatcher",
+    "PublishReport",
+    "Notification",
+    "NotificationEngine",
+    "DeliveryOutcome",
+    "Transport",
+    "TransportRegistry",
+    "SmsTransport",
+    "SmtpTransport",
+    "TcpTransport",
+    "UdpTransport",
+    "OutboundMessage",
+    "DeliveryRecord",
+    "default_transports",
+]

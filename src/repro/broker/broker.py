@@ -1,0 +1,166 @@
+"""The broker facade: S-ToPSS "collocated at a job-finder web server".
+
+One object wiring every Figure 2 component together with a
+string-friendly API (the web application and CLI speak the textual
+subscription/event language).  This is the type a downstream user
+instantiates first; everything underneath remains reachable for
+composition.
+"""
+
+from __future__ import annotations
+
+from repro.broker.clients import Client, ClientKind, ClientRegistry
+from repro.broker.dispatcher import EventDispatcher, PublishReport
+from repro.broker.notifications import NotificationEngine
+from repro.broker.transports import TransportRegistry, default_transports
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.matching.base import MatchingAlgorithm
+from repro.model.events import Event
+from repro.model.parser import parse_event, parse_subscription
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = ["Broker"]
+
+
+class Broker:
+    """High-level S-ToPSS broker.
+
+    >>> from repro.ontology.domains import build_jobs_knowledge_base
+    >>> broker = Broker(build_jobs_knowledge_base())
+    >>> company = broker.register_subscriber("Initech", email="hr@initech.example")
+    >>> sub = broker.subscribe(company.client_id,
+    ...     "(university = Toronto) and (degree = PhD)")
+    >>> candidate = broker.register_publisher("Ada")
+    >>> report = broker.publish(candidate.client_id,
+    ...     "(school, Toronto)(degree, PhD)")
+    >>> report.match_count
+    1
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        *,
+        matcher: str | MatchingAlgorithm = "counting",
+        config: SemanticConfig | None = None,
+        transports: TransportRegistry | None = None,
+    ) -> None:
+        self.kb = kb
+        self.engine = SToPSS(kb, matcher=matcher, config=config)
+        self.registry = ClientRegistry()
+        self.notifier = NotificationEngine(
+            transports if transports is not None else default_transports()
+        )
+        self.dispatcher = EventDispatcher(self.engine, self.registry, self.notifier)
+
+    # -- registration -------------------------------------------------------------
+
+    def register_subscriber(
+        self,
+        name: str,
+        *,
+        email: str | None = None,
+        sms: str | None = None,
+        tcp: str | None = None,
+        udp: str | None = None,
+        client_id: str | None = None,
+    ) -> Client:
+        """Register a subscriber with transport addresses in keyword
+        order of preference (email first by convention)."""
+        return self.registry.register(
+            name,
+            kind=ClientKind.SUBSCRIBER,
+            addresses=self._addresses(email=email, sms=sms, tcp=tcp, udp=udp),
+            client_id=client_id,
+        )
+
+    def register_publisher(self, name: str, *, client_id: str | None = None) -> Client:
+        return self.registry.register(
+            name, kind=ClientKind.PUBLISHER, addresses=(), client_id=client_id
+        )
+
+    def register_client(
+        self,
+        name: str,
+        *,
+        kind: ClientKind = ClientKind.BOTH,
+        email: str | None = None,
+        sms: str | None = None,
+        tcp: str | None = None,
+        udp: str | None = None,
+        client_id: str | None = None,
+    ) -> Client:
+        return self.registry.register(
+            name,
+            kind=kind,
+            addresses=self._addresses(email=email, sms=sms, tcp=tcp, udp=udp),
+            client_id=client_id,
+        )
+
+    @staticmethod
+    def _addresses(
+        *, email: str | None, sms: str | None, tcp: str | None, udp: str | None
+    ) -> tuple[tuple[str, str], ...]:
+        pairs = []
+        if email:
+            pairs.append(("smtp", email))
+        if sms:
+            pairs.append(("sms", sms))
+        if tcp:
+            pairs.append(("tcp", tcp))
+        if udp:
+            pairs.append(("udp", udp))
+        if not pairs:
+            # Registry-internal loopback keeps notification delivery
+            # observable even for clients that gave no address.
+            pairs.append(("tcp", "loopback"))
+        return tuple(pairs)
+
+    # -- pub/sub --------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        client_id: str,
+        subscription: str | Subscription,
+        *,
+        max_generality: int | None = None,
+    ) -> Subscription:
+        """Subscribe from a :class:`Subscription` or language text."""
+        if isinstance(subscription, str):
+            subscription = parse_subscription(subscription, max_generality=max_generality)
+        elif max_generality is not None:
+            subscription = Subscription(
+                subscription.predicates,
+                subscriber_id=subscription.subscriber_id,
+                sub_id=subscription.sub_id,
+                max_generality=max_generality,
+            )
+        return self.dispatcher.subscribe(client_id, subscription)
+
+    def unsubscribe(self, sub_id: str) -> Subscription:
+        return self.dispatcher.unsubscribe(sub_id)
+
+    def publish(self, client_id: str, event: str | Event) -> PublishReport:
+        """Publish from an :class:`Event` or language text."""
+        if isinstance(event, str):
+            event = parse_event(event)
+        return self.dispatcher.publish(client_id, event)
+
+    # -- modes (paper §4: semantic vs. syntactic demo modes) -----------------------------
+
+    @property
+    def mode(self) -> str:
+        return self.engine.mode
+
+    def set_semantic_mode(self) -> None:
+        self.engine.reconfigure(SemanticConfig.semantic())
+
+    def set_syntactic_mode(self) -> None:
+        self.engine.reconfigure(SemanticConfig.syntactic())
+
+    # -- reporting -------------------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        return self.dispatcher.stats()

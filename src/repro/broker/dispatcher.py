@@ -1,0 +1,126 @@
+"""The event dispatcher: the central pub/sub component.
+
+"The central component of this architecture is the event dispatcher.
+This component records all subscriptions in the system.  When a certain
+event is published, the event dispatcher matches it against all
+subscriptions … and sends a notification to the corresponding
+subscriber" (paper §1).
+
+The dispatcher wires the S-ToPSS engine (matching) to the client
+registry (who subscribed) and the notification engine (how to reach
+them).  It enforces client roles — only subscribers may subscribe,
+only publishers may publish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broker.clients import Client, ClientRegistry
+from repro.broker.notifications import DeliveryOutcome, NotificationEngine
+from repro.core.engine import SToPSS
+from repro.core.provenance import SemanticMatch
+from repro.errors import BrokerError, UnknownSubscriptionError
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+
+__all__ = ["EventDispatcher", "PublishReport"]
+
+
+@dataclass(frozen=True)
+class PublishReport:
+    """Everything that happened for one publication."""
+
+    event: Event
+    matches: tuple[SemanticMatch, ...]
+    outcomes: tuple[DeliveryOutcome, ...]
+
+    @property
+    def match_count(self) -> int:
+        return len(self.matches)
+
+    @property
+    def delivered_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.delivered)
+
+
+class EventDispatcher:
+    """Subscription records + matching + notification fan-out."""
+
+    def __init__(
+        self,
+        engine: SToPSS,
+        registry: ClientRegistry | None = None,
+        notifier: NotificationEngine | None = None,
+    ) -> None:
+        self.engine = engine
+        self.registry = registry if registry is not None else ClientRegistry()
+        self.notifier = notifier if notifier is not None else NotificationEngine()
+        #: sub_id -> subscriber client_id
+        self._subscriber_of: dict[str, str] = {}
+        self.reports: list[PublishReport] = []
+
+    # -- subscriptions -------------------------------------------------------------
+
+    def subscribe(self, client_id: str, subscription: Subscription) -> Subscription:
+        """Record a subscription on behalf of a registered subscriber."""
+        client = self.registry.get(client_id)
+        if not client.kind.can_subscribe:
+            raise BrokerError(f"client {client_id!r} is not a subscriber")
+        bound = Subscription(
+            subscription.predicates,
+            subscriber_id=client_id,
+            sub_id=subscription.sub_id,
+            max_generality=subscription.max_generality,
+        )
+        self.engine.subscribe(bound)
+        self._subscriber_of[bound.sub_id] = client_id
+        return bound
+
+    def unsubscribe(self, sub_id: str) -> Subscription:
+        if sub_id not in self._subscriber_of:
+            raise UnknownSubscriptionError(f"no subscription {sub_id!r}")
+        del self._subscriber_of[sub_id]
+        return self.engine.unsubscribe(sub_id)
+
+    def subscriptions_of(self, client_id: str) -> list[Subscription]:
+        return [
+            sub
+            for sub in self.engine.subscriptions()
+            if self._subscriber_of.get(sub.sub_id) == client_id
+        ]
+
+    # -- publications ---------------------------------------------------------------
+
+    def publish(self, client_id: str, event: Event) -> PublishReport:
+        """Match *event* and notify every matched subscriber."""
+        client = self.registry.get(client_id)
+        if not client.kind.can_publish:
+            raise BrokerError(f"client {client_id!r} is not a publisher")
+        stamped = Event(
+            event.items(), event_id=event.event_id, publisher_id=client_id
+        )
+        matches = self.engine.publish(stamped)
+        outcomes: list[DeliveryOutcome] = []
+        for match in matches:
+            subscriber_id = self._subscriber_of.get(match.subscription.sub_id)
+            if subscriber_id is None:  # engine-only subscription (tests)
+                continue
+            subscriber: Client = self.registry.get(subscriber_id)
+            outcomes.append(self.notifier.notify(subscriber, match))
+        report = PublishReport(stamped, tuple(matches), tuple(outcomes))
+        self.reports.append(report)
+        return report
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "clients": len(self.registry),
+            "subscriptions": len(self.engine),
+            "publications": len(self.reports),
+            "matches": sum(r.match_count for r in self.reports),
+            "deliveries": sum(r.delivered_count for r in self.reports),
+            "engine": self.engine.stats(),
+            "notifier": self.notifier.snapshot(),
+        }

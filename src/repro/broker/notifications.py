@@ -1,0 +1,205 @@
+"""The notification engine: match → subscriber delivery (Figure 2).
+
+"When the incoming event verifies a subscription, the event dispatcher
+sends a notification to the corresponding subscriber" (paper §1).  This
+engine owns that last hop: it renders a :class:`SemanticMatch` into a
+message, walks the subscriber's transport preferences, retries
+transient failures with bounded attempts, and journals every outcome.
+Undeliverable notifications land in a dead-letter list instead of
+failing the publish path — a slow SMS gateway must not stall the
+matcher.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.broker.clients import Client
+from repro.broker.transports import (
+    DeliveryRecord,
+    OutboundMessage,
+    SmsTransport,
+    TransportRegistry,
+    default_transports,
+)
+from repro.core.provenance import SemanticMatch
+from repro.errors import DeliveryError, TransportError
+
+__all__ = ["Notification", "NotificationEngine", "DeliveryOutcome"]
+
+_notification_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Notification:
+    """A match destined for one subscriber."""
+
+    notification_id: str
+    client: Client
+    match: SemanticMatch
+
+    @classmethod
+    def for_match(cls, client: Client, match: SemanticMatch) -> "Notification":
+        return cls(f"n{next(_notification_counter)}", client, match)
+
+    def subject(self) -> str:
+        return (
+            f"S-ToPSS: subscription {self.match.subscription.sub_id} matched "
+            f"event {self.match.event.event_id}"
+        )
+
+    def body(self) -> str:
+        return self.match.explain()
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Final fate of one notification."""
+
+    notification: Notification
+    record: DeliveryRecord | None
+    attempts: int
+    delivered: bool
+    transport: str = ""
+    error: str = ""
+
+
+@dataclass
+class _EngineStats:
+    notifications: int = 0
+    delivered: int = 0
+    dead_lettered: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    per_transport: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "notifications": self.notifications,
+            "delivered": self.delivered,
+            "dead_lettered": self.dead_lettered,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "per_transport": dict(self.per_transport),
+        }
+
+
+class NotificationEngine:
+    """Multi-transport notification delivery with retry and fallback.
+
+    Parameters
+    ----------
+    transports: the transport registry (defaults to the demo's four).
+    max_attempts_per_transport: bounded retries for transient failures.
+    raise_on_dead_letter: tests may prefer a loud
+        :class:`~repro.errors.DeliveryError` over silent dead-lettering.
+    """
+
+    def __init__(
+        self,
+        transports: TransportRegistry | None = None,
+        *,
+        max_attempts_per_transport: int = 3,
+        raise_on_dead_letter: bool = False,
+    ) -> None:
+        self.transports = transports if transports is not None else default_transports()
+        if max_attempts_per_transport < 1:
+            raise DeliveryError("max_attempts_per_transport must be >= 1")
+        self.max_attempts = max_attempts_per_transport
+        self.raise_on_dead_letter = raise_on_dead_letter
+        self.outcomes: list[DeliveryOutcome] = []
+        self.dead_letters: list[Notification] = []
+        self.stats = _EngineStats()
+
+    # -- delivery --------------------------------------------------------------
+
+    def notify(self, client: Client, match: SemanticMatch) -> DeliveryOutcome:
+        """Render and deliver one match to one subscriber."""
+        notification = Notification.for_match(client, match)
+        self.stats.notifications += 1
+        attempts = 0
+        last_error = ""
+        preferences = client.preferred_transports()
+        if not preferences:
+            outcome = DeliveryOutcome(
+                notification, None, 0, False, error="client has no addresses"
+            )
+            return self._finish(outcome)
+        for position, transport_name in enumerate(preferences):
+            if transport_name not in self.transports:
+                last_error = f"unknown transport {transport_name!r}"
+                continue
+            if position > 0:
+                self.stats.fallbacks += 1
+            transport = self.transports.get(transport_name)
+            address = client.address_for(transport_name) or ""
+            subject, body = notification.subject(), notification.body()
+            if isinstance(transport, SmsTransport):
+                body = SmsTransport.render(subject, body)
+            for attempt in range(1, self.max_attempts + 1):
+                attempts += 1
+                if attempt > 1:
+                    self.stats.retries += 1
+                message = OutboundMessage(
+                    transport=transport_name,
+                    address=address,
+                    subject=subject,
+                    body=body,
+                    notification_id=notification.notification_id,
+                    attempt=attempt,
+                )
+                try:
+                    record = transport.send(message)
+                except TransportError as exc:
+                    last_error = str(exc)
+                    continue
+                # UDP "drops" are successful sends from the engine's
+                # perspective: fire-and-forget semantics.
+                outcome = DeliveryOutcome(
+                    notification,
+                    record,
+                    attempts,
+                    True,
+                    transport=transport_name,
+                )
+                self.stats.delivered += 1
+                self.stats.per_transport[transport_name] = (
+                    self.stats.per_transport.get(transport_name, 0) + 1
+                )
+                return self._finish(outcome)
+        outcome = DeliveryOutcome(notification, None, attempts, False, error=last_error)
+        return self._finish(outcome)
+
+    def _finish(self, outcome: DeliveryOutcome) -> DeliveryOutcome:
+        self.outcomes.append(outcome)
+        if not outcome.delivered:
+            self.dead_letters.append(outcome.notification)
+            self.stats.dead_lettered += 1
+            if self.raise_on_dead_letter:
+                raise DeliveryError(
+                    f"notification {outcome.notification.notification_id} "
+                    f"undeliverable: {outcome.error}"
+                )
+        return outcome
+
+    # -- reporting ----------------------------------------------------------------
+
+    def delivered_to(self, client_id: str) -> list[DeliveryOutcome]:
+        """Delivery outcomes for one subscriber, in order."""
+        return [
+            outcome
+            for outcome in self.outcomes
+            if outcome.notification.client.client_id == client_id and outcome.delivered
+        ]
+
+    def snapshot(self) -> dict[str, object]:
+        data = self.stats.snapshot()
+        data["transports"] = self.transports.stats()
+        return data
+
+    def reset(self) -> None:
+        self.outcomes.clear()
+        self.dead_letters.clear()
+        self.stats = _EngineStats()
+        self.transports.reset()

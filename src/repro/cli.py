@@ -1,0 +1,164 @@
+"""Command-line interface: ``stopss``.
+
+Subcommands:
+
+``stopss demo``
+    Run the job-finder demonstration scenario in both modes and print
+    the comparison (paper §4 in one command).
+``stopss match``
+    Match one event against one subscription, explaining the result.
+``stopss explain``
+    Show the full semantic expansion of an event.
+``stopss serve``
+    Serve the demonstration web application over HTTP.
+``stopss kb``
+    Print knowledge-base statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.broker.broker import Broker
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.errors import ReproError
+from repro.metrics.report import Table
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.domains import build_demo_knowledge_base, build_jobs_knowledge_base
+from repro.webapp.app import JobFinderWebApp
+from repro.workload.jobfinder import JobFinderScenario, JobFinderSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stopss",
+        description="S-ToPSS: Semantic Toronto Publish/Subscribe System (VLDB 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the job-finder demo in both modes")
+    demo.add_argument("--companies", type=int, default=10)
+    demo.add_argument("--candidates", type=int, default=30)
+    demo.add_argument("--seed", type=int, default=7)
+
+    match = sub.add_parser("match", help="match one event against one subscription")
+    match.add_argument("subscription", help='e.g. "(university = Toronto) and (degree = PhD)"')
+    match.add_argument("event", help='e.g. "(school, Toronto)(degree, PhD)"')
+    match.add_argument("--syntactic", action="store_true", help="disable the semantic stage")
+    match.add_argument("--max-generality", type=int, default=None)
+
+    explain = sub.add_parser("explain", help="show an event's semantic expansion")
+    explain.add_argument("event")
+    explain.add_argument("--max-generality", type=int, default=None)
+
+    serve = sub.add_parser("serve", help="serve the demo web application")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+
+    sub.add_parser("kb", help="print knowledge-base statistics")
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    spec = JobFinderSpec(
+        n_companies=args.companies, n_candidates=args.candidates, seed=args.seed
+    )
+    table = Table("job-finder demo: semantic vs. syntactic",
+                  ["mode", "subscriptions", "resumes", "matches", "semantic-only", "delivered"])
+    for mode, config in (
+        ("semantic", SemanticConfig.semantic()),
+        ("syntactic", SemanticConfig.syntactic()),
+    ):
+        scenario = JobFinderScenario(build_jobs_knowledge_base(), spec)
+        broker = Broker(build_jobs_knowledge_base(), config=config)
+        report = scenario.run(broker)
+        table.add(
+            mode,
+            report.subscriptions,
+            report.publications,
+            report.matches,
+            report.semantic_matches,
+            report.deliveries,
+        )
+    table.print()
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    config = (
+        SemanticConfig.syntactic()
+        if args.syntactic
+        else SemanticConfig(max_generality=args.max_generality)
+    )
+    engine = SToPSS(build_demo_knowledge_base(), config=config)
+    subscription = parse_subscription(args.subscription, sub_id="cli-sub")
+    engine.subscribe(subscription)
+    matches = engine.publish(parse_event(args.event, event_id="cli-event"))
+    if not matches:
+        print("NO MATCH")
+        return 1
+    for match in matches:
+        print("MATCH")
+        print(match.explain())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    config = SemanticConfig(max_generality=args.max_generality)
+    engine = SToPSS(build_demo_knowledge_base(), config=config)
+    result = engine.explain(parse_event(args.event))
+    print(f"{len(result.derived)} derived event(s), {result.iterations} iteration(s)")
+    if result.truncated:
+        print("WARNING: expansion truncated by max_derived_events")
+    for derived in result.derived:
+        print()
+        print(derived.explain())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - interactive
+    webapp = JobFinderWebApp(Broker(build_demo_knowledge_base()))
+    webapp.serve(args.host, args.port)
+    return 0
+
+
+def _cmd_kb(args: argparse.Namespace) -> int:
+    kb = build_demo_knowledge_base()
+    stats = kb.stats()
+    table = Table(f"knowledge base {stats['name']!r}", ["domain", "concepts", "edges", "roots", "leaves", "depth"])
+    for domain, tstats in stats["domains"].items():  # type: ignore[union-attr]
+        table.add(domain, tstats["concepts"], tstats["edges"], tstats["roots"],
+                  tstats["leaves"], tstats["depth"])
+    table.print()
+    print(f"attribute synonyms: {stats['attribute_synonyms']}")
+    print(f"value synonyms:     {stats['value_synonyms']}")
+    print(f"mapping rules:      {stats['mapping_rules']}")
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "match": _cmd_match,
+    "explain": _cmd_explain,
+    "serve": _cmd_serve,
+    "kb": _cmd_kb,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Semantic-stage configuration: the paper's tolerance knobs.
+
+"Some users may be satisfied with fewer results for their semantic
+subscriptions, if the matching would be faster.  The idea is to allow
+the user to inform the system about how much information loss the user
+is willing to tolerate" (paper §3.2).  :class:`SemanticConfig` exposes
+exactly those degrees of freedom:
+
+* each of the three stages toggles independently (§3.1: "each of the
+  approaches can be used independently"),
+* ``max_generality`` bounds concept-hierarchy match distance
+  system-wide (subscriptions can carry a tighter personal bound),
+* fixpoint limits bound the hierarchy↔mapping iteration of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.ontology.mappingdefs import DEFAULT_PRESENT_YEAR, MappingContext
+
+__all__ = ["SemanticConfig"]
+
+
+@dataclass(frozen=True)
+class SemanticConfig:
+    """Immutable semantic-layer settings.
+
+    Parameters
+    ----------
+    enable_synonyms / enable_hierarchy / enable_mappings:
+        Stage toggles; all three off is exactly the demo's *syntactic*
+        mode.
+    max_generality:
+        System-wide cap on hierarchy levels a match may climb
+        (``None`` = unbounded).  Also caps the event expansion itself,
+        so lower tolerance is genuinely faster, not just filtered.
+    value_synonyms:
+        Whether distance-0 value equivalences ("car" = "automobile")
+        are applied by the hierarchy stage (library extension; the
+        paper's stage 1 is attribute-level only).
+    generalize_attributes:
+        Whether attribute *names* generalize through the taxonomy too
+        ("a concept hierarchy contains … both attributes and values").
+    max_iterations:
+        Rounds of the hierarchy↔mapping fixpoint loop ("mapping
+        function and concept hierarchy stages can be executed multiple
+        times", §3.2).
+    max_derived_events:
+        Safety valve on the expansion set per publication; exceeding
+        it truncates (recorded on the result) rather than raising.
+    present_year:
+        Evaluation date for mapping functions (paper's
+        ``present_date``).
+    """
+
+    enable_synonyms: bool = True
+    enable_hierarchy: bool = True
+    enable_mappings: bool = True
+    max_generality: int | None = None
+    value_synonyms: bool = True
+    generalize_attributes: bool = True
+    max_iterations: int = 4
+    max_derived_events: int = 512
+    present_year: int = DEFAULT_PRESENT_YEAR
+
+    def __post_init__(self) -> None:
+        if self.max_generality is not None and self.max_generality < 0:
+            raise ConfigError("max_generality must be >= 0 or None")
+        if self.max_iterations < 1:
+            raise ConfigError("max_iterations must be >= 1")
+        if self.max_derived_events < 1:
+            raise ConfigError("max_derived_events must be >= 1")
+        if not (1900 <= self.present_year <= 2200):
+            raise ConfigError("present_year out of plausible range")
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def semantic(cls, **overrides) -> "SemanticConfig":
+        """The demo's *semantic* mode: all stages on."""
+        return cls(**overrides)
+
+    @classmethod
+    def syntactic(cls) -> "SemanticConfig":
+        """The demo's *syntactic* mode: the unmodified matching
+        algorithm — no stage runs."""
+        return cls(enable_synonyms=False, enable_hierarchy=False, enable_mappings=False)
+
+    @classmethod
+    def synonyms_only(cls) -> "SemanticConfig":
+        """Stage-1-only deployment (paper: "one may only want synonym
+        semantics")."""
+        return cls(enable_hierarchy=False, enable_mappings=False)
+
+    @classmethod
+    def hierarchy_only(cls) -> "SemanticConfig":
+        return cls(enable_synonyms=False, enable_mappings=False)
+
+    @classmethod
+    def mappings_only(cls) -> "SemanticConfig":
+        return cls(enable_synonyms=False, enable_hierarchy=False)
+
+    # -- helpers ------------------------------------------------------------------
+
+    @property
+    def is_syntactic(self) -> bool:
+        return not (self.enable_synonyms or self.enable_hierarchy or self.enable_mappings)
+
+    @property
+    def mode(self) -> str:
+        return "syntactic" if self.is_syntactic else "semantic"
+
+    def mapping_context(self) -> MappingContext:
+        return MappingContext(present_year=self.present_year)
+
+    def with_tolerance(self, max_generality: int | None) -> "SemanticConfig":
+        """A copy with a different generality bound (C4 sweeps)."""
+        return replace(self, max_generality=max_generality)
+
+    def stage_names(self) -> tuple[str, ...]:
+        names = []
+        if self.enable_synonyms:
+            names.append("synonym")
+        if self.enable_hierarchy:
+            names.append("hierarchy")
+        if self.enable_mappings:
+            names.append("mapping")
+        return tuple(names)

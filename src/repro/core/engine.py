@@ -1,0 +1,196 @@
+"""The S-ToPSS engine: semantic stage + unchanged matching algorithm.
+
+This is the component Figure 1 depicts: subscriptions pass through the
+synonym stage and land in the (unmodified) matching algorithm; each
+publication is expanded by the semantic pipeline into a set of derived
+events, every derived event is matched syntactically, and the union of
+matches — filtered by each subscriber's generality tolerance — is the
+semantic match set.
+
+The engine runs in the demo's two modes (paper §4): *semantic* (any
+stage combination enabled) or *syntactic* (no stage runs; the engine
+degenerates to the bare matching algorithm).  Modes can be switched at
+runtime with :meth:`SToPSS.reconfigure`, which re-derives every stored
+subscription's root form and rebuilds the matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.config import SemanticConfig
+from repro.core.pipeline import PipelineResult, SemanticPipeline
+from repro.core.provenance import DerivedEvent, SemanticMatch
+from repro.errors import UnknownSubscriptionError
+from repro.matching.base import MatchingAlgorithm, create_matcher
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = ["SToPSS"]
+
+
+class SToPSS:
+    """Semantic Toronto Publish/Subscribe System.
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base (synonyms, taxonomies, mapping rules).
+    matcher:
+        A registered matcher name (``"naive"``, ``"counting"``,
+        ``"cluster"``) or a :class:`MatchingAlgorithm` instance.  The
+        engine never inspects it beyond the public interface — the
+        paper's "minimize the changes to the algorithms" goal.
+    config:
+        Stage toggles and tolerance knobs; defaults to full semantic
+        mode.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        *,
+        matcher: str | MatchingAlgorithm = "counting",
+        config: SemanticConfig | None = None,
+        extra_stages: tuple = (),
+    ) -> None:
+        self.kb = kb
+        self.config = config if config is not None else SemanticConfig()
+        if isinstance(matcher, str):
+            self._matcher_name = matcher
+            self._matcher = create_matcher(matcher)
+        else:
+            self._matcher_name = matcher.name
+            self._matcher = matcher
+        self._extra_stages = tuple(extra_stages)
+        self.pipeline = SemanticPipeline(kb, self.config, extra_stages=self._extra_stages)
+        #: sub_id -> (insertion sequence, original subscription)
+        self._originals: dict[str, tuple[int, Subscription]] = {}
+        self._next_seq = 0
+        self.publications = 0
+
+    # -- subscription management ---------------------------------------------------
+
+    def subscribe(self, subscription: Subscription) -> Subscription:
+        """Register a subscription.  Returns the *root* form actually
+        inserted into the matcher (equal to the input in syntactic
+        mode or when no attribute has synonyms)."""
+        root = self.pipeline.process_subscription(subscription)
+        self._matcher.insert(root)
+        self._originals[subscription.sub_id] = (self._next_seq, subscription)
+        self._next_seq += 1
+        return root
+
+    def unsubscribe(self, sub_id: str) -> Subscription:
+        """Remove a subscription by id, returning the original."""
+        if sub_id not in self._originals:
+            raise UnknownSubscriptionError(f"no subscription {sub_id!r}")
+        self._matcher.remove(sub_id)
+        _, original = self._originals.pop(sub_id)
+        return original
+
+    def __len__(self) -> int:
+        return len(self._originals)
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._originals
+
+    def subscriptions(self) -> Iterator[Subscription]:
+        """Original subscriptions in insertion order."""
+        for _, (__, subscription) in sorted(
+            self._originals.items(), key=lambda item: item[1][0]
+        ):
+            yield subscription
+
+    # -- publishing -------------------------------------------------------------------
+
+    def publish(self, event: Event) -> list[SemanticMatch]:
+        """Match one publication, returning semantic matches in
+        subscription insertion order.
+
+        Each subscription is reported at most once, with the *least
+        general* derivation that reached it; subscriptions whose
+        personal ``max_generality`` is tighter than the match's
+        generality are dropped (paper §3.2's per-user information-loss
+        control).
+        """
+        self.publications += 1
+        result = self.pipeline.process_event(event)
+        return self._collect_matches(event, result)
+
+    def explain(self, event: Event) -> PipelineResult:
+        """The full pipeline expansion for *event* (demo inspection)."""
+        return self.pipeline.process_event(event)
+
+    def _collect_matches(
+        self, event: Event, result: PipelineResult
+    ) -> list[SemanticMatch]:
+        best: dict[str, tuple[int, DerivedEvent]] = {}
+        matcher = self._matcher
+        for derived in result.derived:
+            generality = derived.generality
+            for root_sub in matcher.match(derived.event):
+                known = best.get(root_sub.sub_id)
+                if known is None or generality < known[0]:
+                    best[root_sub.sub_id] = (generality, derived)
+        matches: list[SemanticMatch] = []
+        for sub_id, (generality, derived) in best.items():
+            seq_original = self._originals.get(sub_id)
+            if seq_original is None:  # pragma: no cover - defensive
+                continue
+            _, original = seq_original
+            if original.max_generality is not None and generality > original.max_generality:
+                continue
+            matches.append(
+                SemanticMatch(
+                    subscription=original,
+                    event=event,
+                    matched_via=derived,
+                    generality=generality,
+                )
+            )
+        matches.sort(key=lambda match: self._originals[match.subscription.sub_id][0])
+        return matches
+
+    # -- mode control --------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``"semantic"`` or ``"syntactic"`` (the demo's two modes)."""
+        return self.config.mode
+
+    def reconfigure(self, config: SemanticConfig) -> None:
+        """Switch stage configuration at runtime.
+
+        Every stored subscription is re-derived under the new config
+        and the matcher is rebuilt, so root forms always correspond to
+        the active synonym setting.
+        """
+        self.config = config
+        self.pipeline = SemanticPipeline(
+            self.kb, config, extra_stages=self._extra_stages
+        )
+        rebuilt = create_matcher(self._matcher_name)
+        for _, (__, subscription) in sorted(
+            self._originals.items(), key=lambda item: item[1][0]
+        ):
+            rebuilt.insert(self.pipeline.process_subscription(subscription))
+        self._matcher = rebuilt
+
+    # -- reporting ------------------------------------------------------------------------
+
+    @property
+    def matcher(self) -> MatchingAlgorithm:
+        return self._matcher
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "matcher": self._matcher_name,
+            "subscriptions": len(self._originals),
+            "publications": self.publications,
+            "matcher_stats": self._matcher.stats.snapshot(),
+            "stage_stats": self.pipeline.stage_stats(),
+            "truncations": self.pipeline.truncation_count,
+        }

@@ -1,0 +1,139 @@
+"""Stage 2: concept-hierarchy generalization of events.
+
+The paper's two matching rules (§3.1):
+
+  (R1) events that contain **more specialized** concepts have to match
+       subscriptions that contain **more generalized** terms of the
+       same kind, and
+  (R2) events that contain **more general** terms than those used in
+       the subscriptions do **not** match.
+
+Both rules fall out of expanding *events upward only*: every derived
+event replaces one term with one of its generalizations (never a
+specialization), so a subscription on "graduate degree" receives the
+"PhD" resume (R1), while a subscription on "PhD" can never be reached
+from a "graduate degree" event (R2).
+
+Each expansion substitutes a *single* term; the Figure 1 fixpoint loop
+composes multi-term generalizations across iterations, with the
+per-chain ``generality_budget`` (the tolerance knob) bounding the total
+climb.  Value spellings are canonicalized through value synonyms at
+distance 0, and — because "a concept hierarchy contains all terms
+within a specific domain, which includes both attributes and values" —
+attribute *names* generalize too when the taxonomy knows them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.interfaces import SemanticStage
+from repro.core.provenance import STAGE_HIERARCHY, DerivationStep, DerivedEvent
+from repro.model.attributes import normalize_attribute
+from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = ["HierarchyStage"]
+
+
+class HierarchyStage(SemanticStage):
+    """Upward single-substitution event expansion."""
+
+    name = STAGE_HIERARCHY
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        *,
+        value_synonyms: bool = True,
+        generalize_attributes: bool = True,
+    ) -> None:
+        super().__init__()
+        self._kb = kb
+        self._value_synonyms = value_synonyms
+        self._generalize_attributes = generalize_attributes
+
+    def expand(
+        self, derived: DerivedEvent, *, generality_budget: int | None = None
+    ) -> Iterator[DerivedEvent]:
+        self.stats.events_in += 1
+        event = derived.event
+        produced = 0
+        for attribute, value in event.items():
+            if isinstance(value, str):
+                produced += yield from self._expand_value(
+                    derived, attribute, value, generality_budget
+                )
+            if self._generalize_attributes:
+                produced += yield from self._expand_attribute(
+                    derived, attribute, generality_budget
+                )
+        self.stats.events_out += produced
+
+    def _expand_value(
+        self,
+        derived: DerivedEvent,
+        attribute: str,
+        value: str,
+        budget: int | None,
+    ) -> Iterator[DerivedEvent]:
+        """Substitutions of one value term; yields and counts."""
+        kb = self._kb
+        count = 0
+        self.stats.lookups += 1
+        if self._value_synonyms:
+            canonical = kb.canonical_term(value)
+            if canonical is not None and canonical != value:
+                step = DerivationStep(
+                    stage=self.name,
+                    description=(
+                        f"value {value!r} of {attribute!r} canonicalized to "
+                        f"synonym {canonical!r}"
+                    ),
+                    attribute=attribute,
+                    generality=0,
+                )
+                yield derived.extend(derived.event.with_value(attribute, canonical), step)
+                count += 1
+        if budget is not None and budget <= 0:
+            return count
+        for general, distance in kb.generalizations(value, max_levels=budget).items():
+            step = DerivationStep(
+                stage=self.name,
+                description=(
+                    f"value {value!r} of {attribute!r} generalized to "
+                    f"{general!r}"
+                ),
+                attribute=attribute,
+                generality=distance,
+            )
+            yield derived.extend(derived.event.with_value(attribute, general), step)
+            count += 1
+        return count
+
+    def _expand_attribute(
+        self, derived: DerivedEvent, attribute: str, budget: int | None
+    ) -> Iterator[DerivedEvent]:
+        """Substitutions of one attribute *name*; yields and counts."""
+        kb = self._kb
+        count = 0
+        if budget is not None and budget <= 0:
+            return count
+        self.stats.lookups += 1
+        generalizations = kb.generalizations(attribute, max_levels=budget)
+        for general, distance in generalizations.items():
+            general_attribute = normalize_attribute(general.replace(" ", "_"))
+            if general_attribute == attribute or general_attribute in derived.event:
+                continue
+            step = DerivationStep(
+                stage=self.name,
+                description=(
+                    f"attribute {attribute!r} generalized to "
+                    f"{general_attribute!r}"
+                ),
+                attribute=general_attribute,
+                generality=distance,
+            )
+            renamed = derived.event.with_renamed_attributes({attribute: general_attribute})
+            yield derived.extend(renamed, step)
+            count += 1
+        return count

@@ -1,0 +1,68 @@
+"""Stage 3: mapping-function application.
+
+"Mapping functions can specify relationships which otherwise cannot be
+specified using a concept hierarchy or a synonym relationship … a
+many-to-many function that correlates one or more attribute-value pairs
+to one or more semantically related attribute-value pairs" (paper §3.1).
+
+Candidate rules are located through the knowledge base's per-attribute
+hash index (the paper's "hash structures" design), guards are checked,
+and each firing rule contributes one derived event carrying the rule
+name in its provenance.  A rule never re-fires along a derivation chain
+it already contributed to — that is what keeps REPLACE-mode rewrite
+pairs (e.g. unit conversions in both directions) from ping-ponging
+forever inside the Figure 1 fixpoint loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.interfaces import SemanticStage
+from repro.core.provenance import STAGE_MAPPING, DerivationStep, DerivedEvent
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingContext
+
+__all__ = ["MappingStage"]
+
+
+class MappingStage(SemanticStage):
+    """Applies expert-defined mapping rules to derived events."""
+
+    name = STAGE_MAPPING
+
+    def __init__(self, kb: KnowledgeBase, context: MappingContext | None = None) -> None:
+        super().__init__()
+        self._kb = kb
+        self._context = context if context is not None else MappingContext()
+
+    @property
+    def context(self) -> MappingContext:
+        return self._context
+
+    def expand(
+        self, derived: DerivedEvent, *, generality_budget: int | None = None
+    ) -> Iterator[DerivedEvent]:
+        self.stats.events_in += 1
+        event = derived.event
+        candidates = self._kb.candidate_rules(event)
+        self.stats.lookups += 1
+        produced = 0
+        for rule in candidates:
+            if derived.used_rule(rule.name):
+                continue
+            new_event = rule.apply(event, self._context)
+            self.stats.bump("rule_attempts")
+            if new_event is None:
+                continue
+            step = DerivationStep(
+                stage=self.name,
+                description=(
+                    f"mapping function {rule.name!r}"
+                    + (f": {rule.description}" if rule.description else "")
+                ),
+                rule=rule.name,
+            )
+            yield derived.extend(new_event, step)
+            produced += 1
+        self.stats.events_out += produced

@@ -1,0 +1,193 @@
+"""The semantic pipeline: Figure 1's stage composition.
+
+"When a new event or a subscription arrives, the synonym transformation
+is always done first … We can see that mapping function and concept
+hierarchy stages can be executed multiple times.  The reason for this
+is that the concept hierarchy stage can create new events for which
+additional mapping functions exist and vice versa" (paper §3.2).
+
+:class:`SemanticPipeline` implements exactly that: one synonym rewrite,
+then a breadth-first fixpoint over {hierarchy, mapping} expansion with
+
+* signature-based deduplication (the cheapest derivation — lowest
+  generality, then shortest chain — is kept when several paths reach
+  the same content),
+* a per-chain generality budget (the tolerance knob, enforced during
+  expansion so lower tolerance is genuinely cheaper),
+* iteration and population caps as safety valves (recorded on the
+  result, never silently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SemanticConfig
+from repro.core.hierarchy import HierarchyStage
+from repro.core.interfaces import SemanticStage
+from repro.core.mappings import MappingStage
+from repro.core.provenance import DerivedEvent
+from repro.core.synonyms import SynonymStage
+from repro.model.events import Event, EventSignature
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = ["SemanticPipeline", "PipelineResult"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the semantic stage produced for one publication."""
+
+    original: Event
+    derived: list[DerivedEvent]
+    iterations: int = 0
+    truncated: bool = False
+    #: signature -> index into ``derived`` (for dedup introspection)
+    _by_signature: dict[EventSignature, int] = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.derived)
+
+    def events(self) -> list[Event]:
+        return [d.event for d in self.derived]
+
+    def semantic_only(self) -> list[DerivedEvent]:
+        """Derived events beyond the original/root event."""
+        return [d for d in self.derived if not d.is_original]
+
+    def lookup(self, signature: EventSignature) -> DerivedEvent | None:
+        index = self._by_signature.get(signature)
+        return None if index is None else self.derived[index]
+
+
+class SemanticPipeline:
+    """Composes the three stages per Figure 1 of the paper."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: SemanticConfig | None = None,
+        *,
+        extra_stages: tuple[SemanticStage, ...] = (),
+    ) -> None:
+        self.kb = kb
+        self.config = config if config is not None else SemanticConfig()
+        self.synonyms = SynonymStage(kb)
+        self.hierarchy = HierarchyStage(
+            kb,
+            value_synonyms=self.config.value_synonyms,
+            generalize_attributes=self.config.generalize_attributes,
+        )
+        self.mappings = MappingStage(kb, self.config.mapping_context())
+        self.extra_stages = extra_stages
+        self.truncation_count = 0
+
+    # -- subscription path (Figure 1 left) ----------------------------------------
+
+    def process_subscription(self, subscription: Subscription) -> Subscription:
+        """Only the synonym stage touches subscriptions: the "root
+        subscription" feeds the matching algorithm."""
+        if not self.config.enable_synonyms:
+            return subscription
+        return self.synonyms.rewrite_subscription(subscription)
+
+    # -- event path (Figure 1 right) -----------------------------------------------
+
+    def _expansion_stages(self) -> list[SemanticStage]:
+        if self.config.is_syntactic:
+            # The demo's syntactic mode is the bare matcher: custom
+            # stages are disabled along with the built-in three.
+            return []
+        stages: list[SemanticStage] = []
+        if self.config.enable_hierarchy:
+            stages.append(self.hierarchy)
+        if self.config.enable_mappings:
+            stages.append(self.mappings)
+        stages.extend(self.extra_stages)
+        return stages
+
+    def process_event(self, event: Event) -> PipelineResult:
+        """Derive the full event set for one publication."""
+        config = self.config
+        if config.enable_synonyms:
+            root_event, steps = self.synonyms.rewrite_event(event)
+            root = DerivedEvent(root_event, steps)
+        else:
+            root = DerivedEvent.original(event)
+
+        result = PipelineResult(original=event, derived=[root])
+        result._by_signature[root.event.signature] = 0
+
+        stages = self._expansion_stages()
+        if not stages:
+            return result
+
+        budget_total = config.max_generality
+        frontier: list[DerivedEvent] = [root]
+        for iteration in range(1, config.max_iterations + 1):
+            produced: list[DerivedEvent] = []
+            for derived in frontier:
+                remaining = (
+                    None
+                    if budget_total is None
+                    else budget_total - derived.generality
+                )
+                for stage in stages:
+                    for candidate in stage.expand(derived, generality_budget=remaining):
+                        if (
+                            budget_total is not None
+                            and candidate.generality > budget_total
+                        ):
+                            continue
+                        produced.append(candidate)
+            if not produced:
+                break
+            result.iterations = iteration
+            next_frontier = self._integrate(result, produced)
+            if result.truncated or not next_frontier:
+                break
+            frontier = next_frontier
+        return result
+
+    def _integrate(
+        self, result: PipelineResult, produced: list[DerivedEvent]
+    ) -> list[DerivedEvent]:
+        """Deduplicate *produced* into *result*; returns the genuinely
+        new (or improved) derived events forming the next frontier."""
+        next_frontier: list[DerivedEvent] = []
+        cap = self.config.max_derived_events
+        for candidate in produced:
+            signature = candidate.event.signature
+            existing_index = result._by_signature.get(signature)
+            if existing_index is None:
+                if len(result.derived) >= cap:
+                    result.truncated = True
+                    self.truncation_count += 1
+                    break
+                result._by_signature[signature] = len(result.derived)
+                result.derived.append(candidate)
+                next_frontier.append(candidate)
+                continue
+            existing = result.derived[existing_index]
+            if (candidate.generality, candidate.depth) < (
+                existing.generality,
+                existing.depth,
+            ):
+                # A cheaper derivation of known content: keep the
+                # cheaper provenance but do not re-expand (the content
+                # was already in some frontier).
+                result.derived[existing_index] = candidate
+        return next_frontier
+
+    # -- reporting --------------------------------------------------------------------
+
+    def stage_stats(self) -> dict[str, dict[str, int]]:
+        stats = {
+            "synonym": self.synonyms.stats.snapshot(),
+            "hierarchy": self.hierarchy.stats.snapshot(),
+            "mapping": self.mappings.stats.snapshot(),
+        }
+        for stage in self.extra_stages:
+            stats[stage.name] = stage.stats.snapshot()
+        return stats

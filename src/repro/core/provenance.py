@@ -1,0 +1,132 @@
+"""Match provenance: how a derived event came to exist.
+
+Figure 1 of the paper shows original events spawning "root" events
+(synonym stage), "new events from concept hierarchy", and "new events
+from mapping functions".  Every derived event here carries its full
+derivation chain, which powers
+
+* the tolerance knob — a match's *generality* is the summed hierarchy
+  distance along its derivation, and subscriptions can bound it;
+* the demonstration UI — "the real power of this scheme is only
+  apparent by witnessing how seamlessly unrelated objects end up
+  matching" (paper §4), which requires explaining *why* they matched;
+* loop control — the mapping stage refuses to re-fire a rule that
+  already appears in an event's own derivation chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+
+__all__ = ["DerivationStep", "DerivedEvent", "SemanticMatch"]
+
+#: Stage identifiers used in derivation steps.
+STAGE_SYNONYM = "synonym"
+STAGE_HIERARCHY = "hierarchy"
+STAGE_MAPPING = "mapping"
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One semantic transformation applied to an event.
+
+    ``generality`` is the number of generalization levels this step
+    climbed in the concept hierarchy (0 for synonym rewrites, value
+    canonicalizations, and mapping functions).
+    """
+
+    stage: str
+    description: str
+    attribute: str = ""
+    generality: int = 0
+    rule: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" (+{self.generality} level{'s' if self.generality != 1 else ''})" if self.generality else ""
+        return f"[{self.stage}] {self.description}{suffix}"
+
+
+@dataclass(frozen=True)
+class DerivedEvent:
+    """An event plus the derivation chain that produced it.
+
+    The *original* publication is the chain-less ``DerivedEvent``; each
+    semantic stage extends the chain by one step.  Identity for
+    pipeline deduplication is the underlying event's signature —
+    two different chains reaching the same content are one derived
+    event (the cheaper chain is kept).
+    """
+
+    event: Event
+    steps: tuple[DerivationStep, ...] = ()
+
+    @classmethod
+    def original(cls, event: Event) -> "DerivedEvent":
+        return cls(event, ())
+
+    @property
+    def is_original(self) -> bool:
+        return not self.steps
+
+    @property
+    def generality(self) -> int:
+        """Total hierarchy levels climbed along the derivation."""
+        return sum(step.generality for step in self.steps)
+
+    @property
+    def depth(self) -> int:
+        """Number of derivation steps applied."""
+        return len(self.steps)
+
+    def extend(self, event: Event, step: DerivationStep) -> "DerivedEvent":
+        """The derived event obtained by applying one more step."""
+        return DerivedEvent(event, self.steps + (step,))
+
+    def used_rule(self, rule_name: str) -> bool:
+        """Whether *rule_name* already fired along this chain."""
+        return any(step.rule == rule_name for step in self.steps)
+
+    def explain(self) -> str:
+        """Multi-line, human-readable derivation trace."""
+        if self.is_original:
+            return f"original event {self.event.format()}"
+        lines = [f"derived event {self.event.format()} via:"]
+        lines.extend(f"  {i + 1}. {step}" for i, step in enumerate(self.steps))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SemanticMatch:
+    """One (subscription, publication) match produced by the engine.
+
+    ``subscription`` is the subscriber's *original* subscription (not
+    the root-rewritten form); ``event`` the original publication;
+    ``matched_via`` the derived event the syntactic matcher accepted
+    (equal to ``event`` for purely syntactic matches); ``generality``
+    the hierarchy distance of that derivation (0 = exact/synonym/
+    mapping match).
+    """
+
+    subscription: Subscription
+    event: Event
+    matched_via: DerivedEvent = field(compare=False)
+    generality: int = 0
+
+    @property
+    def is_semantic(self) -> bool:
+        """Whether the semantic stage was necessary for this match."""
+        return not self.matched_via.is_original
+
+    def explain(self) -> str:
+        """Demo-facing narrative: what matched and why."""
+        header = (
+            f"subscription {self.subscription.sub_id} "
+            f"[{self.subscription.format()}] matched event "
+            f"{self.event.event_id} [{self.event.format()}]"
+        )
+        if not self.is_semantic:
+            return header + " — exact syntactic match"
+        return header + "\n" + self.matched_via.explain()

@@ -1,0 +1,162 @@
+"""Subscription-side expansion: the design alternative to Figure 1.
+
+The paper (and this library's main engine) generalizes *events upward*
+at publish time.  The dual design precomputes at **subscribe** time:
+every equality predicate on a taxonomy term is rewritten into an ``IN``
+predicate over the term and all of its *descendants* (bounded by the
+subscription's tolerance), so publish-time matching is purely
+syntactic — no hierarchy stage runs per event.
+
+Trade-offs (measured by ablation A3 / ``bench_a3_taxonomy_shape.py``):
+
+* publish latency: flat — one syntactic match, no expansion;
+* subscribe cost & memory: grows with ``fanout^depth`` (the descendant
+  set), which is why the paper's event-side design wins for bushy
+  taxonomies;
+* staleness: concepts added to the taxonomy *after* a subscription was
+  expanded are not seen until the subscription is refreshed
+  (:meth:`SubscriptionExpandingEngine.refresh`), whereas the event-side
+  design always reads the live taxonomy;
+* coverage: only the concept-hierarchy stage can move to the
+  subscription side.  Synonyms already live there (the root rewrite);
+  mapping functions are inherently event-side (they *compute* new
+  values) and still run in this engine's pipeline.
+
+The two engines are equivalence-tested on equality-only workloads in
+``tests/unit/test_core_subexpand.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.matching.base import MatchingAlgorithm
+from repro.model.predicates import Operator, Predicate
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = ["SubscriptionExpandingEngine", "expand_subscription"]
+
+
+def expand_subscription(
+    subscription: Subscription,
+    kb: KnowledgeBase,
+    *,
+    max_generality: int | None = None,
+) -> Subscription:
+    """Rewrite equality predicates on taxonomy terms into ``IN``
+    predicates over the term's equivalents and descendants.
+
+    ``max_generality`` bounds how far *below* the subscribed term an
+    event term may sit (the mirror image of the event-side knob); the
+    subscription's own ``max_generality`` takes precedence.
+    """
+    bound = subscription.max_generality
+    if bound is None:
+        bound = max_generality
+    rewritten: list[Predicate] = []
+    changed = False
+    for predicate in subscription.predicates:
+        if predicate.operator is Operator.EQ and isinstance(predicate.operand, str):
+            term = predicate.operand
+            members = set(kb.value_equivalents(term))
+            for taxonomy_domain in kb.domains():
+                taxonomy = kb.taxonomy(taxonomy_domain)
+                for seed in tuple(members):
+                    if seed in taxonomy:
+                        members.add(taxonomy.canonical(seed))
+                        for descendant, distance in taxonomy.descendants(
+                            seed, bound
+                        ).items():
+                            members.add(descendant)
+            if members != {term}:
+                rewritten.append(Predicate.isin(predicate.attribute, members))
+                changed = True
+                continue
+        rewritten.append(predicate)
+    if not changed:
+        return subscription
+    return Subscription(
+        rewritten,
+        subscriber_id=subscription.subscriber_id,
+        sub_id=subscription.sub_id,
+        max_generality=subscription.max_generality,
+    )
+
+
+class SubscriptionExpandingEngine(SToPSS):
+    """An S-ToPSS variant that precomputes hierarchy semantics on the
+    subscription side.
+
+    The event-side hierarchy stage is disabled; synonym rewriting and
+    mapping functions behave exactly as in :class:`SToPSS`.  Matches
+    gained through the expansion report generality 0 (the engine cannot
+    tell at publish time how deep the matching descendant was — one of
+    the documented trade-offs).
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        *,
+        matcher: str | MatchingAlgorithm = "counting",
+        config: SemanticConfig | None = None,
+    ) -> None:
+        base = config if config is not None else SemanticConfig()
+        if base.enable_hierarchy:
+            base = SemanticConfig(
+                enable_synonyms=base.enable_synonyms,
+                enable_hierarchy=False,
+                enable_mappings=base.enable_mappings,
+                max_generality=base.max_generality,
+                value_synonyms=base.value_synonyms,
+                generalize_attributes=False,
+                max_iterations=base.max_iterations,
+                max_derived_events=base.max_derived_events,
+                present_year=base.present_year,
+            )
+        super().__init__(kb, matcher=matcher, config=base)
+        self._expansion_bound = (
+            config.max_generality if config is not None else None
+        )
+        self._kb_version_at_expand: dict[str, int] = {}
+
+    def subscribe(self, subscription: Subscription) -> Subscription:
+        expanded = expand_subscription(
+            subscription, self.kb, max_generality=self._expansion_bound
+        )
+        root = super().subscribe(
+            Subscription(
+                expanded.predicates,
+                subscriber_id=subscription.subscriber_id,
+                sub_id=subscription.sub_id,
+                # the per-sub knob was consumed by the expansion; a
+                # publish-time generality filter would wrongly drop
+                # mapping-derived matches.
+                max_generality=None,
+            )
+        )
+        # keep the true original for reporting
+        self._originals[subscription.sub_id] = (
+            self._originals[subscription.sub_id][0],
+            subscription,
+        )
+        self._kb_version_at_expand[subscription.sub_id] = self.kb.version
+        return root
+
+    def stale_subscriptions(self) -> list[str]:
+        """Ids whose expansion predates the latest taxonomy change."""
+        return [
+            sub_id
+            for sub_id, version in self._kb_version_at_expand.items()
+            if version != self.kb.version
+        ]
+
+    def refresh(self) -> int:
+        """Re-expand every stale subscription; returns how many."""
+        stale = self.stale_subscriptions()
+        for sub_id in stale:
+            _, original = self._originals[sub_id]
+            self.unsubscribe(sub_id)
+            self.subscribe(original)
+        return len(stale)

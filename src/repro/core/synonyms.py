@@ -1,0 +1,65 @@
+"""Stage 1: synonym translation to root attributes.
+
+"The synonym step involves translating all event and subscription
+attributes with different names but with the same meaning, to a 'root'
+attribute.  This allows syntactically different event and subscription
+attributes to match" (paper §3.1).
+
+The stage is a pure rewrite — it never multiplies events — and it is
+the only stage applied to subscriptions (Figure 1: "root
+subscription").  Per the paper, it "operates only at attribute level";
+value-level equivalences are the hierarchy stage's distance-0 case.
+"""
+
+from __future__ import annotations
+
+from repro.core.interfaces import SemanticStage
+from repro.core.provenance import STAGE_SYNONYM, DerivationStep
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = ["SynonymStage"]
+
+
+class SynonymStage(SemanticStage):
+    """Root-attribute rewriting backed by the knowledge base's
+    attribute thesaurus (hash lookups only)."""
+
+    name = STAGE_SYNONYM
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        super().__init__()
+        self._kb = kb
+
+    def rewrite_event(self, event: Event) -> tuple[Event, tuple]:
+        """Rename every attribute to its root; reports one derivation
+        step per renamed attribute."""
+        self.stats.events_in += 1
+        renames = self._kb.attribute_rename_map(event.attributes())
+        self.stats.lookups += len(event)
+        if not renames:
+            self.stats.events_out += 1
+            return event, ()
+        rewritten = event.with_renamed_attributes(renames)
+        steps = tuple(
+            DerivationStep(
+                stage=self.name,
+                description=f"attribute {old!r} rewritten to root {new!r}",
+                attribute=new,
+            )
+            for old, new in renames.items()
+        )
+        self.stats.rewrites += len(renames)
+        self.stats.events_out += 1
+        return rewritten, steps
+
+    def rewrite_subscription(self, subscription: Subscription) -> Subscription:
+        """Figure 1's "root subscription": predicate attributes are
+        rewritten to roots; ids and tolerance are preserved."""
+        renames = self._kb.attribute_rename_map(subscription.attributes())
+        self.stats.lookups += len(subscription.attributes())
+        if not renames:
+            return subscription
+        self.stats.rewrites += len(renames)
+        return subscription.with_renamed_attributes(renames)

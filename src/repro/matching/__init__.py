@@ -1,0 +1,33 @@
+"""Syntactic content-based matching substrate.
+
+These are the "existing matching algorithms" the paper extends
+(§3.1): a brute-force oracle, the counting algorithm of Aguilera et
+al. (paper ref [1]), and an access-predicate cluster matcher after
+Fabret et al. (paper ref [4]).  All three implement
+:class:`~repro.matching.base.MatchingAlgorithm` and are interchangeable
+underneath the semantic layer.
+"""
+
+from repro.matching.base import (
+    MatchingAlgorithm,
+    create_matcher,
+    matcher_names,
+    register_matcher,
+)
+from repro.matching.cluster import ClusterMatcher
+from repro.matching.counting import CountingMatcher
+from repro.matching.index import PredicateIndex
+from repro.matching.naive import NaiveMatcher
+from repro.matching.stats import MatchStats
+
+__all__ = [
+    "MatchingAlgorithm",
+    "create_matcher",
+    "matcher_names",
+    "register_matcher",
+    "NaiveMatcher",
+    "CountingMatcher",
+    "ClusterMatcher",
+    "PredicateIndex",
+    "MatchStats",
+]

@@ -1,0 +1,149 @@
+"""The matching-algorithm interface S-ToPSS wraps.
+
+The paper's design goal: "minimize the changes to the algorithms so that
+we can take advantage of their already efficient event matching
+techniques" (§3.1).  The semantic layer therefore treats a matcher as a
+black box with exactly this interface — insert/remove subscriptions,
+match one event — and never reaches inside, which is what lets any of
+the three implementations (or a user-provided one) slot underneath the
+semantic stage unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterator
+
+from repro.errors import DuplicateSubscriptionError, MatchingError, UnknownSubscriptionError
+from repro.matching.stats import MatchStats
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+
+__all__ = ["MatchingAlgorithm", "register_matcher", "create_matcher", "matcher_names"]
+
+
+class MatchingAlgorithm(abc.ABC):
+    """Abstract content-based matcher.
+
+    Implementations must return matches in **insertion order** so that
+    results are deterministic and directly comparable across
+    algorithms (the property tests assert naive/counting/cluster
+    equivalence).
+    """
+
+    #: Short registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._subscriptions: dict[str, tuple[int, Subscription]] = {}
+        self._next_seq = 0
+        self.stats = MatchStats()
+
+    # -- subscription table ----------------------------------------------------
+
+    def insert(self, subscription: Subscription) -> None:
+        """Add a subscription; duplicate ``sub_id`` raises
+        :class:`~repro.errors.DuplicateSubscriptionError`."""
+        sub_id = subscription.sub_id
+        if sub_id in self._subscriptions:
+            raise DuplicateSubscriptionError(f"subscription {sub_id!r} already inserted")
+        self._subscriptions[sub_id] = (self._next_seq, subscription)
+        self._next_seq += 1
+        self.stats.inserts += 1
+        self._on_insert(subscription)
+
+    def remove(self, sub_id: str) -> Subscription:
+        """Remove and return a subscription by id; unknown ids raise
+        :class:`~repro.errors.UnknownSubscriptionError`."""
+        try:
+            _, subscription = self._subscriptions.pop(sub_id)
+        except KeyError:
+            raise UnknownSubscriptionError(f"no subscription {sub_id!r}") from None
+        self.stats.removals += 1
+        self._on_remove(subscription)
+        return subscription
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._subscriptions
+
+    def subscriptions(self) -> Iterator[Subscription]:
+        """Iterate stored subscriptions in insertion order."""
+        for _, (__, subscription) in sorted(
+            self._subscriptions.items(), key=lambda item: item[1][0]
+        ):
+            yield subscription
+
+    def get(self, sub_id: str) -> Subscription:
+        try:
+            return self._subscriptions[sub_id][1]
+        except KeyError:
+            raise UnknownSubscriptionError(f"no subscription {sub_id!r}") from None
+
+    def clear(self) -> None:
+        """Drop every subscription (keeps cumulative stats)."""
+        for sub_id in list(self._subscriptions):
+            self.remove(sub_id)
+
+    # -- matching -----------------------------------------------------------------
+
+    def match(self, event: Event) -> list[Subscription]:
+        """All stored subscriptions satisfied by *event*, in insertion
+        order."""
+        self.stats.events += 1
+        matched = self._match(event)
+        self.stats.matches += len(matched)
+        matched.sort(key=lambda sub: self._subscriptions[sub.sub_id][0])
+        return matched
+
+    def match_ids(self, event: Event) -> list[str]:
+        """Convenience: matching subscription ids."""
+        return [sub.sub_id for sub in self.match(event)]
+
+    # -- extension points ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _match(self, event: Event) -> list[Subscription]:
+        """Return matching subscriptions in any order (base sorts)."""
+
+    def _on_insert(self, subscription: Subscription) -> None:
+        """Hook: index maintenance on insert."""
+
+    def _on_remove(self, subscription: Subscription) -> None:
+        """Hook: index maintenance on removal."""
+
+    def _ordered(self, sub_ids) -> list[Subscription]:
+        """Resolve ids to subscriptions (order handled by :meth:`match`)."""
+        table = self._subscriptions
+        return [table[sub_id][1] for sub_id in sub_ids]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[], MatchingAlgorithm]] = {}
+
+
+def register_matcher(name: str, factory: Callable[[], MatchingAlgorithm]) -> None:
+    """Register a matcher factory under *name* (used by config files,
+    the CLI, and the benchmarks)."""
+    if name in _REGISTRY:
+        raise MatchingError(f"matcher {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def create_matcher(name: str) -> MatchingAlgorithm:
+    """Instantiate a registered matcher by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MatchingError(f"unknown matcher {name!r} (known: {known})") from None
+    return factory()
+
+
+def matcher_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

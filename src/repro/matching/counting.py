@@ -1,0 +1,83 @@
+"""The counting algorithm (Aguilera et al., PODC 1999 — paper ref [1]).
+
+Subscriptions are decomposed into predicates held in a shared
+:class:`~repro.matching.index.PredicateIndex`.  Matching an event is:
+
+1. for each event pair, fetch the satisfied predicate keys from the
+   index (hash probes and bisect scans — no per-subscription work);
+2. increment a per-subscription hit counter for every use of a
+   satisfied predicate;
+3. a subscription matches iff its counter reaches its predicate count.
+
+Predicate sharing falls out naturally: a predicate used by ten thousand
+subscriptions is evaluated once per event, then credited to each user.
+"""
+
+from __future__ import annotations
+
+from repro.matching.base import MatchingAlgorithm, register_matcher
+from repro.matching.index import PredicateIndex, PredicateKey
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+
+__all__ = ["CountingMatcher"]
+
+
+class CountingMatcher(MatchingAlgorithm):
+    """Counting-based matcher over a shared predicate index."""
+
+    name = "counting"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._index = PredicateIndex()
+        #: predicate key -> {sub_id: times used in that subscription}
+        self._usages: dict[PredicateKey, dict[str, int]] = {}
+        #: sub_id -> number of predicates to satisfy
+        self._sizes: dict[str, int] = {}
+        #: subscriptions with zero predicates match every event
+        self._universal: set[str] = set()
+
+    def _on_insert(self, subscription: Subscription) -> None:
+        size = len(subscription.predicates)
+        self._sizes[subscription.sub_id] = size
+        if size == 0:
+            self._universal.add(subscription.sub_id)
+            return
+        for predicate in subscription.predicates:
+            self._index.add(predicate)
+            self._usages.setdefault(predicate.key, {}).setdefault(subscription.sub_id, 0)
+            self._usages[predicate.key][subscription.sub_id] += 1
+
+    def _on_remove(self, subscription: Subscription) -> None:
+        self._sizes.pop(subscription.sub_id, None)
+        self._universal.discard(subscription.sub_id)
+        for predicate in subscription.predicates:
+            self._index.discard(predicate)
+            users = self._usages.get(predicate.key)
+            if users is None:
+                continue
+            users.pop(subscription.sub_id, None)
+            if not users:
+                del self._usages[predicate.key]
+
+    def _match(self, event: Event) -> list[Subscription]:
+        stats = self.stats
+        probes_before = self._index.probes
+        counters: dict[str, int] = {}
+        usages = self._usages
+        for key in self._index.satisfied_by_event(event):
+            stats.predicate_evaluations += 1
+            for sub_id, uses in usages[key].items():
+                counters[sub_id] = counters.get(sub_id, 0) + uses
+        stats.index_probes += self._index.probes - probes_before
+        sizes = self._sizes
+        matched_ids = [
+            sub_id for sub_id, count in counters.items() if count == sizes[sub_id]
+        ]
+        stats.candidates += len(counters)
+        matched_ids.extend(self._universal)
+        return self._ordered(matched_ids)
+
+
+register_matcher(CountingMatcher.name, CountingMatcher)

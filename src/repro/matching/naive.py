@@ -1,0 +1,43 @@
+"""Brute-force matcher: the correctness oracle.
+
+Evaluates every stored subscription against every event.  O(S·P) per
+event, no index structures — every other matcher must return exactly
+this matcher's results (asserted by the property-based tests), and the
+A1 ablation benchmark measures how far the indexed algorithms pull away
+as the subscription table grows.
+"""
+
+from __future__ import annotations
+
+from repro.matching.base import MatchingAlgorithm, register_matcher
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+
+__all__ = ["NaiveMatcher"]
+
+
+class NaiveMatcher(MatchingAlgorithm):
+    """Exhaustive scan over the subscription table."""
+
+    name = "naive"
+
+    def _match(self, event: Event) -> list[Subscription]:
+        matched: list[Subscription] = []
+        stats = self.stats
+        for _, subscription in self._subscriptions.values():
+            stats.candidates += 1
+            satisfied = True
+            for predicate in subscription.predicates:
+                stats.predicate_evaluations += 1
+                if predicate.attribute not in event:
+                    satisfied = False
+                    break
+                if not predicate.evaluate(event[predicate.attribute]):
+                    satisfied = False
+                    break
+            if satisfied:
+                matched.append(subscription)
+        return matched
+
+
+register_matcher(NaiveMatcher.name, NaiveMatcher)

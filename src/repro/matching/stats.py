@@ -1,0 +1,68 @@
+"""Instrumentation counters shared by the matching algorithms.
+
+The paper's performance argument (semantic stages must not disturb "the
+already good performance of the matching algorithms") is checked in the
+benchmarks by comparing these counters across configurations, not just
+wall-clock time — counter deltas are deterministic and machine
+independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MatchStats"]
+
+
+@dataclass
+class MatchStats:
+    """Mutable per-matcher counters.
+
+    Attributes
+    ----------
+    events: number of ``match()`` calls served.
+    predicate_evaluations: individual predicate evaluations performed
+        (the dominant cost of naive matching).
+    index_probes: hash/bisect probes into predicate indexes.
+    candidates: subscriptions examined as potential matches after
+        index filtering.
+    matches: subscriptions returned.
+    inserts / removals: subscription table churn.
+    """
+
+    events: int = 0
+    predicate_evaluations: int = 0
+    index_probes: int = 0
+    candidates: int = 0
+    matches: int = 0
+    inserts: int = 0
+    removals: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a free-form counter (algorithm-specific metrics)."""
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+    def reset(self) -> None:
+        self.events = 0
+        self.predicate_evaluations = 0
+        self.index_probes = 0
+        self.candidates = 0
+        self.matches = 0
+        self.inserts = 0
+        self.removals = 0
+        self.extra.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """A flat dict view for reports and assertions."""
+        data = {
+            "events": self.events,
+            "predicate_evaluations": self.predicate_evaluations,
+            "index_probes": self.index_probes,
+            "candidates": self.candidates,
+            "matches": self.matches,
+            "inserts": self.inserts,
+            "removals": self.removals,
+        }
+        data.update(self.extra)
+        return data

@@ -1,0 +1,15 @@
+"""Measurement substrate: counters, timers, and report tables used by
+the benchmark/experiment harness."""
+
+from repro.metrics.counters import CounterRegistry
+from repro.metrics.report import Table, format_row
+from repro.metrics.timers import Timer, TimingSummary, measure
+
+__all__ = [
+    "CounterRegistry",
+    "Table",
+    "format_row",
+    "Timer",
+    "TimingSummary",
+    "measure",
+]

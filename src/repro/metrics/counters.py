@@ -1,0 +1,70 @@
+"""Hierarchical counter registry used by benchmarks and reports.
+
+A tiny metrics substrate: named integer counters with dotted paths
+(``"engine.publications"``), grouped snapshots, and diffing — enough to
+express every measurement the experiment suite reports without pulling
+in a telemetry dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["CounterRegistry"]
+
+
+class CounterRegistry:
+    """Mutable named counters with dotted-path grouping."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> int:
+        """Increment ``name`` by ``amount``; returns the new value."""
+        value = self._counts.get(name, 0) + amount
+        self._counts[name] = value
+        return value
+
+    def set(self, name: str, value: int) -> None:
+        self._counts[name] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._counts.get(name, default)
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def group(self, prefix: str) -> dict[str, int]:
+        """Counters under ``prefix.`` with the prefix stripped."""
+        dotted = prefix.rstrip(".") + "."
+        return {
+            name[len(dotted):]: value
+            for name, value in self._counts.items()
+            if name.startswith(dotted)
+        }
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Per-counter change versus an earlier snapshot."""
+        keys = set(self._counts) | set(earlier)
+        return {
+            key: self._counts.get(key, 0) - earlier.get(key, 0) for key in sorted(keys)
+        }
+
+    def merge(self, other: "CounterRegistry") -> None:
+        for name, value in other.snapshot().items():
+            self.bump(name, value)
+
+    def reset(self) -> None:
+        self._counts.clear()

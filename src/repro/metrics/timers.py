@@ -1,0 +1,84 @@
+"""Wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "TimingSummary", "measure"]
+
+
+@dataclass
+class TimingSummary:
+    """Aggregate of repeated timings, in seconds."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def per_second(self, operations: int = 1) -> float:
+        """Throughput: operations per wall-clock second of mean time."""
+        if not self.samples or self.mean == 0:
+            return 0.0
+        return operations / self.mean
+
+
+class Timer:
+    """Context-manager stopwatch feeding a :class:`TimingSummary`.
+
+    >>> summary = TimingSummary()
+    >>> with Timer(summary):
+    ...     pass
+    >>> summary.count
+    1
+    """
+
+    def __init__(self, summary: TimingSummary | None = None) -> None:
+        self.summary = summary
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self.summary is not None:
+            self.summary.add(self.elapsed)
+
+
+def measure(fn, *args, repeat: int = 1, **kwargs) -> tuple[object, TimingSummary]:
+    """Call ``fn`` ``repeat`` times; returns (last result, timings)."""
+    summary = TimingSummary()
+    result = None
+    for _ in range(max(1, repeat)):
+        with Timer(summary):
+            result = fn(*args, **kwargs)
+    return result, summary

@@ -1,0 +1,190 @@
+"""Events (publications): immutable attribute→value maps.
+
+An event is what a publisher injects into the system — the paper's
+running example is a job candidate's resume::
+
+    E: (school, Toronto)(degree, PhD)(work_experience, true)(graduation_year, 1990)
+
+Events are immutable so the semantic pipeline can derive *new* events
+(synonym-rewritten, generalized, mapped) without aliasing bugs, and
+hashable via a canonical signature so the pipeline can deduplicate the
+events it derives (Figure 1 runs the hierarchy and mapping stages to a
+fixpoint; dedup is what makes the fixpoint finite).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import DuplicateAttributeError, InvalidAttributeError
+from repro.model.attributes import normalize_attribute
+from repro.model.values import (
+    Value,
+    canonical_value_key,
+    check_value,
+    format_value,
+    values_equal,
+)
+
+__all__ = ["Event", "EventSignature"]
+
+#: Hashable canonical identity of an event's content.
+EventSignature = frozenset
+
+_event_counter = itertools.count(1)
+
+
+class Event:
+    """An immutable publication.
+
+    Parameters
+    ----------
+    pairs:
+        A mapping or iterable of ``(attribute, value)`` pairs.  Attribute
+        names are normalized (see :mod:`repro.model.attributes`); listing
+        the same attribute twice with conflicting values raises
+        :class:`~repro.errors.DuplicateAttributeError` (repeating an
+        identical pair is tolerated).
+    event_id:
+        Optional stable identifier; auto-assigned (``"e1"``, ``"e2"`` …)
+        when omitted.  Identity for dedup purposes is the *signature*,
+        not the id — derived events keep fresh ids but may collide on
+        signature, which is intended.
+    publisher_id:
+        Optional id of the publishing client (used by the broker layer).
+    """
+
+    __slots__ = ("_pairs", "_signature", "event_id", "publisher_id")
+
+    def __init__(
+        self,
+        pairs: Mapping[str, Value] | Iterable[tuple[str, Value]] = (),
+        *,
+        event_id: str | None = None,
+        publisher_id: str | None = None,
+    ) -> None:
+        items = pairs.items() if isinstance(pairs, Mapping) else pairs
+        normalized: dict[str, Value] = {}
+        for raw_name, raw_value in items:
+            name = normalize_attribute(raw_name)
+            value = check_value(raw_value)
+            if name in normalized and not values_equal(normalized[name], value):
+                raise DuplicateAttributeError(
+                    f"attribute {name!r} given twice with conflicting values "
+                    f"{normalized[name]!r} and {value!r}"
+                )
+            normalized[name] = value
+        self._pairs: dict[str, Value] = normalized
+        self._signature: EventSignature = frozenset(
+            (name, canonical_value_key(value)) for name, value in normalized.items()
+        )
+        self.event_id = event_id if event_id is not None else f"e{next(_event_counter)}"
+        self.publisher_id = publisher_id
+
+    # -- mapping interface -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._pairs)
+
+    def __contains__(self, attribute: str) -> bool:
+        try:
+            return normalize_attribute(attribute) in self._pairs
+        except InvalidAttributeError:
+            return False
+
+    def __getitem__(self, attribute: str) -> Value:
+        return self._pairs[normalize_attribute(attribute)]
+
+    def get(self, attribute: str, default: Value | None = None) -> Value | None:
+        return self._pairs.get(normalize_attribute(attribute), default)
+
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in insertion order."""
+        return tuple(self._pairs)
+
+    def items(self) -> tuple[tuple[str, Value], ...]:
+        return tuple(self._pairs.items())
+
+    def to_dict(self) -> dict[str, Value]:
+        """A mutable copy of the attribute map."""
+        return dict(self._pairs)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def signature(self) -> EventSignature:
+        """Canonical content identity: equal signatures mean the events
+        carry semantically identical pairs (``4`` vs ``4.0`` collide)."""
+        return self._signature
+
+    def __hash__(self) -> int:
+        return hash(self._signature)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._signature == other._signature
+
+    # -- derivation helpers (used by the semantic stages) -------------------
+
+    def with_renamed_attributes(
+        self, renames: Mapping[str, str] | Callable[[str], str]
+    ) -> "Event":
+        """A copy with attributes renamed — the synonym stage's rewrite to
+        "root" attributes.  *renames* is either an explicit mapping
+        (missing attributes stay put) or a callable applied to every
+        attribute.  Two attributes renaming onto the same root must
+        agree on their values, otherwise
+        :class:`~repro.errors.DuplicateAttributeError` is raised.
+        """
+        if callable(renames):
+            mapper = renames
+        else:
+            table = {
+                normalize_attribute(k): normalize_attribute(v)
+                for k, v in renames.items()
+            }
+            mapper = lambda name: table.get(name, name)  # noqa: E731
+        new_pairs = [(mapper(name), value) for name, value in self._pairs.items()]
+        if all(new == old for (new, _), old in zip(new_pairs, self._pairs)):
+            return self
+        return Event(new_pairs, publisher_id=self.publisher_id)
+
+    def with_value(self, attribute: str, value: Value) -> "Event":
+        """A copy with one attribute set (added or replaced)."""
+        pairs = self.to_dict()
+        pairs[normalize_attribute(attribute)] = check_value(value)
+        return Event(pairs, publisher_id=self.publisher_id)
+
+    def with_pairs(self, extra: Mapping[str, Value] | Iterable[tuple[str, Value]]) -> "Event":
+        """A copy augmented with *extra* pairs (replacing on collision) —
+        how mapping functions attach derived pairs to an event."""
+        pairs = self.to_dict()
+        items = extra.items() if isinstance(extra, Mapping) else extra
+        for name, value in items:
+            pairs[normalize_attribute(name)] = check_value(value)
+        return Event(pairs, publisher_id=self.publisher_id)
+
+    def without(self, attribute: str) -> "Event":
+        """A copy lacking *attribute* (no-op if absent)."""
+        name = normalize_attribute(attribute)
+        if name not in self._pairs:
+            return self
+        pairs = {k: v for k, v in self._pairs.items() if k != name}
+        return Event(pairs, publisher_id=self.publisher_id)
+
+    # -- presentation --------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Event({self.event_id}: {self.format()})"
+
+    def format(self) -> str:
+        """Render in the paper's event notation:
+        ``(school, Toronto)(degree, PhD)``."""
+        return "".join(
+            f"({name}, {format_value(value)})" for name, value in self._pairs.items()
+        )

@@ -1,0 +1,273 @@
+"""Domain schemas: typed vocabularies for attributes.
+
+The paper assumes each application domain (job-finder, vehicles, …) has
+a vocabulary of attributes and values that its concept hierarchy covers.
+A :class:`Schema` makes that vocabulary explicit: the attribute names, the
+value type of each, and — for string attributes — an optional closed
+vocabulary.  Schemas power
+
+* validation at the web-application boundary (reject malformed input
+  with a useful message rather than silently never matching),
+* the workload generator (draw random events/subscriptions that are
+  type-correct for the domain), and
+* value coercion for form input (everything arrives as a string over
+  HTTP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError, UnknownSchemaError
+from repro.model.attributes import normalize_attribute
+from repro.model.events import Event
+from repro.model.predicates import Operator, Predicate
+from repro.model.subscriptions import Subscription
+from repro.model.values import Period, Value, parse_value_literal, value_type_name
+
+__all__ = ["AttributeSpec", "Schema", "SchemaRegistry", "VALUE_TYPES"]
+
+#: Recognized type names for :class:`AttributeSpec`.  ``"number"``
+#: accepts int or float; ``"any"`` disables type checking.
+VALUE_TYPES = ("string", "int", "float", "number", "bool", "period", "any")
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declared shape of one attribute.
+
+    Parameters
+    ----------
+    name: attribute name (normalized on construction).
+    value_type: one of :data:`VALUE_TYPES`.
+    vocabulary: for string attributes, the closed set of legal values
+        (``None`` = open vocabulary).
+    minimum / maximum: inclusive numeric bounds (numeric types only).
+    required: whether every event of the schema must carry it.
+    """
+
+    name: str
+    value_type: str = "any"
+    vocabulary: frozenset[str] | None = None
+    minimum: float | None = None
+    maximum: float | None = None
+    required: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_attribute(self.name))
+        if self.value_type not in VALUE_TYPES:
+            raise SchemaError(
+                f"unknown value type {self.value_type!r} for attribute {self.name!r}"
+            )
+        if self.vocabulary is not None:
+            if self.value_type not in ("string", "any"):
+                raise SchemaError(
+                    f"vocabulary only applies to string attributes ({self.name!r})"
+                )
+            object.__setattr__(self, "vocabulary", frozenset(self.vocabulary))
+        if (self.minimum is not None or self.maximum is not None) and self.value_type not in (
+            "int",
+            "float",
+            "number",
+        ):
+            raise SchemaError(f"bounds only apply to numeric attributes ({self.name!r})")
+        if (
+            self.minimum is not None
+            and self.maximum is not None
+            and self.minimum > self.maximum
+        ):
+            raise SchemaError(f"minimum exceeds maximum for attribute {self.name!r}")
+
+    def accepts(self, value: Value) -> bool:
+        """Whether *value* conforms to the declared type and bounds."""
+        kind = value_type_name(value)
+        expected = self.value_type
+        if expected == "any":
+            type_ok = True
+        elif expected == "number":
+            type_ok = kind in ("int", "float")
+        else:
+            type_ok = kind == expected
+        if not type_ok:
+            return False
+        if self.vocabulary is not None and isinstance(value, str):
+            if value not in self.vocabulary:
+                return False
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if self.minimum is not None and value < self.minimum:
+                return False
+            if self.maximum is not None and value > self.maximum:
+                return False
+        return True
+
+    def coerce(self, text: str) -> Value:
+        """Parse form/text input into this attribute's type.
+
+        Raises :class:`~repro.errors.SchemaError` when the text cannot
+        be interpreted as the declared type or violates bounds.
+        """
+        raw = text.strip()
+        try:
+            if self.value_type == "string":
+                value: Value = raw
+            elif self.value_type == "int":
+                value = int(raw)
+            elif self.value_type == "float":
+                value = float(raw)
+            elif self.value_type == "number":
+                value = float(raw) if "." in raw or "e" in raw.lower() else int(raw)
+            elif self.value_type == "bool":
+                lowered = raw.lower()
+                if lowered not in ("true", "false", "yes", "no", "1", "0"):
+                    raise ValueError(raw)
+                value = lowered in ("true", "yes", "1")
+            elif self.value_type == "period":
+                value = Period.parse(raw)
+            else:  # "any"
+                value = parse_value_literal(raw)
+        except (ValueError, SchemaError) as exc:
+            raise SchemaError(
+                f"cannot interpret {text!r} as {self.value_type} for {self.name!r}"
+            ) from exc
+        if not self.accepts(value):
+            raise SchemaError(
+                f"value {value!r} violates constraints of attribute {self.name!r}"
+            )
+        return value
+
+
+class Schema:
+    """A named collection of :class:`AttributeSpec`.
+
+    Unknown attributes are allowed by default (pub/sub schemas are open
+    — the resume may carry pairs nobody subscribed to); pass
+    ``closed=True`` to reject them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        specs: Iterable[AttributeSpec] = (),
+        *,
+        closed: bool = False,
+    ) -> None:
+        self.name = name
+        self.closed = closed
+        self._specs: dict[str, AttributeSpec] = {}
+        for spec in specs:
+            self.add(spec)
+
+    def add(self, spec: AttributeSpec) -> None:
+        if spec.name in self._specs:
+            raise SchemaError(f"attribute {spec.name!r} declared twice in schema {self.name!r}")
+        self._specs[spec.name] = spec
+
+    def __contains__(self, attribute: str) -> bool:
+        return normalize_attribute(attribute) in self._specs
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def spec(self, attribute: str) -> AttributeSpec:
+        name = normalize_attribute(attribute)
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no attribute {name!r}") from None
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    # -- validation ------------------------------------------------------------
+
+    def violations_for_event(self, event: Event) -> list[str]:
+        """Human-readable schema violations of *event* (empty = valid)."""
+        problems: list[str] = []
+        for name, value in event.items():
+            spec = self._specs.get(name)
+            if spec is None:
+                if self.closed:
+                    problems.append(f"unknown attribute {name!r}")
+                continue
+            if not spec.accepts(value):
+                problems.append(
+                    f"attribute {name!r}: value {value!r} is not a valid {spec.value_type}"
+                )
+        for spec in self._specs.values():
+            if spec.required and spec.name not in event:
+                problems.append(f"missing required attribute {spec.name!r}")
+        return problems
+
+    def violations_for_subscription(self, subscription: Subscription) -> list[str]:
+        """Schema violations of a subscription's predicates."""
+        problems: list[str] = []
+        for pred in subscription:
+            spec = self._specs.get(pred.attribute)
+            if spec is None:
+                if self.closed:
+                    problems.append(f"unknown attribute {pred.attribute!r}")
+                continue
+            problems.extend(self._predicate_problems(pred, spec))
+        return problems
+
+    @staticmethod
+    def _predicate_problems(pred: Predicate, spec: AttributeSpec) -> list[str]:
+        if pred.operator is Operator.EXISTS:
+            return []
+        operands: list[Value]
+        if pred.operator is Operator.IN:
+            operands = list(pred.operand)  # type: ignore[arg-type]
+        elif pred.operator is Operator.RANGE:
+            operands = [pred.operand.low, pred.operand.high]  # type: ignore[union-attr]
+        else:
+            operands = [pred.operand]  # type: ignore[list-item]
+        problems = []
+        for operand in operands:
+            if not spec.accepts(operand):
+                problems.append(
+                    f"predicate {pred}: operand {operand!r} is not a valid "
+                    f"{spec.value_type} for {spec.name!r}"
+                )
+        return problems
+
+    def validate_event(self, event: Event) -> None:
+        """Raise :class:`~repro.errors.SchemaError` on the first violation."""
+        problems = self.violations_for_event(event)
+        if problems:
+            raise SchemaError(f"event violates schema {self.name!r}: {problems[0]}")
+
+    def validate_subscription(self, subscription: Subscription) -> None:
+        problems = self.violations_for_subscription(subscription)
+        if problems:
+            raise SchemaError(
+                f"subscription violates schema {self.name!r}: {problems[0]}"
+            )
+
+
+class SchemaRegistry:
+    """Registry of schemas by name — one per application domain."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, Schema] = {}
+
+    def register(self, schema: Schema) -> Schema:
+        if schema.name in self._schemas:
+            raise SchemaError(f"schema {schema.name!r} already registered")
+        self._schemas[schema.name] = schema
+        return schema
+
+    def get(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownSchemaError(f"no schema named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._schemas)

@@ -1,0 +1,149 @@
+"""Fluent construction API for knowledge bases.
+
+Domain experts (per the paper, the people who write mapping functions
+and concept hierarchies) express ontologies as chained declarations::
+
+    kb = (KnowledgeBaseBuilder("demo")
+          .attribute_synonyms("university", "school", "college")
+          .domain("jobs")
+              .chain("PhD", "doctorate", "graduate degree", "degree")
+              .value_synonyms("car", "automobile", "auto")
+              .computed("experience", "professional_experience",
+                        "present_year - graduation_year")
+              .up()
+          .build())
+
+The builder only orchestrates; the invariants live in the underlying
+:mod:`repro.ontology` types.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.model.predicates import Predicate
+from repro.model.values import Value
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingRule, OutputMode
+
+__all__ = ["KnowledgeBaseBuilder", "DomainBuilder"]
+
+
+class DomainBuilder:
+    """Builder scoped to one domain; obtained from
+    :meth:`KnowledgeBaseBuilder.domain`."""
+
+    def __init__(self, parent: "KnowledgeBaseBuilder", domain: str) -> None:
+        self._parent = parent
+        self._domain = domain
+        self._taxonomy = parent._kb.add_domain(domain)
+
+    # -- taxonomy ----------------------------------------------------------
+
+    def concept(self, term: str, description: str = "") -> "DomainBuilder":
+        self._taxonomy.add_concept(term, description)
+        return self
+
+    def isa(self, specialized: str, *generalized: str) -> "DomainBuilder":
+        """Declare ``specialized`` is-a each of *generalized*."""
+        for parent_term in generalized:
+            self._taxonomy.add_isa(specialized, parent_term)
+        return self
+
+    def chain(self, *terms: str) -> "DomainBuilder":
+        """Most-specific-first specialization chain."""
+        self._taxonomy.add_chain(*terms)
+        return self
+
+    # -- synonyms ------------------------------------------------------------
+
+    def value_synonyms(self, *terms: str, root: str | None = None) -> "DomainBuilder":
+        self._parent._kb.add_value_synonyms(terms, root=root)
+        return self
+
+    def attribute_synonyms(self, *terms: str, root: str | None = None) -> "DomainBuilder":
+        self._parent._kb.add_attribute_synonyms(terms, root=root)
+        return self
+
+    # -- mapping rules -----------------------------------------------------------
+
+    def rule(self, rule: MappingRule) -> "DomainBuilder":
+        self._parent._kb.add_rule(rule)
+        return self
+
+    def computed(
+        self,
+        name: str,
+        output_attribute: str,
+        expression: str,
+        *,
+        mode: OutputMode = OutputMode.AUGMENT,
+        description: str = "",
+    ) -> "DomainBuilder":
+        return self.rule(
+            MappingRule.computed(
+                name,
+                output_attribute,
+                expression,
+                domain=self._domain,
+                mode=mode,
+                description=description,
+            )
+        )
+
+    def equivalence(
+        self,
+        name: str,
+        when: Mapping[str, Value] | Iterable[Predicate],
+        then: Mapping[str, Value],
+        *,
+        mode: OutputMode = OutputMode.AUGMENT,
+        description: str = "",
+    ) -> "DomainBuilder":
+        return self.rule(
+            MappingRule.equivalence(
+                name, when, then, domain=self._domain, mode=mode, description=description
+            )
+        )
+
+    # -- navigation -----------------------------------------------------------------
+
+    def up(self) -> "KnowledgeBaseBuilder":
+        """Return to the knowledge-base scope."""
+        return self._parent
+
+    def domain(self, name: str) -> "DomainBuilder":
+        """Jump straight to a sibling domain."""
+        return self._parent.domain(name)
+
+    def build(self) -> KnowledgeBase:
+        return self._parent.build()
+
+
+class KnowledgeBaseBuilder:
+    """Top-level fluent builder; see the module docstring for usage."""
+
+    def __init__(self, name: str = "kb") -> None:
+        self._kb = KnowledgeBase(name)
+
+    def attribute_synonyms(self, *terms: str, root: str | None = None) -> "KnowledgeBaseBuilder":
+        self._kb.add_attribute_synonyms(terms, root=root)
+        return self
+
+    def value_synonyms(self, *terms: str, root: str | None = None) -> "KnowledgeBaseBuilder":
+        self._kb.add_value_synonyms(terms, root=root)
+        return self
+
+    def domain(self, name: str) -> DomainBuilder:
+        return DomainBuilder(self, name)
+
+    def rule(self, rule: MappingRule) -> "KnowledgeBaseBuilder":
+        self._kb.add_rule(rule)
+        return self
+
+    def merge(self, other: KnowledgeBase) -> "KnowledgeBaseBuilder":
+        self._kb.merge(other)
+        return self
+
+    def build(self) -> KnowledgeBase:
+        return self._kb

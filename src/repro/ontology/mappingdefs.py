@@ -1,0 +1,548 @@
+"""Mapping functions: arbitrary many-to-many semantic relationships.
+
+"A mapping function is a many-to-many function that correlates one or
+more attribute-value pairs to one or more semantically related
+attribute-value pairs … specified by domain experts" (paper §3.1).  The
+paper's example::
+
+    professional_experience = present_date − graduation_year
+
+This module provides three ways for a domain expert to write one:
+
+* :meth:`MappingRule.computed` — an arithmetic expression over event
+  attributes, parsed by the small :class:`Expr` DSL
+  (``"present_year - graduation_year"``).
+* :meth:`MappingRule.equivalence` — declarative "when these pairs are
+  present, also assert those pairs"; the mainframe-developer example
+  becomes ``when {position: "mainframe developer"} then
+  {skill: "COBOL programming"}``.
+* :meth:`MappingRule.function` — an arbitrary Python callable for
+  relationships the DSL cannot express.
+
+Rules declare the attributes they *require*; the mapping stage indexes
+rules by required attribute (a hash structure, per the paper's
+performance design) so only candidate rules are evaluated per event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import MappingRuleError
+from repro.model.attributes import normalize_attribute
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.values import Period, Value, check_value
+
+__all__ = [
+    "Expr",
+    "MappingContext",
+    "MappingRule",
+    "OutputMode",
+    "Requirement",
+]
+
+#: Default evaluation year — the paper's publication year, so its worked
+#: example ("graduated 10 years ago", graduation_year 1993) reproduces
+#: exactly.  Callers override it via :class:`MappingContext`.
+DEFAULT_PRESENT_YEAR = 2003
+
+
+@dataclass(frozen=True)
+class MappingContext:
+    """Ambient inputs available to mapping functions.
+
+    ``present_year`` backs the paper's ``present_date``; ``extra``
+    carries any additional expert-supplied constants, exposed to
+    expressions as variables.
+    """
+
+    present_year: int = DEFAULT_PRESENT_YEAR
+    extra: tuple[tuple[str, Value], ...] = ()
+
+    def variables(self, event: Event) -> dict[str, Value]:
+        """Variable bindings for expression evaluation: event pairs,
+        then extras, then builtins (later wins on collision)."""
+        bindings: dict[str, Value] = dict(event.items())
+        bindings.update(dict(self.extra))
+        bindings["present_year"] = self.present_year
+        bindings["present_date"] = self.present_year
+        return bindings
+
+
+class _MissingInput(Exception):
+    """Internal: expression referenced a variable absent from the event."""
+
+
+# ---------------------------------------------------------------------------
+# Expression DSL
+# ---------------------------------------------------------------------------
+
+_FUNCTIONS: dict[str, tuple[int, Callable[..., Value]]] = {}
+
+
+def _function(name: str, arity: int):
+    def register(fn: Callable[..., Value]):
+        _FUNCTIONS[name] = (arity, fn)
+        return fn
+
+    return register
+
+
+@_function("abs", 1)
+def _fn_abs(ctx: MappingContext, x: Value) -> Value:
+    return abs(_as_number(x))
+
+
+@_function("min", 2)
+def _fn_min(ctx: MappingContext, a: Value, b: Value) -> Value:
+    return min(_as_number(a), _as_number(b))
+
+
+@_function("max", 2)
+def _fn_max(ctx: MappingContext, a: Value, b: Value) -> Value:
+    return max(_as_number(a), _as_number(b))
+
+
+@_function("duration", 1)
+def _fn_duration(ctx: MappingContext, p: Value) -> Value:
+    if not isinstance(p, Period):
+        raise _MissingInput("duration() requires a period value")
+    return p.duration(ctx.present_year)
+
+
+@_function("start", 1)
+def _fn_start(ctx: MappingContext, p: Value) -> Value:
+    if not isinstance(p, Period):
+        raise _MissingInput("start() requires a period value")
+    return p.start
+
+
+@_function("end", 1)
+def _fn_end(ctx: MappingContext, p: Value) -> Value:
+    if not isinstance(p, Period):
+        raise _MissingInput("end() requires a period value")
+    return p.closed_end(ctx.present_year)
+
+
+@_function("years_since", 1)
+def _fn_years_since(ctx: MappingContext, year: Value) -> Value:
+    return ctx.present_year - _as_number(year)
+
+
+def _as_number(value: Value) -> int | float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _MissingInput(f"expected a number, got {value!r}")
+    return value
+
+
+_TOKEN_OPS = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+class Expr:
+    """A parsed arithmetic expression over event attributes.
+
+    Supports ``+ - * /``, unary minus, parentheses, numeric literals,
+    attribute/context identifiers, and the function set
+    ``abs, min, max, duration, start, end, years_since``.
+
+    >>> Expr.parse("present_year - graduation_year").evaluate(
+    ...     MappingContext(2003).variables(Event({"graduation_year": 1993})),
+    ...     MappingContext(2003))
+    10
+    """
+
+    __slots__ = ("text", "_rpn", "_variables")
+
+    def __init__(self, text: str, rpn: list, variables: frozenset[str]):
+        self.text = text
+        self._rpn = rpn
+        self._variables = variables
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """Identifiers the expression reads (before builtin resolution)."""
+        return self._variables
+
+    # -- parsing (tokenize + shunting-yard) -----------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Expr":
+        tokens = cls._tokenize(text)
+        rpn = cls._to_rpn(tokens, text)
+        variables = frozenset(
+            tok[1] for tok in rpn if tok[0] == "var"
+        )
+        return cls(text, rpn, variables)
+
+    @staticmethod
+    def _tokenize(text: str) -> list[tuple[str, object]]:
+        tokens: list[tuple[str, object]] = []
+        i, n = 0, len(text)
+        while i < n:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+            elif ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+                j = i
+                while j < n and (text[j].isdigit() or text[j] == "."):
+                    j += 1
+                literal = text[i:j]
+                try:
+                    number: Value = int(literal) if "." not in literal else float(literal)
+                except ValueError as exc:
+                    raise MappingRuleError(f"bad number {literal!r} in {text!r}") from exc
+                tokens.append(("num", number))
+                i = j
+            elif ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                tokens.append(("name", text[i:j].lower()))
+                i = j
+            elif ch in "+-*/(),":
+                tokens.append(("op", ch))
+                i += 1
+            else:
+                raise MappingRuleError(f"unexpected character {ch!r} in expression {text!r}")
+        return tokens
+
+    @staticmethod
+    def _to_rpn(tokens: list[tuple[str, object]], text: str) -> list:
+        output: list = []
+        stack: list = []
+        prev_kind: str | None = None
+        for kind, value in tokens:
+            if kind == "num":
+                output.append(("num", value))
+            elif kind == "name":
+                if value in _FUNCTIONS:
+                    stack.append(("fn", value))
+                else:
+                    output.append(("var", value))
+            elif value == "(":
+                stack.append(("op", "("))
+            elif value == ")":
+                while stack and stack[-1] != ("op", "("):
+                    output.append(stack.pop())
+                if not stack:
+                    raise MappingRuleError(f"unbalanced ')' in {text!r}")
+                stack.pop()
+                if stack and stack[-1][0] == "fn":
+                    output.append(stack.pop())
+            elif value == ",":
+                while stack and stack[-1] != ("op", "("):
+                    output.append(stack.pop())
+                if not stack:
+                    raise MappingRuleError(f"misplaced ',' in {text!r}")
+            else:  # arithmetic operator
+                op = str(value)
+                if op == "-" and prev_kind in (None, "op"):
+                    op = "neg"
+                    precedence = 3
+                else:
+                    precedence = _TOKEN_OPS[op]
+                while (
+                    stack
+                    and stack[-1][0] == "op"
+                    and stack[-1][1] not in ("(",)
+                    and _precedence(stack[-1][1]) >= precedence
+                ):
+                    output.append(stack.pop())
+                stack.append(("op", op))
+            prev_kind = "op" if (kind == "op" and value not in (")",)) else "operand"
+        while stack:
+            top = stack.pop()
+            if top == ("op", "("):
+                raise MappingRuleError(f"unbalanced '(' in {text!r}")
+            output.append(top)
+        if not output:
+            raise MappingRuleError(f"empty expression {text!r}")
+        return output
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, bindings: Mapping[str, Value], context: MappingContext) -> Value:
+        """Evaluate against variable *bindings*; raises
+        :class:`MappingRuleError` for structural errors and the internal
+        missing-input signal when a referenced attribute is absent."""
+        stack: list[Value] = []
+        for kind, value in self._rpn:
+            if kind == "num":
+                stack.append(value)  # type: ignore[arg-type]
+            elif kind == "var":
+                if value not in bindings:
+                    raise _MissingInput(str(value))
+                stack.append(bindings[value])  # type: ignore[index]
+            elif kind == "fn":
+                arity, fn = _FUNCTIONS[value]  # type: ignore[index]
+                if len(stack) < arity:
+                    raise MappingRuleError(f"function {value!r} missing arguments")
+                args = [stack.pop() for _ in range(arity)][::-1]
+                stack.append(fn(context, *args))
+            else:  # operator
+                if value == "neg":
+                    stack.append(-_as_number(stack.pop()))
+                    continue
+                if len(stack) < 2:
+                    raise MappingRuleError(f"operator {value!r} missing operands")
+                b, a = _as_number(stack.pop()), _as_number(stack.pop())
+                if value == "+":
+                    stack.append(a + b)
+                elif value == "-":
+                    stack.append(a - b)
+                elif value == "*":
+                    stack.append(a * b)
+                else:
+                    if b == 0:
+                        raise _MissingInput("division by zero")
+                    stack.append(a / b)
+        if len(stack) != 1:
+            raise MappingRuleError(f"malformed expression {self.text!r}")
+        result = stack[0]
+        if isinstance(result, float) and result.is_integer():
+            return int(result)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Expr({self.text!r})"
+
+
+def _precedence(op: object) -> int:
+    if op == "neg":
+        return 3
+    return _TOKEN_OPS.get(str(op), 0)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+class OutputMode(enum.Enum):
+    """What a rule's outputs do to the source event.
+
+    ``AUGMENT`` keeps the original pairs and adds the outputs (the
+    original facts still hold — the paper's derived events accumulate).
+    ``REPLACE`` drops the required input attributes first (pure
+    rewrites, e.g. unit conversions).
+    """
+
+    AUGMENT = "augment"
+    REPLACE = "replace"
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One input slot of a mapping rule: an attribute that must be
+    present, optionally guarded by a predicate on its value."""
+
+    attribute: str
+    predicate: Predicate | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attribute", normalize_attribute(self.attribute))
+        if self.predicate is not None and self.predicate.attribute != self.attribute:
+            raise MappingRuleError(
+                f"guard predicate {self.predicate} is over "
+                f"{self.predicate.attribute!r}, not {self.attribute!r}"
+            )
+
+    def satisfied_by(self, event: Event) -> bool:
+        if self.attribute not in event:
+            return False
+        if self.predicate is None:
+            return True
+        return self.predicate.evaluate(event[self.attribute])
+
+
+#: A rule output value: a constant, an expression, or a callable
+#: ``(event, context) -> Value``.
+ValueProducer = object
+
+
+@dataclass(frozen=True)
+class MappingRule:
+    """An immutable mapping-function definition.
+
+    Use the classmethod factories (:meth:`computed`,
+    :meth:`equivalence`, :meth:`function`) rather than the constructor.
+    """
+
+    name: str
+    requires: tuple[Requirement, ...]
+    outputs: tuple[tuple[str, ValueProducer], ...] = ()
+    fn: Callable[[Event, MappingContext], Iterable[tuple[str, Value]] | None] | None = None
+    mode: OutputMode = OutputMode.AUGMENT
+    domain: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MappingRuleError("mapping rules must be named")
+        if not self.requires:
+            raise MappingRuleError(f"rule {self.name!r} requires at least one input attribute")
+        if not self.outputs and self.fn is None:
+            raise MappingRuleError(f"rule {self.name!r} produces nothing")
+        if self.outputs and self.fn is not None:
+            raise MappingRuleError(
+                f"rule {self.name!r} must use either declarative outputs or a function, not both"
+            )
+
+    # -- factories ---------------------------------------------------------------
+
+    @classmethod
+    def computed(
+        cls,
+        name: str,
+        output_attribute: str,
+        expression: str | Expr,
+        *,
+        requires: Iterable[str | Requirement] = (),
+        domain: str = "",
+        mode: OutputMode = OutputMode.AUGMENT,
+        description: str = "",
+    ) -> "MappingRule":
+        """An arithmetic rule: ``output_attribute = expression``.
+
+        Required attributes default to the expression's variables that
+        are not context builtins, so
+        ``computed("exp", "professional_experience",
+        "present_year - graduation_year")`` requires
+        ``graduation_year`` automatically.
+        """
+        expr = expression if isinstance(expression, Expr) else Expr.parse(expression)
+        reqs = [r if isinstance(r, Requirement) else Requirement(r) for r in requires]
+        if not reqs:
+            builtin = {"present_year", "present_date"}
+            reqs = [
+                Requirement(var)
+                for var in sorted(expr.variables - builtin)
+            ]
+        return cls(
+            name=name,
+            requires=tuple(reqs),
+            outputs=((normalize_attribute(output_attribute), expr),),
+            domain=domain,
+            mode=mode,
+            description=description or f"{output_attribute} = {expr.text}",
+        )
+
+    @classmethod
+    def equivalence(
+        cls,
+        name: str,
+        when: Mapping[str, Value] | Iterable[Predicate],
+        then: Mapping[str, Value],
+        *,
+        domain: str = "",
+        mode: OutputMode = OutputMode.AUGMENT,
+        description: str = "",
+    ) -> "MappingRule":
+        """A declarative rule: when the *when* pairs/predicates hold,
+        assert the constant *then* pairs."""
+        reqs: list[Requirement] = []
+        if isinstance(when, Mapping):
+            for attr, value in when.items():
+                reqs.append(Requirement(attr, Predicate.eq(attr, value)))
+        else:
+            for predicate in when:
+                reqs.append(Requirement(predicate.attribute, predicate))
+        outputs = tuple(
+            (normalize_attribute(attr), check_value(value)) for attr, value in then.items()
+        )
+        if not outputs:
+            raise MappingRuleError(f"rule {name!r} has an empty 'then' clause")
+        return cls(
+            name=name,
+            requires=tuple(reqs),
+            outputs=outputs,
+            domain=domain,
+            mode=mode,
+            description=description,
+        )
+
+    @classmethod
+    def function(
+        cls,
+        name: str,
+        requires: Iterable[str | Requirement],
+        fn: Callable[[Event, MappingContext], Iterable[tuple[str, Value]] | None],
+        *,
+        domain: str = "",
+        mode: OutputMode = OutputMode.AUGMENT,
+        description: str = "",
+    ) -> "MappingRule":
+        """An arbitrary-callable rule; *fn* returns output pairs, or
+        ``None``/empty to decline."""
+        reqs = tuple(r if isinstance(r, Requirement) else Requirement(r) for r in requires)
+        if not reqs:
+            raise MappingRuleError(f"function rule {name!r} must declare required attributes")
+        return cls(name=name, requires=reqs, fn=fn, domain=domain, mode=mode,
+                   description=description)
+
+    # -- application ----------------------------------------------------------------
+
+    @property
+    def trigger_attributes(self) -> frozenset[str]:
+        """Attributes whose presence makes this rule a candidate — the
+        hash-index key of the mapping stage."""
+        return frozenset(req.attribute for req in self.requires)
+
+    def applicable(self, event: Event) -> bool:
+        """Whether every required input is present and passes its guard."""
+        return all(req.satisfied_by(event) for req in self.requires)
+
+    def produce(self, event: Event, context: MappingContext) -> tuple[tuple[str, Value], ...] | None:
+        """Compute the output pairs for *event*, or ``None`` when the
+        rule declines (inapplicable, missing inputs, or an evaluation
+        dead-end such as a type mismatch)."""
+        if not self.applicable(event):
+            return None
+        if self.fn is not None:
+            produced = self.fn(event, context)
+            if not produced:
+                return None
+            return tuple(
+                (normalize_attribute(attr), check_value(value)) for attr, value in produced
+            )
+        bindings: dict[str, Value] | None = None
+        results: list[tuple[str, Value]] = []
+        for attr, producer in self.outputs:
+            if isinstance(producer, Expr):
+                if bindings is None:
+                    bindings = context.variables(event)
+                try:
+                    value = producer.evaluate(bindings, context)
+                except _MissingInput:
+                    return None
+            elif callable(producer):
+                value = producer(event, context)
+                if value is None:
+                    return None
+            else:
+                value = producer  # constant
+            results.append((attr, check_value(value)))
+        return tuple(results)
+
+    def apply(self, event: Event, context: MappingContext) -> Event | None:
+        """Derive a new event from *event*, or ``None`` when the rule
+        declines or would produce an identical event."""
+        produced = self.produce(event, context)
+        if produced is None:
+            return None
+        if self.mode is OutputMode.REPLACE:
+            base = event
+            for req in self.requires:
+                base = base.without(req.attribute)
+            derived = base.with_pairs(produced)
+        else:
+            derived = event.with_pairs(produced)
+        if derived == event:
+            return None
+        return derived
+
+    def __str__(self) -> str:
+        inputs = ", ".join(str(r.predicate) if r.predicate else r.attribute for r in self.requires)
+        return f"MappingRule({self.name}: [{inputs}] -> {len(self.outputs) or 'fn'})"

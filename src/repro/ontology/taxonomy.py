@@ -1,0 +1,294 @@
+"""Concept hierarchies: specialization/generalization DAGs.
+
+"Taxonomies represent a way of organizing ontological knowledge using
+specialization and generalization relationships between different
+concepts … more general terms are higher up in the hierarchy and are
+linked to more specialized terms situated lower" (paper §3.1).
+
+A :class:`Taxonomy` is a rooted-or-forest DAG over :class:`Concept`
+nodes with *is-a* edges from the specialized child to the generalized
+parent.  Multiple parents are allowed (a "station wagon" is-a "car" and
+is-a "family vehicle"), cycles are rejected at insertion time, and all
+upward/downward traversals report the *minimum* hop distance — the
+"level of match generality" that the tolerance knob bounds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.errors import (
+    DuplicateConceptError,
+    TaxonomyCycleError,
+    UnknownConceptError,
+)
+from repro.ontology.concepts import Concept, normalize_term, term_key
+
+__all__ = ["Taxonomy"]
+
+
+class Taxonomy:
+    """A single domain's concept hierarchy.
+
+    All term arguments accept any spelling variant; results are reported
+    in canonical display form.  The structure is append-only (concepts
+    and edges can be added, not removed) which keeps derived caches in
+    the semantic stages simple to invalidate: they key on
+    :attr:`version`, bumped on every mutation.
+    """
+
+    def __init__(self, domain: str = "") -> None:
+        self.domain = domain
+        self._concepts: dict[str, Concept] = {}
+        self._parents: dict[str, set[str]] = {}
+        self._children: dict[str, set[str]] = {}
+        self.version = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def add_concept(self, term: str, description: str = "") -> Concept:
+        """Register a concept; re-registering the same key is a no-op and
+        returns the existing node (first spelling wins)."""
+        key = term_key(term)
+        existing = self._concepts.get(key)
+        if existing is not None:
+            return existing
+        concept = Concept(normalize_term(term), key, self.domain, description)
+        self._concepts[key] = concept
+        self._parents[key] = set()
+        self._children[key] = set()
+        self.version += 1
+        return concept
+
+    def add_isa(self, specialized: str, generalized: str) -> None:
+        """Add an is-a edge: *specialized* is a kind of *generalized*.
+
+        Both concepts are auto-registered.  Raises
+        :class:`~repro.errors.TaxonomyCycleError` if the edge would make
+        the hierarchy cyclic, and
+        :class:`~repro.errors.DuplicateConceptError` for self-loops.
+        """
+        child = self.add_concept(specialized)
+        parent = self.add_concept(generalized)
+        if child.key == parent.key:
+            raise DuplicateConceptError(
+                f"concept {child.term!r} cannot be its own generalization"
+            )
+        if parent.key in self._parents[child.key]:
+            return
+        if self._reaches(parent.key, child.key):
+            raise TaxonomyCycleError(
+                f"edge {child.term!r} -> {parent.term!r} would create a cycle"
+            )
+        self._parents[child.key].add(parent.key)
+        self._children[parent.key].add(child.key)
+        self.version += 1
+
+    def add_chain(self, *terms: str) -> None:
+        """Convenience: ``add_chain("sedan", "car", "vehicle")`` declares
+        each term a specialization of the next."""
+        for specialized, generalized in zip(terms, terms[1:]):
+            self.add_isa(specialized, generalized)
+
+    def _reaches(self, start_key: str, target_key: str) -> bool:
+        """Whether *target* is reachable walking upward from *start*."""
+        if start_key == target_key:
+            return True
+        stack, seen = [start_key], {start_key}
+        while stack:
+            node = stack.pop()
+            for parent in self._parents.get(node, ()):
+                if parent == target_key:
+                    return True
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return False
+
+    # -- lookup ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __contains__(self, term: str) -> bool:
+        try:
+            return term_key(term) in self._concepts
+        except Exception:
+            return False
+
+    def __iter__(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    def concept(self, term: str) -> Concept:
+        try:
+            return self._concepts[term_key(term)]
+        except KeyError:
+            raise UnknownConceptError(
+                f"term {term!r} is not in the {self.domain or 'anonymous'} taxonomy"
+            ) from None
+
+    def canonical(self, term: str) -> str:
+        """Canonical display spelling of *term*."""
+        return self.concept(term).term
+
+    def terms(self) -> tuple[str, ...]:
+        return tuple(c.term for c in self._concepts.values())
+
+    def parents(self, term: str) -> tuple[str, ...]:
+        """Immediate generalizations, canonical spelling."""
+        node = self.concept(term)
+        return tuple(sorted(self._concepts[k].term for k in self._parents[node.key]))
+
+    def children(self, term: str) -> tuple[str, ...]:
+        """Immediate specializations, canonical spelling."""
+        node = self.concept(term)
+        return tuple(sorted(self._concepts[k].term for k in self._children[node.key]))
+
+    def roots(self) -> tuple[str, ...]:
+        """Concepts without generalizations (hierarchy tops)."""
+        return tuple(
+            sorted(c.term for k, c in self._concepts.items() if not self._parents[k])
+        )
+
+    def leaves(self) -> tuple[str, ...]:
+        """Concepts without specializations."""
+        return tuple(
+            sorted(c.term for k, c in self._concepts.items() if not self._children[k])
+        )
+
+    # -- traversal -------------------------------------------------------------------
+
+    def _walk(
+        self, term: str, edges: dict[str, set[str]], max_distance: int | None
+    ) -> dict[str, int]:
+        start = self.concept(term)
+        distances: dict[str, int] = {}
+        queue: deque[tuple[str, int]] = deque([(start.key, 0)])
+        seen = {start.key: 0}
+        while queue:
+            key, dist = queue.popleft()
+            if max_distance is not None and dist >= max_distance:
+                continue
+            for nxt in edges.get(key, ()):
+                if nxt not in seen or seen[nxt] > dist + 1:
+                    seen[nxt] = dist + 1
+                    distances[self._concepts[nxt].term] = dist + 1
+                    queue.append((nxt, dist + 1))
+        return distances
+
+    def ancestors(self, term: str, max_distance: int | None = None) -> dict[str, int]:
+        """All generalizations with their minimum upward hop distance.
+
+        ``max_distance`` bounds the walk (the tolerance knob); the term
+        itself is not included.
+        """
+        return self._walk(term, self._parents, max_distance)
+
+    def descendants(self, term: str, max_distance: int | None = None) -> dict[str, int]:
+        """All specializations with minimum downward hop distance."""
+        return self._walk(term, self._children, max_distance)
+
+    def is_generalization_of(self, general: str, specific: str) -> bool:
+        """Paper rule R1's test: is *general* an ancestor of *specific*?"""
+        try:
+            g, s = self.concept(general), self.concept(specific)
+        except UnknownConceptError:
+            return False
+        return self._reaches(s.key, g.key) and g.key != s.key
+
+    def generalization_distance(self, specific: str, general: str) -> int | None:
+        """Minimum upward hops from *specific* to *general*; ``None`` if
+        *general* is not an ancestor.  Distance 0 means the same concept."""
+        s = self.concept(specific)
+        g = self.concept(general)
+        if s.key == g.key:
+            return 0
+        return self.ancestors(specific).get(g.term)
+
+    def depth(self) -> int:
+        """Length of the longest is-a chain in the hierarchy."""
+        memo: dict[str, int] = {}
+
+        def height(key: str) -> int:
+            if key in memo:
+                return memo[key]
+            memo[key] = 0  # cycle guard (structure is acyclic by construction)
+            parents = self._parents[key]
+            result = 0 if not parents else 1 + max(height(p) for p in parents)
+            memo[key] = result
+            return result
+
+        return max((height(k) for k in self._concepts), default=0)
+
+    def lowest_common_ancestor(self, a: str, b: str) -> str | None:
+        """A nearest common generalization of *a* and *b* (canonical
+        spelling), or ``None`` when the two share no ancestor.  Ties on
+        combined distance break alphabetically for determinism."""
+        up_a = self.ancestors(a)
+        up_a[self.canonical(a)] = 0
+        up_b = self.ancestors(b)
+        up_b[self.canonical(b)] = 0
+        common = set(up_a) & set(up_b)
+        if not common:
+            return None
+        return min(common, key=lambda t: (up_a[t] + up_b[t], t))
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def merge(self, other: "Taxonomy") -> None:
+        """Union another taxonomy's concepts and edges into this one."""
+        for concept in other:
+            self.add_concept(concept.term, concept.description)
+        for concept in other:
+            for parent in other.parents(concept.term):
+                self.add_isa(concept.term, parent)
+
+    def validate(self) -> list[str]:
+        """Structural diagnostics (empty = healthy).  The invariants are
+        enforced at construction; this re-checks them for tests."""
+        problems: list[str] = []
+        for key, parents in self._parents.items():
+            for parent in parents:
+                if parent not in self._concepts:
+                    problems.append(f"dangling parent {parent!r} of {key!r}")
+                if key not in self._children.get(parent, set()):
+                    problems.append(f"asymmetric edge {key!r} -> {parent!r}")
+        # cycle check via DFS coloring
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = dict.fromkeys(self._concepts, WHITE)
+
+        def dfs(node: str) -> bool:
+            color[node] = GRAY
+            for parent in self._parents[node]:
+                if color[parent] == GRAY:
+                    return False
+                if color[parent] == WHITE and not dfs(parent):
+                    return False
+            color[node] = BLACK
+            return True
+
+        for node in self._concepts:
+            if color[node] == WHITE and not dfs(node):
+                problems.append(f"cycle reachable from {node!r}")
+                break
+        return problems
+
+    def stats(self) -> dict[str, int]:
+        """Size metrics used by the taxonomy-shape ablation (A3)."""
+        edge_count = sum(len(p) for p in self._parents.values())
+        return {
+            "concepts": len(self._concepts),
+            "edges": edge_count,
+            "roots": len(self.roots()),
+            "leaves": len(self.leaves()),
+            "depth": self.depth(),
+        }
+
+    @classmethod
+    def from_chains(cls, domain: str, chains: Iterable[Iterable[str]]) -> "Taxonomy":
+        """Build from specialization chains, most specific first."""
+        taxonomy = cls(domain)
+        for chain in chains:
+            taxonomy.add_chain(*chain)
+        return taxonomy

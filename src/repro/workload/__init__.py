@@ -1,0 +1,48 @@
+"""Workload substrate: seeded distributions, synthetic and
+knowledge-base-driven pub/sub generators, the job-finder demonstration
+scenario, and trace record/replay (paper §4's workload generator)."""
+
+from repro.workload.distributions import (
+    BernoulliSampler,
+    GaussianIntSampler,
+    IntRangeSampler,
+    UniformSampler,
+    WeightedSampler,
+    ZipfSampler,
+    zipf_weights,
+)
+from repro.workload.generator import (
+    SemanticSpec,
+    SemanticWorkloadGenerator,
+    SyntheticSpec,
+    SyntheticWorkloadGenerator,
+)
+from repro.workload.jobfinder import (
+    Candidate,
+    Company,
+    JobFinderScenario,
+    JobFinderSpec,
+    ScenarioReport,
+)
+from repro.workload.trace import Trace, TraceOp
+
+__all__ = [
+    "zipf_weights",
+    "ZipfSampler",
+    "UniformSampler",
+    "WeightedSampler",
+    "IntRangeSampler",
+    "GaussianIntSampler",
+    "BernoulliSampler",
+    "SyntheticSpec",
+    "SyntheticWorkloadGenerator",
+    "SemanticSpec",
+    "SemanticWorkloadGenerator",
+    "JobFinderSpec",
+    "JobFinderScenario",
+    "Company",
+    "Candidate",
+    "ScenarioReport",
+    "Trace",
+    "TraceOp",
+]

@@ -1,0 +1,340 @@
+"""Random subscription/publication generators.
+
+Two generators cover the evaluation's needs:
+
+* :class:`SyntheticWorkloadGenerator` — schema-free synthetic pub/sub
+  load (integer/string attribute universes, Zipf-skewed values,
+  controllable operator mix).  Used to scale the *syntactic* matchers
+  (experiment A1) exactly as the content-based matching literature
+  does.
+* :class:`SemanticWorkloadGenerator` — knowledge-base-driven load: event
+  values are drawn from taxonomy *leaves* (publications are concrete),
+  subscription values climb to ancestors with a configurable
+  *generality bias* (companies ask for "graduate degree", candidates
+  hold "PhD"), and attribute spellings are replaced by synonyms with a
+  configurable probability (publishers and subscribers "do not
+  necessarily speak the same language", paper §1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.workload.distributions import ZipfSampler
+
+__all__ = [
+    "SyntheticSpec",
+    "SyntheticWorkloadGenerator",
+    "SemanticSpec",
+    "SemanticWorkloadGenerator",
+]
+
+
+# ---------------------------------------------------------------------------
+# Synthetic (schema-free) workload
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of the synthetic workload.
+
+    ``equality_ratio`` splits subscription predicates between EQ and
+    ordering/range operators; ``value_skew`` is the Zipf exponent of
+    value popularity (0 = uniform).
+    """
+
+    n_attributes: int = 20
+    values_per_attribute: int = 50
+    string_value_ratio: float = 0.3
+    predicates_per_subscription: tuple[int, int] = (1, 4)
+    pairs_per_event: tuple[int, int] = (2, 6)
+    equality_ratio: float = 0.6
+    value_skew: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_attributes < 1 or self.values_per_attribute < 1:
+            raise WorkloadError("attribute/value universe must be non-empty")
+        lo, hi = self.predicates_per_subscription
+        if lo < 0 or hi < lo:
+            raise WorkloadError("bad predicates_per_subscription range")
+        lo, hi = self.pairs_per_event
+        if lo < 1 or hi < lo:
+            raise WorkloadError("bad pairs_per_event range")
+        if not 0.0 <= self.equality_ratio <= 1.0:
+            raise WorkloadError("equality_ratio must be in [0, 1]")
+        if not 0.0 <= self.string_value_ratio <= 1.0:
+            raise WorkloadError("string_value_ratio must be in [0, 1]")
+
+
+class SyntheticWorkloadGenerator:
+    """Seeded generator over a synthetic attribute universe."""
+
+    def __init__(self, spec: SyntheticSpec | None = None) -> None:
+        self.spec = spec if spec is not None else SyntheticSpec()
+        self._rng = random.Random(self.spec.seed)
+        self._attributes = [f"attr{i}" for i in range(self.spec.n_attributes)]
+        n_string = int(self.spec.n_attributes * self.spec.string_value_ratio)
+        self._string_attrs = set(self._attributes[:n_string])
+        self._int_values = list(range(self.spec.values_per_attribute))
+        self._str_values = [f"value{i}" for i in range(self.spec.values_per_attribute)]
+        self._int_sampler = ZipfSampler(self._int_values, self.spec.value_skew, rng=self._rng)
+        self._str_sampler = ZipfSampler(self._str_values, self.spec.value_skew, rng=self._rng)
+        self._sub_counter = 0
+        self._event_counter = 0
+
+    def _value_for(self, attribute: str):
+        if attribute in self._string_attrs:
+            return self._str_sampler.sample()
+        return self._int_sampler.sample()
+
+    def _predicate_for(self, attribute: str) -> Predicate:
+        rng = self._rng
+        value = self._value_for(attribute)
+        if isinstance(value, str) or rng.random() < self.spec.equality_ratio:
+            return Predicate.eq(attribute, value)
+        roll = rng.random()
+        if roll < 0.35:
+            return Predicate.ge(attribute, value)
+        if roll < 0.7:
+            return Predicate.le(attribute, value)
+        if roll < 0.9:
+            low = value
+            high = min(low + rng.randint(1, 10), self.spec.values_per_attribute)
+            return Predicate.between(attribute, low, high)
+        return Predicate.ne(attribute, value)
+
+    def subscription(self) -> Subscription:
+        lo, hi = self.spec.predicates_per_subscription
+        count = self._rng.randint(lo, hi)
+        attributes = self._rng.sample(self._attributes, min(count, len(self._attributes)))
+        self._sub_counter += 1
+        return Subscription(
+            [self._predicate_for(attribute) for attribute in attributes],
+            sub_id=f"syn-s{self._sub_counter}",
+        )
+
+    def event(self) -> Event:
+        lo, hi = self.spec.pairs_per_event
+        count = self._rng.randint(lo, hi)
+        attributes = self._rng.sample(self._attributes, min(count, len(self._attributes)))
+        self._event_counter += 1
+        return Event(
+            [(attribute, self._value_for(attribute)) for attribute in attributes],
+            event_id=f"syn-e{self._event_counter}",
+        )
+
+    def subscriptions(self, n: int) -> list[Subscription]:
+        return [self.subscription() for _ in range(n)]
+
+    def events(self, n: int) -> list[Event]:
+        return [self.event() for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Semantic (knowledge-base-driven) workload
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SemanticSpec:
+    """Parameters of the knowledge-base-driven workload.
+
+    ``term_attributes`` maps each attribute to the taxonomy subtree its
+    values are drawn from: ``("degree", "degree")`` draws degree values
+    from the leaves under the "degree" concept.  ``numeric_attributes``
+    are ``(name, low, high)`` integer ranges.  ``generality_bias`` is
+    the probability that a subscription asks for an *ancestor* of the
+    concrete term a publication would carry; ``synonym_spelling_prob``
+    is the probability a publication spells an attribute with a
+    non-root synonym.
+    """
+
+    domain: str
+    term_attributes: tuple[tuple[str, str], ...]
+    numeric_attributes: tuple[tuple[str, int, int], ...] = ()
+    predicates_per_subscription: tuple[int, int] = (1, 3)
+    pairs_per_event: tuple[int, int] = (2, 5)
+    generality_bias: float = 0.5
+    synonym_spelling_prob: float = 0.5
+    value_synonym_prob: float = 0.25
+    value_skew: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.term_attributes:
+            raise WorkloadError("term_attributes must be non-empty")
+        for probability in (
+            self.generality_bias,
+            self.synonym_spelling_prob,
+            self.value_synonym_prob,
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise WorkloadError("probabilities must be in [0, 1]")
+
+    @classmethod
+    def jobs(cls, **overrides) -> "SemanticSpec":
+        """The job-finder domain defaults."""
+        defaults = dict(
+            domain="jobs",
+            term_attributes=(
+                ("degree", "degree"),
+                ("position", "employee"),
+                ("skill", "engineering skill"),
+                ("university", "university"),
+            ),
+            numeric_attributes=(
+                ("graduation_year", 1970, 2002),
+                ("salary", 30000, 150000),
+            ),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def vehicles(cls, **overrides) -> "SemanticSpec":
+        defaults = dict(
+            domain="vehicles",
+            term_attributes=(("body_style", "vehicle"),),
+            numeric_attributes=(("price", 2000, 80000), ("year", 1960, 2003)),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+class SemanticWorkloadGenerator:
+    """Generates semantically related (but syntactically divergent)
+    subscription/publication pairs from a knowledge base."""
+
+    def __init__(self, kb: KnowledgeBase, spec: SemanticSpec) -> None:
+        self.kb = kb
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        taxonomy = kb.taxonomy(spec.domain)
+        self._taxonomy = taxonomy
+        self._leaf_samplers: dict[str, ZipfSampler] = {}
+        self._attribute_spellings: dict[str, list[str]] = {}
+        for attribute, subtree_root in spec.term_attributes:
+            if subtree_root not in taxonomy:
+                raise WorkloadError(
+                    f"subtree root {subtree_root!r} is not in domain {spec.domain!r}"
+                )
+            leaves = [
+                leaf
+                for leaf in taxonomy.leaves()
+                if taxonomy.generalization_distance(leaf, subtree_root) is not None
+            ]
+            if not leaves:
+                raise WorkloadError(
+                    f"no leaves under {subtree_root!r} in domain {spec.domain!r}"
+                )
+            self._leaf_samplers[attribute] = ZipfSampler(
+                leaves, spec.value_skew, rng=self._rng
+            )
+            group = [attribute]
+            for spelling in sorted(kb.attribute_synonyms_of(attribute)):
+                if spelling != attribute:
+                    group.append(spelling)
+            self._attribute_spellings[attribute] = group
+        self._sub_counter = 0
+        self._event_counter = 0
+
+    # -- term machinery ------------------------------------------------------------
+
+    def _concrete_term(self, attribute: str) -> str:
+        return self._leaf_samplers[attribute].sample()
+
+    def _generalize(self, term: str) -> str:
+        """With probability ``generality_bias``, replace a concrete term
+        with one of its ancestors (uniformly by distance)."""
+        if self._rng.random() >= self.spec.generality_bias:
+            return term
+        ancestors = self._taxonomy.ancestors(term)
+        if not ancestors:
+            return term
+        return self._rng.choice(sorted(ancestors))
+
+    def _event_spelling(self, root_attribute: str) -> str:
+        spellings = self._attribute_spellings.get(root_attribute, [root_attribute])
+        if len(spellings) > 1 and self._rng.random() < self.spec.synonym_spelling_prob:
+            return self._rng.choice(spellings[1:])
+        return root_attribute
+
+    def _value_spelling(self, term: str) -> str:
+        if self._rng.random() >= self.spec.value_synonym_prob:
+            return term
+        equivalents = sorted(self.kb.value_equivalents(term) - {term})
+        if not equivalents:
+            return term
+        return self._rng.choice(equivalents)
+
+    # -- generation --------------------------------------------------------------------
+
+    def subscription(self, *, max_generality: int | None = None) -> Subscription:
+        """A company-style subscription over root attributes (the web
+        form normalizes spelling on the subscriber side)."""
+        rng = self._rng
+        spec = self.spec
+        lo, hi = spec.predicates_per_subscription
+        count = rng.randint(lo, hi)
+        predicates: list[Predicate] = []
+        term_attrs = [attribute for attribute, _ in spec.term_attributes]
+        rng.shuffle(term_attrs)
+        for attribute in term_attrs[: max(1, count - 1)]:
+            predicates.append(
+                Predicate.eq(attribute, self._generalize(self._concrete_term(attribute)))
+            )
+        if len(predicates) < count and spec.numeric_attributes:
+            name, low, high = rng.choice(spec.numeric_attributes)
+            pivot = rng.randint(low, high)
+            predicates.append(
+                Predicate.ge(name, pivot)
+                if rng.random() < 0.5
+                else Predicate.le(name, pivot)
+            )
+        self._sub_counter += 1
+        return Subscription(
+            predicates,
+            sub_id=f"sem-s{self._sub_counter}",
+            max_generality=max_generality,
+        )
+
+    def event(self) -> Event:
+        """A publication carrying concrete leaf terms under (possibly)
+        synonym attribute spellings."""
+        rng = self._rng
+        spec = self.spec
+        lo, hi = spec.pairs_per_event
+        count = rng.randint(lo, hi)
+        pairs: list[tuple[str, object]] = []
+        term_attrs = [attribute for attribute, _ in spec.term_attributes]
+        rng.shuffle(term_attrs)
+        for attribute in term_attrs[: max(1, count - 1)]:
+            spelling = self._event_spelling(attribute)
+            pairs.append((spelling, self._value_spelling(self._concrete_term(attribute))))
+        for name, low, high in spec.numeric_attributes:
+            if len(pairs) >= count:
+                break
+            pairs.append((name, rng.randint(low, high)))
+        self._event_counter += 1
+        return Event(pairs, event_id=f"sem-e{self._event_counter}")
+
+    def subscriptions(self, n: int, **kwargs) -> list[Subscription]:
+        return [self.subscription(**kwargs) for _ in range(n)]
+
+    def events(self, n: int) -> list[Event]:
+        return [self.event() for _ in range(n)]
+
+    def stream(self, n_subscriptions: int, n_events: int) -> Iterator[tuple[str, object]]:
+        """An interleaved op stream: all subscriptions first (steady
+        state), then publications — the demo's phases."""
+        for subscription in self.subscriptions(n_subscriptions):
+            yield ("subscribe", subscription)
+        for event in self.events(n_events):
+            yield ("publish", event)

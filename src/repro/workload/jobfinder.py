@@ -1,0 +1,238 @@
+"""The job-finder demonstration scenario (paper §4).
+
+"In this application, companies send subscriptions that specify
+qualifications they are looking for from prospective candidates.  On
+the other hand, candidates send their qualifications as a publication.
+When a publication matches a subscription, the candidate's information
+is sent to the appropriate company."
+
+:class:`JobFinderScenario` generates a reproducible cast of companies
+(with recruiter subscriptions drawn from realistic templates) and
+candidates (with resume publications that use synonym spellings,
+concrete leaf terms, graduation years, and job-period histories — the
+exact shapes of the paper's worked examples) and can run them through a
+:class:`~repro.broker.broker.Broker` in either demo mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.broker.broker import Broker
+from repro.broker.clients import Client
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+from repro.model.values import Period
+from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = ["JobFinderSpec", "JobFinderScenario", "Company", "Candidate", "ScenarioReport"]
+
+_FIRST_NAMES = (
+    "Ada", "Grace", "Edsger", "Barbara", "Alan", "Radia", "Donald", "Frances",
+    "Niklaus", "Margaret", "Dennis", "Adele", "Ken", "Jean", "Tim", "Anita",
+)
+_COMPANY_STEMS = (
+    "Initech", "Hooli", "Globex", "Umbrella", "Wayne", "Stark", "Acme",
+    "Cyberdyne", "Tyrell", "Wonka", "Sirius", "Aperture",
+)
+_SCHOOL_SPELLINGS = ("university", "school", "college")
+_DEGREE_SPELLINGS = ("degree", "qualification", "diploma")
+_EMPLOYERS = ("IBM", "Microsoft", "Nortel", "Sun", "Oracle", "HP", "RIM", "Corel")
+
+
+@dataclass(frozen=True)
+class JobFinderSpec:
+    """Scenario size and behaviour parameters."""
+
+    n_companies: int = 10
+    n_candidates: int = 30
+    subscriptions_per_company: tuple[int, int] = (1, 3)
+    max_jobs_per_resume: int = 3
+    present_year: int = 2003
+    generality_bias: float = 0.6
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class Company:
+    name: str
+    subscriptions: tuple[Subscription, ...]
+    client: Client | None = None
+
+
+@dataclass(frozen=True)
+class Candidate:
+    name: str
+    resume: Event
+    client: Client | None = None
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of running the scenario through a broker."""
+
+    mode: str
+    companies: int = 0
+    candidates: int = 0
+    subscriptions: int = 0
+    publications: int = 0
+    matches: int = 0
+    semantic_matches: int = 0
+    deliveries: int = 0
+    per_company_matches: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.mode}] {self.publications} resumes x "
+            f"{self.subscriptions} subscriptions -> {self.matches} matches "
+            f"({self.semantic_matches} semantic-only), "
+            f"{self.deliveries} notifications delivered"
+        )
+
+
+class JobFinderScenario:
+    """Reproducible company/candidate cast for the demo."""
+
+    def __init__(self, kb: KnowledgeBase, spec: JobFinderSpec | None = None) -> None:
+        self.kb = kb
+        self.spec = spec if spec is not None else JobFinderSpec()
+        self._rng = random.Random(self.spec.seed)
+        taxonomy = kb.taxonomy("jobs")
+        self._degrees = [t for t in taxonomy.leaves() if t in ("PhD", "MSc", "MASc", "MBA", "MEng", "BSc", "BA", "BEng", "DSc")]
+        self._universities = [
+            t for t in taxonomy.leaves()
+            if taxonomy.generalization_distance(t, "university") is not None and t != "university"
+        ]
+        self._positions = [
+            t for t in taxonomy.leaves()
+            if taxonomy.generalization_distance(t, "employee") is not None
+        ]
+        self._skills = [
+            t for t in taxonomy.leaves()
+            if taxonomy.generalization_distance(t, "engineering skill") is not None
+        ]
+        self.companies = tuple(self._make_company(i) for i in range(self.spec.n_companies))
+        self.candidates = tuple(self._make_candidate(i) for i in range(self.spec.n_candidates))
+
+    # -- generation ---------------------------------------------------------------
+
+    def _maybe_generalize(self, term: str) -> str:
+        if self._rng.random() >= self.spec.generality_bias:
+            return term
+        ancestors = self.kb.taxonomy("jobs").ancestors(term)
+        if not ancestors:
+            return term
+        return self._rng.choice(sorted(ancestors))
+
+    def _company_subscription(self, index: int) -> Subscription:
+        rng = self._rng
+        template = rng.randrange(4)
+        predicates: list[Predicate]
+        if template == 0:
+            # The paper's §1 recruiter, parameterized.
+            predicates = [
+                Predicate.eq("university", self._maybe_generalize(rng.choice(self._universities))),
+                Predicate.eq("degree", self._maybe_generalize(rng.choice(self._degrees))),
+                Predicate.ge("professional_experience", rng.randint(2, 8)),
+            ]
+        elif template == 1:
+            predicates = [
+                Predicate.eq("position", self._maybe_generalize(rng.choice(self._positions))),
+            ]
+            if rng.random() < 0.5:
+                predicates.append(
+                    Predicate.between("salary", 40000 + 5000 * rng.randint(0, 4),
+                                      90000 + 5000 * rng.randint(0, 6))
+                )
+        elif template == 2:
+            predicates = [
+                Predicate.eq("skill", self._maybe_generalize(rng.choice(self._skills))),
+                Predicate.ge("employment_years", rng.randint(1, 6)),
+            ]
+        else:
+            predicates = [
+                Predicate.eq("degree", self._maybe_generalize(rng.choice(self._degrees))),
+                Predicate.ge("graduation_year", rng.randint(1980, 1998)),
+            ]
+        return Subscription(predicates, sub_id=f"company{index}-s{rng.randint(1000, 9999)}")
+
+    def _make_company(self, index: int) -> Company:
+        rng = self._rng
+        stem = _COMPANY_STEMS[index % len(_COMPANY_STEMS)]
+        name = f"{stem}-{index}" if index >= len(_COMPANY_STEMS) else stem
+        lo, hi = self.spec.subscriptions_per_company
+        subscriptions = tuple(
+            self._company_subscription(index) for _ in range(rng.randint(lo, hi))
+        )
+        return Company(name=name, subscriptions=subscriptions)
+
+    def _make_candidate(self, index: int) -> Candidate:
+        rng = self._rng
+        name = f"{_FIRST_NAMES[index % len(_FIRST_NAMES)]}-{index}"
+        graduation_year = rng.randint(1975, 2001)
+        pairs: list[tuple[str, object]] = [
+            ("name", name),
+            (rng.choice(_SCHOOL_SPELLINGS), rng.choice(self._universities)),
+            (rng.choice(_DEGREE_SPELLINGS), rng.choice(self._degrees)),
+            ("graduation_year", graduation_year),
+            ("skill", rng.choice(self._skills)),
+            ("salary", rng.randint(35000, 140000)),
+        ]
+        # Job history with periods — the §3.1 resume shape.
+        n_jobs = rng.randint(0, self.spec.max_jobs_per_resume)
+        job_start = graduation_year + 1
+        for job_index in range(1, n_jobs + 1):
+            if job_start >= self.spec.present_year:
+                break
+            job_end = min(
+                job_start + rng.randint(1, 5), self.spec.present_year
+            )
+            is_current = job_index == n_jobs and rng.random() < 0.4
+            pairs.append((f"job{job_index}", rng.choice(_EMPLOYERS)))
+            pairs.append(
+                (
+                    f"period{job_index}",
+                    Period(job_start, None if is_current else job_end),
+                )
+            )
+            job_start = job_end + 1
+        if n_jobs:
+            pairs.append(("work_experience", True))
+        return Candidate(name=name, resume=Event(pairs, event_id=f"resume-{index}"))
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, broker: Broker) -> ScenarioReport:
+        """Register everyone, subscribe, publish — one full demo pass."""
+        report = ScenarioReport(mode=broker.mode)
+        for company in self.companies:
+            client = broker.register_subscriber(
+                company.name,
+                email=f"hr@{company.name.lower()}.example",
+                tcp=f"{company.name.lower()}.example:9000",
+            )
+            report.companies += 1
+            for subscription in company.subscriptions:
+                broker.subscribe(client.client_id, subscription)
+                report.subscriptions += 1
+            report.per_company_matches[company.name] = 0
+        company_of_sub: dict[str, str] = {}
+        for company in self.companies:
+            for subscription in company.subscriptions:
+                company_of_sub[subscription.sub_id] = company.name
+        for candidate in self.candidates:
+            client = broker.register_publisher(candidate.name)
+            report.candidates += 1
+            publish_report = broker.publish(client.client_id, candidate.resume)
+            report.publications += 1
+            report.matches += publish_report.match_count
+            report.deliveries += publish_report.delivered_count
+            for match in publish_report.matches:
+                if match.is_semantic:
+                    report.semantic_matches += 1
+                company_name = company_of_sub.get(match.subscription.sub_id)
+                if company_name is not None:
+                    report.per_company_matches[company_name] += 1
+        return report

@@ -1,0 +1,150 @@
+"""Workload record/replay.
+
+The demonstration benefits from repeatable runs: a :class:`Trace`
+records every registration, subscription, and publication as a JSON
+line (using the textual subscription/event language, which round-trips
+through :mod:`repro.model.parser`) and can replay the identical
+sequence into any broker — e.g. once in semantic mode and once in
+syntactic mode for the C5 comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.broker.broker import Broker
+from repro.broker.clients import ClientKind
+from repro.errors import WorkloadError
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+
+__all__ = ["Trace", "TraceOp"]
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded operation; ``payload`` is operation-specific."""
+
+    op: str  # "register" | "subscribe" | "publish"
+    payload: dict
+
+    def to_json(self) -> str:
+        return json.dumps({"op": self.op, **self.payload}, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceOp":
+        data = json.loads(line)
+        op = data.pop("op", None)
+        if op not in ("register", "subscribe", "publish"):
+            raise WorkloadError(f"unknown trace op {op!r}")
+        return cls(op, data)
+
+
+@dataclass
+class Trace:
+    """An append-only operation log with JSONL persistence."""
+
+    ops: list[TraceOp] = field(default_factory=list)
+
+    # -- recording ------------------------------------------------------------
+
+    def record_register(
+        self, client_id: str, name: str, kind: ClientKind, addresses: dict[str, str]
+    ) -> None:
+        self.ops.append(
+            TraceOp(
+                "register",
+                {
+                    "client_id": client_id,
+                    "name": name,
+                    "kind": kind.value,
+                    "addresses": addresses,
+                },
+            )
+        )
+
+    def record_subscribe(self, client_id: str, subscription: Subscription) -> None:
+        self.ops.append(
+            TraceOp(
+                "subscribe",
+                {
+                    "client_id": client_id,
+                    "sub_id": subscription.sub_id,
+                    "text": subscription.format(),
+                    "max_generality": subscription.max_generality,
+                },
+            )
+        )
+
+    def record_publish(self, client_id: str, event: Event) -> None:
+        self.ops.append(
+            TraceOp(
+                "publish",
+                {"client_id": client_id, "event_id": event.event_id, "text": event.format()},
+            )
+        )
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            "".join(op.to_json() + "\n" for op in self.ops), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        trace = cls()
+        for line_number, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                trace.ops.append(TraceOp.from_json(line))
+            except (json.JSONDecodeError, WorkloadError) as exc:
+                raise WorkloadError(f"bad trace line {line_number}: {exc}") from exc
+        return trace
+
+    # -- replay ------------------------------------------------------------------------
+
+    def replay(self, broker: Broker) -> dict[str, int]:
+        """Apply every operation to *broker*; returns outcome counts."""
+        from repro.model.parser import parse_event, parse_subscription
+
+        counts = {"register": 0, "subscribe": 0, "publish": 0, "matches": 0}
+        for op in self.ops:
+            payload = op.payload
+            if op.op == "register":
+                broker.register_client(
+                    payload["name"],
+                    kind=ClientKind(payload["kind"]),
+                    client_id=payload["client_id"],
+                    email=payload["addresses"].get("smtp"),
+                    sms=payload["addresses"].get("sms"),
+                    tcp=payload["addresses"].get("tcp"),
+                    udp=payload["addresses"].get("udp"),
+                )
+                counts["register"] += 1
+            elif op.op == "subscribe":
+                subscription = parse_subscription(
+                    payload["text"],
+                    sub_id=payload["sub_id"],
+                    max_generality=payload.get("max_generality"),
+                )
+                broker.subscribe(payload["client_id"], subscription)
+                counts["subscribe"] += 1
+            else:
+                event = parse_event(payload["text"], event_id=payload.get("event_id"))
+                report = broker.publish(payload["client_id"], event)
+                counts["publish"] += 1
+                counts["matches"] += report.match_count
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self.ops)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the S-ToPSS test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.domains import (
+    build_demo_knowledge_base,
+    build_jobs_knowledge_base,
+    build_vehicles_knowledge_base,
+)
+from repro.ontology.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def jobs_kb() -> KnowledgeBase:
+    return build_jobs_knowledge_base()
+
+
+@pytest.fixture
+def vehicles_kb() -> KnowledgeBase:
+    return build_vehicles_knowledge_base()
+
+
+@pytest.fixture
+def demo_kb() -> KnowledgeBase:
+    return build_demo_knowledge_base()
+
+
+@pytest.fixture
+def jobs_engine(jobs_kb) -> SToPSS:
+    return SToPSS(jobs_kb)
+
+
+@pytest.fixture
+def syntactic_engine(jobs_kb) -> SToPSS:
+    return SToPSS(jobs_kb, config=SemanticConfig.syntactic())
+
+
+@pytest.fixture
+def jobs_broker(jobs_kb) -> Broker:
+    return Broker(jobs_kb)
+
+
+@pytest.fixture
+def paper_subscription():
+    """The paper's §1 recruiter subscription, verbatim."""
+    return parse_subscription(
+        "(university = Toronto) and (degree = PhD) "
+        "and (professional experience >= 4)",
+        sub_id="paper-recruiter",
+    )
+
+
+@pytest.fixture
+def paper_event():
+    """The paper's §1 candidate resume, verbatim."""
+    return parse_event(
+        "(school, Toronto)(degree, PhD)(work_experience, true)"
+        "(graduation_year, 1990)",
+        event_id="paper-resume",
+    )

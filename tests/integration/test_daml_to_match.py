@@ -1,0 +1,71 @@
+"""Integration: DAML+OIL import feeding live matching (paper's stated
+future work — "automating translation of ontologies expressed in
+DAML+OIL into a more efficient representation suitable for S-ToPSS")."""
+
+from __future__ import annotations
+
+from repro.core.engine import SToPSS
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.daml import export_daml, import_daml
+from repro.ontology.knowledge_base import KnowledgeBase
+
+_WINE_ONTOLOGY = """<rdf:RDF
+    xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+    xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+    xmlns:daml="http://www.daml.org/2001/03/daml+oil#">
+  <daml:Class rdf:ID="Beverage"/>
+  <daml:Class rdf:ID="Wine">
+    <rdfs:subClassOf rdf:resource="#Beverage"/>
+    <daml:sameClassAs rdf:resource="#VinoTinto"/>
+  </daml:Class>
+  <daml:Class rdf:ID="RedWine">
+    <rdfs:subClassOf rdf:resource="#Wine"/>
+  </daml:Class>
+  <daml:Class rdf:ID="Merlot">
+    <rdfs:subClassOf rdf:resource="#RedWine"/>
+  </daml:Class>
+  <daml:DatatypeProperty rdf:ID="drink">
+    <daml:samePropertyAs rdf:resource="#beverage_kind"/>
+  </daml:DatatypeProperty>
+</rdf:RDF>"""
+
+
+class TestDamlDrivenMatching:
+    def _engine(self) -> SToPSS:
+        kb = import_daml(_WINE_ONTOLOGY, KnowledgeBase(), "wines")
+        return SToPSS(kb)
+
+    def test_imported_hierarchy_drives_generalization(self):
+        engine = self._engine()
+        engine.subscribe(parse_subscription("(drink = wine)", sub_id="sommelier"))
+        matches = engine.publish(parse_event("(drink, merlot)"))
+        assert [m.subscription.sub_id for m in matches] == ["sommelier"]
+        assert matches[0].generality == 2  # merlot -> red wine -> wine
+
+    def test_imported_property_synonyms_drive_stage1(self):
+        engine = self._engine()
+        engine.subscribe(parse_subscription("(drink = merlot)", sub_id="s"))
+        matches = engine.publish(parse_event("(beverage_kind, merlot)"))
+        assert len(matches) == 1
+
+    def test_imported_class_equivalence(self):
+        engine = self._engine()
+        engine.subscribe(parse_subscription("(drink = wine)", sub_id="s"))
+        matches = engine.publish(parse_event("(drink, vino tinto)"))
+        assert len(matches) == 1 and matches[0].generality == 0
+
+    def test_rule2_holds_for_imported_ontology(self):
+        engine = self._engine()
+        engine.subscribe(parse_subscription("(drink = merlot)", sub_id="specific"))
+        assert engine.publish(parse_event("(drink, beverage)")) == []
+
+    def test_export_import_engine_equivalence(self):
+        """Round-tripping the ontology must not change match results."""
+        original_kb = import_daml(_WINE_ONTOLOGY, KnowledgeBase(), "wines")
+        round_tripped = import_daml(
+            export_daml(original_kb.taxonomy("wines")), KnowledgeBase(), "wines"
+        )
+        for kb in (original_kb, round_tripped):
+            engine = SToPSS(kb)
+            engine.subscribe(parse_subscription("(drink = beverage)", sub_id="s"))
+            assert len(engine.publish(parse_event("(drink, merlot)"))) == 1

@@ -1,0 +1,89 @@
+"""Integration tests for multi-domain operation (paper §3.2, claim C3).
+
+"The use of mapping functions allows a single pub/sub system to be used
+for multiple domains simultaneously and … it is possible to provide
+inter-domain mapping by simply adding additional functions."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SToPSS
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.domains import build_demo_knowledge_base
+
+
+@pytest.fixture
+def engine() -> SToPSS:
+    return SToPSS(build_demo_knowledge_base())
+
+
+class TestDomainCoexistence:
+    def test_domains_do_not_interfere(self, engine):
+        engine.subscribe(parse_subscription("(degree = graduate degree)", sub_id="jobs-sub"))
+        engine.subscribe(parse_subscription("(body_style = vehicle)", sub_id="cars-sub"))
+        jobs_matches = engine.publish(parse_event("(degree, PhD)"))
+        cars_matches = engine.publish(parse_event("(body_style, sedan)"))
+        assert [m.subscription.sub_id for m in jobs_matches] == ["jobs-sub"]
+        assert [m.subscription.sub_id for m in cars_matches] == ["cars-sub"]
+
+    def test_one_event_can_span_domains(self, engine):
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="jobs-sub"))
+        engine.subscribe(parse_subscription("(device = computer)", sub_id="elec-sub"))
+        event = parse_event("(degree, PhD)(device, gaming laptop)")
+        matches = engine.publish(event)
+        assert {m.subscription.sub_id for m in matches} == {"jobs-sub", "elec-sub"}
+
+    def test_shared_term_merges_across_domains(self):
+        """A term known to two domains generalizes through both."""
+        from repro.ontology.knowledge_base import KnowledgeBase
+
+        kb = KnowledgeBase()
+        kb.add_domain("a").add_chain("python", "programming language")
+        kb.add_domain("b").add_chain("python", "snake", "reptile")
+        engine = SToPSS(kb)
+        engine.subscribe(parse_subscription("(topic = programming language)", sub_id="dev"))
+        engine.subscribe(parse_subscription("(topic = reptile)", sub_id="zoo"))
+        matches = engine.publish(parse_event("(topic, python)"))
+        assert {m.subscription.sub_id for m in matches} == {"dev", "zoo"}
+
+
+class TestInterDomainBridges:
+    def test_mainframe_position_reaches_electronics_subscription(self, engine):
+        """jobs -> electronics via the bridge mapping, then the
+        electronics hierarchy generalizes the bridged value."""
+        engine.subscribe(parse_subscription("(device = computer)", sub_id="hw"))
+        matches = engine.publish(parse_event("(position, mainframe developer)"))
+        assert [m.subscription.sub_id for m in matches] == ["hw"]
+        steps = matches[0].matched_via.steps
+        assert any(s.rule == "bridge-mainframe-position-to-hardware" for s in steps)
+        assert any(s.stage == "hierarchy" for s in steps)
+
+    def test_bridge_composes_with_jobs_rules(self, engine):
+        """COBOL skill -> mainframe developer (jobs rule) -> mainframe
+        hardware (bridge) -> computer (electronics hierarchy)."""
+        engine.subscribe(parse_subscription("(device = computer)", sub_id="hw"))
+        matches = engine.publish(parse_event("(skill, COBOL programming)"))
+        assert [m.subscription.sub_id for m in matches] == ["hw"]
+        rules = [s.rule for s in matches[0].matched_via.steps if s.rule]
+        assert "cobol-implies-mainframe-developer" in rules
+        assert "bridge-mainframe-position-to-hardware" in rules
+
+    def test_automotive_bridge(self, engine):
+        engine.subscribe(parse_subscription("(body_style = motor vehicle)", sub_id="v"))
+        matches = engine.publish(parse_event("(skill, automotive software)"))
+        assert [m.subscription.sub_id for m in matches] == ["v"]
+
+
+class TestCrossDomainIsolationOfRules:
+    def test_vehicle_rules_do_not_fire_on_job_events(self, engine):
+        result = engine.explain(parse_event("(graduation_year, 1998)"))
+        rules_fired = {
+            step.rule
+            for derived in result.derived
+            for step in derived.steps
+            if step.rule
+        }
+        assert "vehicle-age" not in rules_fired  # needs 'year', not 'graduation_year'
+        assert "professional-experience-from-graduation" in rules_fired

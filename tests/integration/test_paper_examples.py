@@ -1,0 +1,209 @@
+"""Integration tests reproducing every worked example in the paper.
+
+Each test quotes the corresponding passage; the subscription/event texts
+are verbatim from the paper (modulo the surface syntax for operators).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.domains import build_demo_knowledge_base, build_jobs_knowledge_base
+
+
+@pytest.fixture
+def engine() -> SToPSS:
+    # present_year=2003 — the paper's "present date".
+    return SToPSS(build_jobs_knowledge_base(), config=SemanticConfig(present_year=2003))
+
+
+class TestSection1JobFinder:
+    """§1: "a company recruiter interested in candidates who graduated
+    from a certain university, with a PhD degree and with at least 4
+    years of professional experience"."""
+
+    SUBSCRIPTION = (
+        "(university = Toronto) and (degree = PhD) "
+        "and (professional experience >= 4)"
+    )
+    EVENT = (
+        "(school, Toronto)(degree, PhD)"
+        "(work experience, true)(graduation year, 1990)"
+    )
+
+    def test_headline_semantic_match(self, engine):
+        """"Then the pub/sub system running the job-finder application
+        should match the event and the subscription above"."""
+        engine.subscribe(parse_subscription(self.SUBSCRIPTION, sub_id="recruiter"))
+        matches = engine.publish(parse_event(self.EVENT))
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.subscription.sub_id == "recruiter"
+        assert match.is_semantic
+
+    def test_match_uses_synonym_and_mapping(self, engine):
+        engine.subscribe(parse_subscription(self.SUBSCRIPTION, sub_id="recruiter"))
+        match = engine.publish(parse_event(self.EVENT))[0]
+        stages = [step.stage for step in match.matched_via.steps]
+        assert "synonym" in stages   # school -> university
+        assert "mapping" in stages   # graduation_year -> professional_experience
+        derived = match.matched_via.event
+        assert derived["professional_experience"] == 2003 - 1990
+
+    def test_current_pubsub_systems_cannot_match(self, engine):
+        """"Current pub/sub matching algorithms cannot solve this
+        semantic matching problem."""
+        engine.reconfigure(SemanticConfig.syntactic())
+        engine.subscribe(parse_subscription(self.SUBSCRIPTION, sub_id="recruiter"))
+        assert engine.publish(parse_event(self.EVENT)) == []
+
+
+class TestSection1CarExample:
+    """§1: "if someone is interested in a 'car', the system will not
+    return notifications about 'vehicles' or 'automobiles' because the
+    matching is based on the syntax"."""
+
+    def test_automobile_synonym_matches(self):
+        engine = SToPSS(build_demo_knowledge_base())
+        engine.subscribe(parse_subscription("(item = car)", sub_id="car-fan"))
+        matches = engine.publish(parse_event("(item, automobile)"))
+        assert [m.subscription.sub_id for m in matches] == ["car-fan"]
+        assert matches[0].generality == 0  # synonyms are not generalization
+
+    def test_syntactic_mode_reproduces_the_failure(self):
+        engine = SToPSS(build_demo_knowledge_base(), config=SemanticConfig.syntactic())
+        engine.subscribe(parse_subscription("(item = car)", sub_id="car-fan"))
+        assert engine.publish(parse_event("(item, automobile)")) == []
+
+    def test_vehicle_subscription_gets_car_events(self):
+        # (R1) the generalized subscription receives the specialized event
+        engine = SToPSS(build_demo_knowledge_base())
+        engine.subscribe(parse_subscription("(item = vehicle)", sub_id="any"))
+        matches = engine.publish(parse_event("(item, car)"))
+        assert len(matches) == 1 and matches[0].generality >= 1
+
+
+class TestSection31SynonymExample:
+    """§3.1: S: (university = Toronto) ∧ (professional experience ≥ 4)
+    E: (school, Toronto)(professional experience, 5) —
+    "Intuitively, the incoming event should match the subscription.
+    However, in current pub/sub systems, this will not happen"."""
+
+    SUBSCRIPTION = "(university = Toronto) and (professional experience >= 4)"
+    EVENT = "(school, Toronto)(professional experience, 5)"
+
+    def test_synonym_stage_fixes_it(self, engine):
+        engine.subscribe(parse_subscription(self.SUBSCRIPTION, sub_id="s"))
+        matches = engine.publish(parse_event(self.EVENT))
+        assert len(matches) == 1
+        steps = matches[0].matched_via.steps
+        assert all(step.stage == "synonym" for step in steps)
+
+    def test_synonyms_only_config_suffices(self):
+        engine = SToPSS(
+            build_jobs_knowledge_base(), config=SemanticConfig.synonyms_only()
+        )
+        engine.subscribe(parse_subscription(self.SUBSCRIPTION, sub_id="s"))
+        assert len(engine.publish(parse_event(self.EVENT))) == 1
+
+
+class TestSection31HierarchyRules:
+    """§3.1 rules (1) and (2) for concept-hierarchy matching."""
+
+    def test_rule1_specialized_event_matches_general_subscription(self, engine):
+        engine.subscribe(parse_subscription("(degree = graduate degree)", sub_id="g"))
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert [m.subscription.sub_id for m in matches] == ["g"]
+
+    def test_rule2_general_event_does_not_match_specialized_subscription(self, engine):
+        engine.subscribe(parse_subscription("(degree = PhD)", sub_id="phd-only"))
+        assert engine.publish(parse_event("(degree, graduate degree)")) == []
+
+    def test_rules_together_are_asymmetric(self, engine):
+        engine.subscribe(parse_subscription("(degree = graduate degree)", sub_id="g"))
+        engine.subscribe(parse_subscription("(degree = PhD)", sub_id="s"))
+        up = engine.publish(parse_event("(degree, PhD)"))
+        down = engine.publish(parse_event("(degree, graduate degree)"))
+        assert {m.subscription.sub_id for m in up} == {"g", "s"}
+        assert {m.subscription.sub_id for m in down} == {"g"}
+
+
+class TestSection31MappingExample:
+    """§3.1: the resume with graduation_year 1993 and two jobs —
+    "Here we have a match between S and E only if we define:
+    professional experience = present date − graduation year"."""
+
+    SUBSCRIPTION = "(university = Toronto) and (professional experience >= 4)"
+    EVENT = (
+        "(school, Toronto)(graduation year, 1993)"
+        "(job1, IBM)(period1, 1994-1997)"
+        "(job2, Microsoft)(period2, 1999-present)"
+    )
+
+    def test_mapping_function_produces_match(self, engine):
+        engine.subscribe(parse_subscription(self.SUBSCRIPTION, sub_id="s"))
+        matches = engine.publish(parse_event(self.EVENT))
+        assert len(matches) == 1
+        derived = matches[0].matched_via.event
+        # "the candidate graduated 10 years ago"
+        assert derived["professional_experience"] == 10
+
+    def test_without_mapping_stage_no_match(self):
+        engine = SToPSS(
+            build_jobs_knowledge_base(),
+            config=SemanticConfig(enable_mappings=False, present_year=2003),
+        )
+        engine.subscribe(parse_subscription(self.SUBSCRIPTION, sub_id="s"))
+        assert engine.publish(parse_event(self.EVENT)) == []
+
+    def test_employment_periods_summed_by_expert_rule(self, engine):
+        """The paper notes the definition "classifies any jobs the
+        potential candidate held in other periods as not contributing";
+        our expert rule sums the actual periods (3 + 4 years in 2003)."""
+        engine.subscribe(
+            parse_subscription("(employment_years >= 7)", sub_id="periods")
+        )
+        matches = engine.publish(parse_event(self.EVENT))
+        assert [m.subscription.sub_id for m in matches] == ["periods"]
+
+
+class TestSection1MainframeExample:
+    """§1: "If a company recruiter is interested in a 'mainframe
+    developer', the matching engine should return … any resumes that
+    mention 'COBOL programming'."""
+
+    def test_cobol_resume_matches_mainframe_query(self, engine):
+        engine.subscribe(
+            parse_subscription("(position = mainframe developer)", sub_id="mf")
+        )
+        matches = engine.publish(parse_event("(skill, COBOL programming)"))
+        assert [m.subscription.sub_id for m in matches] == ["mf"]
+        assert matches[0].matched_via.steps[-1].rule == "cobol-implies-mainframe-developer"
+
+
+class TestSection32Tolerance:
+    """§3.2: "one may restrict the level of a match generality … a
+    company recruiter looking to fill an entry-level position"."""
+
+    def test_generality_restriction(self, engine):
+        engine.subscribe(
+            parse_subscription("(degree = degree)", sub_id="entry", max_generality=1)
+        )
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="open"))
+        # PhD is 3 levels below "degree": only the unrestricted sub matches.
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert {m.subscription.sub_id for m in matches} == {"open"}
+        # "graduate degree" is 1 level below: both match.
+        matches = engine.publish(parse_event("(degree, graduate degree)"))
+        assert {m.subscription.sub_id for m in matches} == {"entry", "open"}
+
+    def test_system_wide_tolerance_prunes_work(self):
+        tight = SToPSS(
+            build_jobs_knowledge_base(), config=SemanticConfig(max_generality=1)
+        )
+        loose = SToPSS(build_jobs_knowledge_base())
+        event = parse_event("(degree, PhD)")
+        assert len(tight.explain(event).derived) < len(loose.explain(event).derived)

@@ -1,0 +1,79 @@
+"""Shared hypothesis strategies for the property-based suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+from repro.model.values import Period
+
+#: Small attribute universe so events and subscriptions actually overlap.
+ATTRIBUTES = [f"attr{i}" for i in range(6)]
+
+attribute = st.sampled_from(ATTRIBUTES)
+
+int_value = st.integers(min_value=-50, max_value=50)
+float_value = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+string_value = st.sampled_from(
+    ["red", "green", "blue", "redish", "Toronto", "toronto", "value", "x"]
+)
+bool_value = st.booleans()
+period_value = st.builds(
+    lambda start, length: Period(start, None if length is None else start + length),
+    st.integers(min_value=1950, max_value=2000),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
+)
+
+scalar_value = st.one_of(int_value, float_value, string_value, bool_value, period_value)
+
+
+@st.composite
+def predicates(draw) -> Predicate:
+    attr = draw(attribute)
+    kind = draw(st.integers(min_value=0, max_value=9))
+    if kind == 0:
+        return Predicate.eq(attr, draw(scalar_value))
+    if kind == 1:
+        return Predicate.ne(attr, draw(scalar_value))
+    if kind == 2:
+        return Predicate.ge(attr, draw(st.one_of(int_value, string_value)))
+    if kind == 3:
+        return Predicate.le(attr, draw(st.one_of(int_value, string_value)))
+    if kind == 4:
+        return Predicate.gt(attr, draw(int_value))
+    if kind == 5:
+        return Predicate.lt(attr, draw(int_value))
+    if kind == 6:
+        low = draw(int_value)
+        return Predicate.between(attr, low, low + draw(st.integers(0, 20)))
+    if kind == 7:
+        members = draw(st.lists(st.one_of(int_value, string_value), min_size=1, max_size=4))
+        return Predicate.isin(attr, members)
+    if kind == 8:
+        return Predicate.exists(attr)
+    op = draw(st.sampled_from(["prefix", "suffix", "contains"]))
+    text = draw(st.sampled_from(["re", "To", "or", "x", "blue"]))
+    if op == "prefix":
+        return Predicate.prefix(attr, text)
+    if op == "suffix":
+        return Predicate.suffix(attr, text)
+    return Predicate.contains(attr, text)
+
+
+@st.composite
+def subscriptions(draw) -> Subscription:
+    preds = draw(st.lists(predicates(), min_size=0, max_size=4))
+    return Subscription(preds)
+
+
+@st.composite
+def events(draw) -> Event:
+    count = draw(st.integers(min_value=0, max_value=len(ATTRIBUTES)))
+    attrs = draw(
+        st.lists(attribute, min_size=count, max_size=count, unique=True)
+    )
+    return Event([(a, draw(scalar_value)) for a in attrs])

@@ -1,0 +1,107 @@
+"""Property: the event-side and subscription-side engines agree.
+
+For equality-on-term workloads over arbitrary random taxonomies, the
+paper's design (events generalize upward at publish time) and the
+alternative implemented in :mod:`repro.core.subexpand` (subscriptions
+expand downward at subscribe time) must produce identical match sets —
+the A4 ablation's correctness precondition, generalized.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.core.subexpand import SubscriptionExpandingEngine
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+_TERMS = [f"t{i}" for i in range(10)]
+_ATTRS = ["u", "v"]
+
+
+@st.composite
+def taxonomies(draw) -> KnowledgeBase:
+    kb = KnowledgeBase()
+    taxonomy = kb.add_domain("d")
+    for term in _TERMS:
+        taxonomy.add_concept(term)
+    for index in range(1, len(_TERMS)):
+        if draw(st.booleans()):
+            parent = draw(st.integers(min_value=0, max_value=index - 1))
+            taxonomy.add_isa(_TERMS[index], _TERMS[parent])
+    return kb
+
+
+@st.composite
+def term_subscriptions(draw) -> Subscription:
+    count = draw(st.integers(min_value=1, max_value=2))
+    attrs = draw(st.lists(st.sampled_from(_ATTRS), min_size=count,
+                          max_size=count, unique=True))
+    return Subscription(
+        [Predicate.eq(attr, draw(st.sampled_from(_TERMS))) for attr in attrs]
+    )
+
+
+@st.composite
+def term_events(draw) -> Event:
+    count = draw(st.integers(min_value=1, max_value=2))
+    attrs = draw(st.lists(st.sampled_from(_ATTRS), min_size=count,
+                          max_size=count, unique=True))
+    return Event([(attr, draw(st.sampled_from(_TERMS))) for attr in attrs])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kb=taxonomies(),
+    subs=st.lists(term_subscriptions(), min_size=1, max_size=8),
+    evts=st.lists(term_events(), min_size=1, max_size=5),
+)
+def test_designs_agree_on_equality_workloads(kb, subs, evts):
+    event_side = SToPSS(kb)
+    sub_side = SubscriptionExpandingEngine(kb)
+    for index, sub in enumerate(subs):
+        event_side.subscribe(Subscription(sub.predicates, sub_id=f"e{index}"))
+        sub_side.subscribe(Subscription(sub.predicates, sub_id=f"e{index}"))
+    for event in evts:
+        a = {m.subscription.sub_id for m in event_side.publish(event)}
+        b = {m.subscription.sub_id for m in sub_side.publish(event)}
+        assert a == b, f"divergence on {event.format()}: {a ^ b}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kb=taxonomies(),
+    subs=st.lists(term_subscriptions(), min_size=1, max_size=6),
+    evts=st.lists(term_events(), min_size=1, max_size=4),
+    bound=st.integers(min_value=0, max_value=3),
+)
+def test_designs_agree_under_tolerance(kb, subs, evts, bound):
+    event_side = SToPSS(kb, config=SemanticConfig(max_generality=bound))
+    sub_side = SubscriptionExpandingEngine(
+        kb, config=SemanticConfig(max_generality=bound)
+    )
+    for index, sub in enumerate(subs):
+        event_side.subscribe(Subscription(sub.predicates, sub_id=f"e{index}"))
+        sub_side.subscribe(Subscription(sub.predicates, sub_id=f"e{index}"))
+    for event in evts:
+        a = {m.subscription.sub_id for m in event_side.publish(event)}
+        b = {m.subscription.sub_id for m in sub_side.publish(event)}
+        assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(kb=taxonomies(), evts=st.lists(term_events(), min_size=1, max_size=5))
+def test_subscription_side_never_runs_hierarchy_stage(kb, evts):
+    engine = SubscriptionExpandingEngine(kb)
+    for event in evts:
+        result = engine.explain(event)
+        assert all(
+            step.stage != "hierarchy"
+            for derived in result.derived
+            for step in derived.steps
+        )

@@ -1,0 +1,100 @@
+"""Property: the concept-hierarchy matching rules R1/R2 hold on random
+taxonomies.
+
+(R1) specialized events match generalized subscriptions of the same
+kind; (R2) generalized events never match specialized subscriptions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+_TERMS = [f"t{i}" for i in range(12)]
+
+
+@st.composite
+def taxonomies(draw) -> KnowledgeBase:
+    """A random forest: each term optionally points at a parent with a
+    smaller index (guaranteed acyclic)."""
+    kb = KnowledgeBase()
+    taxonomy = kb.add_domain("d")
+    for term in _TERMS:
+        taxonomy.add_concept(term)
+    for index in range(1, len(_TERMS)):
+        if draw(st.booleans()):
+            parent = draw(st.integers(min_value=0, max_value=index - 1))
+            taxonomy.add_isa(_TERMS[index], _TERMS[parent])
+    return kb
+
+
+@settings(max_examples=60, deadline=None)
+@given(kb=taxonomies(), data=st.data())
+def test_r1_specialized_event_matches_general_subscription(kb, data):
+    taxonomy = kb.taxonomy("d")
+    specific = data.draw(st.sampled_from(_TERMS))
+    ancestors = taxonomy.ancestors(specific)
+    assume(ancestors)
+    general = data.draw(st.sampled_from(sorted(ancestors)))
+
+    engine = SToPSS(kb)
+    engine.subscribe(Subscription([Predicate.eq("v", general)], sub_id="general"))
+    matches = engine.publish(Event({"v": specific}))
+    assert [m.subscription.sub_id for m in matches] == ["general"]
+    assert matches[0].generality == ancestors[general]
+
+
+@settings(max_examples=60, deadline=None)
+@given(kb=taxonomies(), data=st.data())
+def test_r2_general_event_never_matches_specialized_subscription(kb, data):
+    taxonomy = kb.taxonomy("d")
+    specific = data.draw(st.sampled_from(_TERMS))
+    ancestors = taxonomy.ancestors(specific)
+    assume(ancestors)
+    general = data.draw(st.sampled_from(sorted(ancestors)))
+
+    engine = SToPSS(kb)
+    engine.subscribe(Subscription([Predicate.eq("v", specific)], sub_id="specific"))
+    assert engine.publish(Event({"v": general})) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(kb=taxonomies(), data=st.data())
+def test_unrelated_terms_never_match(kb, data):
+    taxonomy = kb.taxonomy("d")
+    a = data.draw(st.sampled_from(_TERMS))
+    b = data.draw(st.sampled_from(_TERMS))
+    assume(a != b)
+    assume(not taxonomy.is_generalization_of(a, b))
+    assume(not taxonomy.is_generalization_of(b, a))
+
+    engine = SToPSS(kb)
+    engine.subscribe(Subscription([Predicate.eq("v", b)], sub_id="other"))
+    assert engine.publish(Event({"v": a})) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(kb=taxonomies(), data=st.data())
+def test_tolerance_prunes_exactly_by_distance(kb, data):
+    taxonomy = kb.taxonomy("d")
+    specific = data.draw(st.sampled_from(_TERMS))
+    ancestors = taxonomy.ancestors(specific)
+    assume(ancestors)
+    general = data.draw(st.sampled_from(sorted(ancestors)))
+    distance = ancestors[general]
+
+    engine = SToPSS(kb, config=SemanticConfig(max_generality=distance))
+    engine.subscribe(Subscription([Predicate.eq("v", general)], sub_id="s"))
+    assert len(engine.publish(Event({"v": specific}))) == 1
+
+    tighter = SToPSS(kb, config=SemanticConfig(max_generality=distance - 1)) if distance > 0 else None
+    if tighter is not None:
+        tighter.subscribe(Subscription([Predicate.eq("v", general)], sub_id="s"))
+        assert tighter.publish(Event({"v": specific})) == []

@@ -1,0 +1,105 @@
+"""Property: semantic stages only ever ADD matches (claim C2).
+
+"The flexibility of this approach allows incremental extension (stage
+by stage) of matching algorithms, where the inclusion of any of the
+three stages improves semantic matching" (paper §3.2).  Formally:
+for any workload, the match set under a config is a subset of the match
+set under the same config with one more stage enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.workload.generator import SemanticSpec, SemanticWorkloadGenerator
+
+_KB = build_jobs_knowledge_base()
+
+#: The monotonicity property is about stages and tolerance, not the
+#: expansion safety valve: give every config a cap that is never hit,
+#: otherwise a richer config can truncate away a match a poorer one kept.
+_UNCAPPED = 1_000_000
+
+#: Stage ladders: each config enables a superset of the previous one's
+#: stages.
+_LADDER = tuple(
+    replace(config, max_derived_events=_UNCAPPED)
+    for config in (
+        SemanticConfig.syntactic(),
+        SemanticConfig.synonyms_only(),
+        SemanticConfig(enable_mappings=False),
+        SemanticConfig(),
+    )
+)
+
+
+def _match_sets(seed: int, n_subs: int, n_events: int) -> list[set]:
+    generator = SemanticWorkloadGenerator(_KB, SemanticSpec.jobs(seed=seed))
+    subs = generator.subscriptions(n_subs)
+    evts = generator.events(n_events)
+    results = []
+    for config in _LADDER:
+        engine = SToPSS(_KB, config=config)
+        for sub in subs:
+            engine.subscribe(sub)
+        matched = set()
+        for event in evts:
+            for match in engine.publish(event):
+                matched.add((event.event_id, match.subscription.sub_id))
+        results.append(matched)
+        for sub in subs:
+            engine.unsubscribe(sub.sub_id)
+    return results
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_stage_ladder_is_monotone(seed):
+    sets = _match_sets(seed, n_subs=20, n_events=10)
+    for weaker, stronger in zip(sets, sets[1:]):
+        assert weaker <= stronger, (
+            f"enabling a stage lost matches: {weaker - stronger}"
+        )
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_tolerance_is_monotone(seed):
+    """Raising max_generality only adds matches (claim C4)."""
+    generator = SemanticWorkloadGenerator(_KB, SemanticSpec.jobs(seed=seed))
+    subs = generator.subscriptions(15)
+    evts = generator.events(8)
+    previous: set = set()
+    for bound in (0, 1, 2, None):
+        engine = SToPSS(_KB, config=SemanticConfig(max_generality=bound,
+                                                    max_derived_events=_UNCAPPED))
+        for sub in subs:
+            engine.subscribe(sub)
+        matched = {
+            (event.event_id, match.subscription.sub_id)
+            for event in evts
+            for match in engine.publish(event)
+        }
+        assert previous <= matched, f"bound {bound} lost matches"
+        previous = matched
+        for sub in subs:
+            engine.unsubscribe(sub.sub_id)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_match_generality_respects_bound(seed):
+    generator = SemanticWorkloadGenerator(_KB, SemanticSpec.jobs(seed=seed))
+    engine = SToPSS(_KB, config=SemanticConfig(max_generality=1,
+                                               max_derived_events=_UNCAPPED))
+    for sub in generator.subscriptions(15):
+        engine.subscribe(sub)
+    for event in generator.events(8):
+        for match in engine.publish(event):
+            assert match.generality <= 1

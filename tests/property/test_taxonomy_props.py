@@ -1,0 +1,102 @@
+"""Properties of the taxonomy structure on random DAGs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TaxonomyCycleError
+from repro.ontology.taxonomy import Taxonomy
+
+_TERMS = [f"n{i}" for i in range(10)]
+
+
+@st.composite
+def random_taxonomies(draw) -> Taxonomy:
+    taxonomy = Taxonomy("t")
+    for term in _TERMS:
+        taxonomy.add_concept(term)
+    edge_count = draw(st.integers(min_value=0, max_value=18))
+    for _ in range(edge_count):
+        child = draw(st.integers(min_value=1, max_value=len(_TERMS) - 1))
+        parent = draw(st.integers(min_value=0, max_value=child - 1))
+        taxonomy.add_isa(_TERMS[child], _TERMS[parent])
+    return taxonomy
+
+
+@settings(max_examples=80, deadline=None)
+@given(taxonomy=random_taxonomies())
+def test_structure_always_validates(taxonomy):
+    assert taxonomy.validate() == []
+
+
+@settings(max_examples=80, deadline=None)
+@given(taxonomy=random_taxonomies(), data=st.data())
+def test_ancestor_descendant_duality(taxonomy, data):
+    term = data.draw(st.sampled_from(_TERMS))
+    for ancestor, distance in taxonomy.ancestors(term).items():
+        descendants = taxonomy.descendants(ancestor)
+        assert term in descendants
+        assert descendants[term] == distance
+
+
+@settings(max_examples=80, deadline=None)
+@given(taxonomy=random_taxonomies(), data=st.data())
+def test_generalization_is_a_strict_partial_order(taxonomy, data):
+    a = data.draw(st.sampled_from(_TERMS))
+    b = data.draw(st.sampled_from(_TERMS))
+    # antisymmetry
+    if taxonomy.is_generalization_of(a, b):
+        assert not taxonomy.is_generalization_of(b, a)
+    # irreflexivity
+    assert not taxonomy.is_generalization_of(a, a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomy=random_taxonomies(), data=st.data())
+def test_transitivity(taxonomy, data):
+    a = data.draw(st.sampled_from(_TERMS))
+    ups = taxonomy.ancestors(a)
+    assume(ups)
+    b = data.draw(st.sampled_from(sorted(ups)))
+    ups_b = taxonomy.ancestors(b)
+    for c in ups_b:
+        assert taxonomy.is_generalization_of(c, a)
+        # triangle inequality on minimum distances
+        assert taxonomy.ancestors(a)[c] <= ups[b] + ups_b[c]
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomy=random_taxonomies(), data=st.data())
+def test_closing_a_cycle_always_raises(taxonomy, data):
+    term = data.draw(st.sampled_from(_TERMS))
+    ancestors = taxonomy.ancestors(term)
+    assume(ancestors)
+    ancestor = data.draw(st.sampled_from(sorted(ancestors)))
+    with pytest.raises(TaxonomyCycleError):
+        taxonomy.add_isa(ancestor, term)
+
+
+@settings(max_examples=60, deadline=None)
+@given(taxonomy=random_taxonomies())
+def test_depth_bounds_all_distances(taxonomy):
+    depth = taxonomy.depth()
+    for term in _TERMS:
+        for distance in taxonomy.ancestors(term).values():
+            assert distance <= depth
+
+
+@settings(max_examples=40, deadline=None)
+@given(taxonomy=random_taxonomies(), data=st.data())
+def test_lca_is_common_ancestor(taxonomy, data):
+    a = data.draw(st.sampled_from(_TERMS))
+    b = data.draw(st.sampled_from(_TERMS))
+    lca = taxonomy.lowest_common_ancestor(a, b)
+    if lca is None:
+        up_a = set(taxonomy.ancestors(a)) | {a}
+        up_b = set(taxonomy.ancestors(b)) | {b}
+        assert not (up_a & up_b)
+    else:
+        for term in (a, b):
+            assert lca == term or taxonomy.is_generalization_of(lca, term)

@@ -1,0 +1,79 @@
+"""Properties of the value substrate (ordering, equality, keys)."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.model.values import (
+    canonical_value_key,
+    compare_values,
+    values_comparable,
+    values_equal,
+)
+
+from .strategies import scalar_value
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=scalar_value)
+def test_equality_reflexive(a):
+    assert values_equal(a, a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=scalar_value, b=scalar_value)
+def test_equality_symmetric(a, b):
+    assert values_equal(a, b) == values_equal(b, a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=scalar_value, b=scalar_value)
+def test_canonical_key_consistent_with_equality(a, b):
+    if values_equal(a, b):
+        assert canonical_value_key(a) == canonical_value_key(b)
+    else:
+        assert canonical_value_key(a) != canonical_value_key(b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=scalar_value, b=scalar_value)
+def test_comparability_symmetric(a, b):
+    assert values_comparable(a, b) == values_comparable(b, a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pair=st.one_of(
+    st.tuples(st.integers(-50, 50), st.floats(-50, 50, allow_nan=False)),
+    st.tuples(st.text(max_size=5), st.text(max_size=5)),
+))
+def test_comparison_antisymmetric(pair):
+    a, b = pair
+    assert compare_values(a, b) == -compare_values(b, a)
+
+
+from .strategies import int_value, period_value, string_value
+
+#: Triples drawn from one type family, so comparability is guaranteed.
+comparable_triple = st.one_of(
+    st.tuples(int_value, int_value, int_value),
+    st.tuples(string_value, string_value, string_value),
+    st.tuples(period_value, period_value, period_value),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(triple=comparable_triple)
+def test_comparison_transitive(triple):
+    a, b, c = triple
+    if compare_values(a, b) <= 0 and compare_values(b, c) <= 0:
+        assert compare_values(a, c) <= 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=scalar_value, b=scalar_value)
+def test_zero_comparison_matches_equality_for_numbers(a, b):
+    assume(values_comparable(a, b))
+    # Periods order by (start, end) where equality is structural, so the
+    # zero-comparison/equality correspondence holds for every type.
+    assert (compare_values(a, b) == 0) == values_equal(a, b)

@@ -1,0 +1,149 @@
+"""Unit tests for the event dispatcher and broker facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.clients import ClientKind
+from repro.core.config import SemanticConfig
+from repro.errors import BrokerError, UnknownClientError, UnknownSubscriptionError
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.domains import build_jobs_knowledge_base
+
+
+@pytest.fixture
+def broker() -> Broker:
+    return Broker(build_jobs_knowledge_base())
+
+
+class TestRoles:
+    def test_publisher_cannot_subscribe(self, broker):
+        publisher = broker.register_publisher("Ada")
+        with pytest.raises(BrokerError):
+            broker.subscribe(publisher.client_id, "(a = 1)")
+
+    def test_subscriber_cannot_publish(self, broker):
+        subscriber = broker.register_subscriber("Initech", email="hr@x")
+        with pytest.raises(BrokerError):
+            broker.publish(subscriber.client_id, "(a, 1)")
+
+    def test_both_can_do_both(self, broker):
+        client = broker.register_client("omni", kind=ClientKind.BOTH, tcp="h:1")
+        broker.subscribe(client.client_id, "(degree = PhD)")
+        report = broker.publish(client.client_id, "(degree, PhD)")
+        assert report.match_count == 1
+
+    def test_unknown_client(self, broker):
+        with pytest.raises(UnknownClientError):
+            broker.subscribe("ghost", "(a = 1)")
+        with pytest.raises(UnknownClientError):
+            broker.publish("ghost", "(a, 1)")
+
+
+class TestSubscriptionBinding:
+    def test_subscriber_id_bound(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        sub = broker.subscribe(company.client_id, "(degree = PhD)")
+        assert sub.subscriber_id == company.client_id
+
+    def test_subscriptions_of(self, broker):
+        a = broker.register_subscriber("A", email="a@x")
+        b = broker.register_subscriber("B", email="b@x")
+        broker.subscribe(a.client_id, "(x = 1)")
+        broker.subscribe(b.client_id, "(y = 2)")
+        assert len(broker.dispatcher.subscriptions_of(a.client_id)) == 1
+
+    def test_unsubscribe(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        sub = broker.subscribe(company.client_id, "(degree = PhD)")
+        broker.unsubscribe(sub.sub_id)
+        report = broker.publish(
+            broker.register_publisher("Ada").client_id, "(degree, PhD)"
+        )
+        assert report.match_count == 0
+        with pytest.raises(UnknownSubscriptionError):
+            broker.unsubscribe(sub.sub_id)
+
+    def test_max_generality_pass_through(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        sub = broker.subscribe(
+            company.client_id, "(degree = degree)", max_generality=1
+        )
+        assert sub.max_generality == 1
+
+    def test_subscription_object_accepted(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        sub = broker.subscribe(
+            company.client_id, parse_subscription("(degree = PhD)"), max_generality=2
+        )
+        assert sub.max_generality == 2
+
+
+class TestPublishing:
+    def test_event_stamped_with_publisher(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        broker.subscribe(company.client_id, "(degree = PhD)")
+        candidate = broker.register_publisher("Ada")
+        report = broker.publish(candidate.client_id, "(degree, PhD)")
+        assert report.event.publisher_id == candidate.client_id
+
+    def test_notifications_reach_subscriber(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        broker.subscribe(company.client_id, "(degree = PhD)")
+        candidate = broker.register_publisher("Ada")
+        report = broker.publish(candidate.client_id, "(degree, PhD)")
+        assert report.delivered_count == 1
+        assert len(broker.notifier.delivered_to(company.client_id)) == 1
+
+    def test_event_object_accepted(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        broker.subscribe(company.client_id, "(degree = PhD)")
+        candidate = broker.register_publisher("Ada")
+        report = broker.publish(candidate.client_id, parse_event("(degree, PhD)"))
+        assert report.match_count == 1
+
+    def test_reports_accumulate(self, broker):
+        candidate = broker.register_publisher("Ada")
+        broker.publish(candidate.client_id, "(a, 1)")
+        broker.publish(candidate.client_id, "(a, 2)")
+        assert len(broker.dispatcher.reports) == 2
+
+
+class TestModes:
+    def test_mode_switching(self, broker):
+        assert broker.mode == "semantic"
+        broker.set_syntactic_mode()
+        assert broker.mode == "syntactic"
+        broker.set_semantic_mode()
+        assert broker.mode == "semantic"
+
+    def test_mode_affects_matching(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        broker.subscribe(company.client_id, "(university = Toronto)")
+        candidate = broker.register_publisher("Ada")
+        assert broker.publish(candidate.client_id, "(school, Toronto)").match_count == 1
+        broker.set_syntactic_mode()
+        assert broker.publish(candidate.client_id, "(school, Toronto)").match_count == 0
+
+    def test_config_injection(self):
+        broker = Broker(build_jobs_knowledge_base(), config=SemanticConfig.syntactic())
+        assert broker.mode == "syntactic"
+
+
+class TestStats:
+    def test_stats_shape(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        broker.subscribe(company.client_id, "(degree = PhD)")
+        candidate = broker.register_publisher("Ada")
+        broker.publish(candidate.client_id, "(degree, PhD)")
+        stats = broker.stats()
+        assert stats["clients"] == 2
+        assert stats["subscriptions"] == 1
+        assert stats["publications"] == 1
+        assert stats["matches"] == 1
+        assert stats["deliveries"] == 1
+
+    def test_default_loopback_address(self, broker):
+        client = broker.register_subscriber("NoAddress")
+        assert client.preferred_transports() == ("tcp",)

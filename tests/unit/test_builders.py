@@ -1,0 +1,70 @@
+"""Unit tests for repro.ontology.builders."""
+
+from __future__ import annotations
+
+from repro.model.events import Event
+from repro.ontology.builders import KnowledgeBaseBuilder
+from repro.ontology.mappingdefs import MappingContext, MappingRule
+
+
+class TestBuilder:
+    def test_full_fluent_chain(self):
+        kb = (
+            KnowledgeBaseBuilder("demo")
+            .attribute_synonyms("university", "school", "college")
+            .value_synonyms("car", "automobile", root="car")
+            .domain("jobs")
+            .chain("PhD", "doctorate", "graduate degree", "degree")
+            .isa("MSc", "graduate degree")
+            .concept("lonely concept", "a gloss")
+            .computed("exp", "professional_experience", "present_year - graduation_year")
+            .equivalence("cobol", {"skill": "COBOL"}, {"position": "mainframe developer"})
+            .up()
+            .domain("vehicles")
+            .chain("sedan", "car", "vehicle")
+            .attribute_synonyms("make", "brand")
+            .up()
+            .build()
+        )
+        assert kb.root_attribute("school") == "university"
+        assert kb.root_attribute("brand") == "make"
+        assert kb.generalization_distance("PhD", "degree") == 3
+        assert kb.generalization_distance("MSc", "graduate degree") == 1
+        assert kb.generalization_distance("automobile", "vehicle") == 1
+        assert len(kb.rules()) == 2
+        assert kb.taxonomy("jobs").concept("lonely concept").description == "a gloss"
+
+    def test_domain_to_domain_jump(self):
+        kb = (
+            KnowledgeBaseBuilder()
+            .domain("a")
+            .chain("x", "y")
+            .domain("b")
+            .chain("p", "q")
+            .build()
+        )
+        assert kb.has_domain("a") and kb.has_domain("b")
+
+    def test_value_synonyms_on_domain_scope(self):
+        kb = (
+            KnowledgeBaseBuilder()
+            .domain("v")
+            .value_synonyms("car", "auto")
+            .build()
+        )
+        assert kb.value_root("auto") == "car"
+
+    def test_rule_object_pass_through(self):
+        rule = MappingRule.computed("r", "out", "x + 1", requires=["x"])
+        kb = KnowledgeBaseBuilder().rule(rule).build()
+        derived = kb.rules()[0].apply(Event({"x": 1}), MappingContext())
+        assert derived["out"] == 2
+
+    def test_merge(self):
+        base = KnowledgeBaseBuilder().domain("a").chain("x", "y").build()
+        kb = KnowledgeBaseBuilder("big").merge(base).build()
+        assert kb.generalization_distance("x", "y") == 1
+
+    def test_build_from_domain_scope(self):
+        kb = KnowledgeBaseBuilder().domain("d").chain("a", "b").build()
+        assert kb.has_domain("d")

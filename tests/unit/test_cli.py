@@ -1,0 +1,88 @@
+"""Unit tests for the stopss command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_available(self):
+        parser = build_parser()
+        for argv in (
+            ["demo"],
+            ["match", "(a = 1)", "(a, 1)"],
+            ["explain", "(a, 1)"],
+            ["kb"],
+            ["serve"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDemo:
+    def test_demo_prints_both_modes(self, capsys):
+        assert main(["demo", "--companies", "3", "--candidates", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "semantic" in out and "syntactic" in out
+
+    def test_demo_seed_reproducible(self, capsys):
+        main(["demo", "--companies", "3", "--candidates", "6", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["demo", "--companies", "3", "--candidates", "6", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestMatch:
+    def test_semantic_match_exit_zero(self, capsys):
+        code = main(
+            ["match", "(university = Toronto) and (professional experience >= 4)",
+             "(school, Toronto)(graduation_year, 1990)"]
+        )
+        assert code == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_no_match_exit_one(self, capsys):
+        code = main(["match", "(university = Toronto)", "(city, Ottawa)"])
+        assert code == 1
+        assert "NO MATCH" in capsys.readouterr().out
+
+    def test_syntactic_flag(self, capsys):
+        code = main(
+            ["match", "--syntactic", "(university = Toronto)", "(school, Toronto)"]
+        )
+        assert code == 1
+
+    def test_parse_error_exit_two(self, capsys):
+        code = main(["match", "garbage", "(a, 1)"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_lists_derivations(self, capsys):
+        assert main(["explain", "(degree, PhD)"]) == 0
+        out = capsys.readouterr().out
+        assert "derived event" in out
+        assert "iteration" in out
+
+    def test_max_generality(self, capsys):
+        main(["explain", "(degree, PhD)", "--max-generality", "0"])
+        zero = capsys.readouterr().out
+        main(["explain", "(degree, PhD)"])
+        unlimited = capsys.readouterr().out
+        assert len(unlimited) > len(zero)
+
+
+class TestKb:
+    def test_kb_stats(self, capsys):
+        assert main(["kb"]) == 0
+        out = capsys.readouterr().out
+        for domain in ("jobs", "vehicles", "electronics"):
+            assert domain in out
+        assert "mapping rules" in out

@@ -1,0 +1,188 @@
+"""Unit tests for the S-ToPSS engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.errors import UnknownSubscriptionError
+from repro.matching import CountingMatcher, matcher_names
+from repro.model.events import Event
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingRule
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_attribute_synonyms(["school"], root="university")
+    kb.add_domain("jobs").add_chain("PhD", "graduate degree", "degree")
+    kb.add_rule(
+        MappingRule.computed(
+            "exp", "professional_experience", "present_year - graduation_year"
+        )
+    )
+    return kb
+
+
+@pytest.fixture
+def engine() -> SToPSS:
+    return SToPSS(_kb(), config=SemanticConfig(present_year=2003))
+
+
+class TestSubscriptionLifecycle:
+    def test_subscribe_returns_root_form(self, engine):
+        sub = parse_subscription("(school = Toronto)", sub_id="s1")
+        root = engine.subscribe(sub)
+        assert root.attributes() == ("university",)
+        assert len(engine) == 1 and "s1" in engine
+
+    def test_original_reported_back(self, engine):
+        sub = parse_subscription("(school = Toronto)", sub_id="s1")
+        engine.subscribe(sub)
+        assert next(iter(engine.subscriptions())) is sub
+
+    def test_unsubscribe(self, engine):
+        engine.subscribe(parse_subscription("(a = 1)", sub_id="s1"))
+        removed = engine.unsubscribe("s1")
+        assert removed.sub_id == "s1"
+        assert len(engine) == 0
+        with pytest.raises(UnknownSubscriptionError):
+            engine.unsubscribe("s1")
+
+    def test_insertion_order_preserved(self, engine):
+        for sub_id in ("z", "a", "m"):
+            engine.subscribe(parse_subscription("(k = 1)", sub_id=sub_id))
+        assert [s.sub_id for s in engine.subscriptions()] == ["z", "a", "m"]
+
+
+class TestPublish:
+    def test_syntactic_match_reported_as_original(self, engine):
+        engine.subscribe(parse_subscription("(university = Toronto)", sub_id="s1"))
+        matches = engine.publish(parse_event("(university, Toronto)"))
+        assert len(matches) == 1
+        assert not matches[0].is_semantic
+        assert matches[0].generality == 0
+
+    def test_synonym_match(self, engine):
+        engine.subscribe(parse_subscription("(university = Toronto)", sub_id="s1"))
+        matches = engine.publish(parse_event("(school, Toronto)"))
+        assert len(matches) == 1
+        assert matches[0].is_semantic
+
+    def test_hierarchy_match_generality(self, engine):
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="general"))
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert matches[0].generality == 2
+
+    def test_least_general_derivation_wins(self, engine):
+        engine.subscribe(parse_subscription("(degree = PhD)", sub_id="exact"))
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert matches[0].generality == 0 and not matches[0].is_semantic
+
+    def test_each_subscription_reported_once(self, engine):
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="any"))
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert [m.subscription.sub_id for m in matches] == ["any"]
+
+    def test_match_order_is_subscription_order(self, engine):
+        for sub_id in ("s3", "s1", "s2"):
+            engine.subscribe(parse_subscription("(degree exists)", sub_id=sub_id))
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert [m.subscription.sub_id for m in matches] == ["s3", "s1", "s2"]
+
+    def test_mapping_match(self, engine):
+        engine.subscribe(
+            parse_subscription("(professional_experience >= 4)", sub_id="exp")
+        )
+        matches = engine.publish(parse_event("(graduation_year, 1993)"))
+        assert len(matches) == 1
+        assert matches[0].matched_via.steps[-1].rule == "exp"
+
+    def test_publications_counted(self, engine):
+        engine.publish(parse_event("(a, 1)"))
+        engine.publish(parse_event("(a, 2)"))
+        assert engine.publications == 2
+
+
+class TestTolerance:
+    def test_per_subscription_bound_filters(self, engine):
+        engine.subscribe(
+            parse_subscription("(degree = degree)", sub_id="strict", max_generality=1)
+        )
+        engine.subscribe(
+            parse_subscription("(degree = degree)", sub_id="loose")
+        )
+        matches = engine.publish(parse_event("(degree, PhD)"))  # distance 2
+        assert [m.subscription.sub_id for m in matches] == ["loose"]
+
+    def test_bound_equal_to_distance_passes(self, engine):
+        engine.subscribe(
+            parse_subscription("(degree = degree)", sub_id="s", max_generality=2)
+        )
+        assert len(engine.publish(parse_event("(degree, PhD)"))) == 1
+
+    def test_zero_bound_still_allows_synonym_and_mapping(self, engine):
+        engine.subscribe(
+            parse_subscription("(university = Toronto)", sub_id="syn", max_generality=0)
+        )
+        engine.subscribe(
+            parse_subscription(
+                "(professional_experience >= 4)", sub_id="map", max_generality=0
+            )
+        )
+        matches = engine.publish(
+            parse_event("(school, Toronto)(graduation_year, 1990)")
+        )
+        assert {m.subscription.sub_id for m in matches} == {"syn", "map"}
+
+
+class TestModes:
+    def test_mode_property(self, engine):
+        assert engine.mode == "semantic"
+        engine.reconfigure(SemanticConfig.syntactic())
+        assert engine.mode == "syntactic"
+
+    def test_reconfigure_rebuilds_root_forms(self, engine):
+        engine.subscribe(parse_subscription("(school = Toronto)", sub_id="s1"))
+        event = parse_event("(university, Toronto)")
+        assert len(engine.publish(event)) == 1  # root form matches
+        engine.reconfigure(SemanticConfig.syntactic())
+        assert len(engine.publish(event)) == 0  # raw 'school' no longer rewritten
+        engine.reconfigure(SemanticConfig())
+        assert len(engine.publish(event)) == 1  # and back
+
+    def test_syntactic_mode_is_plain_matching(self, engine):
+        engine.reconfigure(SemanticConfig.syntactic())
+        engine.subscribe(parse_subscription("(degree = graduate degree)", sub_id="g"))
+        assert engine.publish(parse_event("(degree, PhD)")) == []
+        assert len(engine.publish(parse_event("(degree, graduate degree)"))) == 1
+
+
+class TestMatcherPlugability:
+    @pytest.mark.parametrize("name", sorted(matcher_names()))
+    def test_all_matchers_give_same_semantics(self, name):
+        engine = SToPSS(_kb(), matcher=name, config=SemanticConfig(present_year=2003))
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="s"))
+        assert len(engine.publish(parse_event("(degree, PhD)"))) == 1
+
+    def test_matcher_instance_accepted(self):
+        matcher = CountingMatcher()
+        engine = SToPSS(_kb(), matcher=matcher)
+        assert engine.matcher is matcher
+
+
+class TestReporting:
+    def test_explain_returns_pipeline_result(self, engine):
+        result = engine.explain(parse_event("(degree, PhD)"))
+        assert len(result.derived) >= 3
+
+    def test_stats_shape(self, engine):
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="s"))
+        engine.publish(parse_event("(degree, PhD)"))
+        stats = engine.stats()
+        assert stats["mode"] == "semantic"
+        assert stats["subscriptions"] == 1
+        assert stats["publications"] == 1
+        assert "matcher_stats" in stats and "stage_stats" in stats

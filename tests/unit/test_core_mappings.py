@@ -1,0 +1,106 @@
+"""Unit tests for the mapping-function stage (paper §3.1 stage 3)."""
+
+from __future__ import annotations
+
+from repro.core.mappings import MappingStage
+from repro.core.provenance import DerivedEvent
+from repro.model.events import Event
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingContext, MappingRule, OutputMode
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_rule(
+        MappingRule.computed(
+            "exp", "professional_experience", "present_year - graduation_year"
+        )
+    )
+    kb.add_rule(
+        MappingRule.equivalence(
+            "cobol", {"skill": "COBOL"}, {"position": "mainframe developer"}
+        )
+    )
+    return kb
+
+
+def _expand(stage: MappingStage, derived: DerivedEvent):
+    return list(stage.expand(derived))
+
+
+class TestExpansion:
+    def test_applicable_rules_fire(self):
+        stage = MappingStage(_kb(), MappingContext(2003))
+        derived = _expand(stage, DerivedEvent.original(Event({"graduation_year": 1993})))
+        assert len(derived) == 1
+        assert derived[0].event["professional_experience"] == 10
+
+    def test_inapplicable_rules_skip(self):
+        stage = MappingStage(_kb(), MappingContext(2003))
+        assert _expand(stage, DerivedEvent.original(Event({"other": 1}))) == []
+
+    def test_guard_mismatch_skips(self):
+        stage = MappingStage(_kb(), MappingContext(2003))
+        derived = _expand(stage, DerivedEvent.original(Event({"skill": "Java"})))
+        assert derived == []
+
+    def test_multiple_rules_fire_independently(self):
+        stage = MappingStage(_kb(), MappingContext(2003))
+        event = Event({"graduation_year": 1993, "skill": "COBOL"})
+        derived = _expand(stage, DerivedEvent.original(event))
+        assert len(derived) == 2
+        outputs = {tuple(sorted(d.event.attributes())) for d in derived}
+        assert any("professional_experience" in attrs for attrs in outputs)
+        assert any("position" in attrs for attrs in outputs)
+
+    def test_mapping_generality_is_zero(self):
+        stage = MappingStage(_kb(), MappingContext(2003))
+        derived = _expand(stage, DerivedEvent.original(Event({"graduation_year": 1993})))
+        assert derived[0].generality == 0
+
+    def test_provenance_records_rule_name(self):
+        stage = MappingStage(_kb(), MappingContext(2003))
+        derived = _expand(stage, DerivedEvent.original(Event({"graduation_year": 1993})))
+        assert derived[0].steps[-1].rule == "exp"
+        assert derived[0].steps[-1].stage == "mapping"
+
+
+class TestLoopControl:
+    def test_rule_never_refires_on_own_chain(self):
+        stage = MappingStage(_kb(), MappingContext(2003))
+        first = _expand(stage, DerivedEvent.original(Event({"graduation_year": 1993})))[0]
+        assert _expand(stage, first) == []
+
+    def test_ping_pong_rewrites_terminate(self):
+        kb = KnowledgeBase()
+        kb.add_rule(MappingRule.computed(
+            "to-km", "km", "miles * 2", requires=["miles"], mode=OutputMode.REPLACE))
+        kb.add_rule(MappingRule.computed(
+            "to-miles", "miles", "km / 2", requires=["km"], mode=OutputMode.REPLACE))
+        stage = MappingStage(kb, MappingContext())
+        root = DerivedEvent.original(Event({"miles": 10}))
+        first = _expand(stage, root)
+        assert len(first) == 1 and first[0].event["km"] == 20
+        second = _expand(stage, first[0])
+        # to-miles fires (reconstructing the original), to-km must not re-fire
+        assert {d.steps[-1].rule for d in second} == {"to-miles"}
+        third = _expand(stage, second[0])
+        assert third == []
+
+
+class TestContextPlumb:
+    def test_present_year_respected(self):
+        stage = MappingStage(_kb(), MappingContext(1999))
+        derived = _expand(stage, DerivedEvent.original(Event({"graduation_year": 1993})))
+        assert derived[0].event["professional_experience"] == 6
+
+    def test_default_context(self):
+        stage = MappingStage(_kb())
+        assert stage.context.present_year == 2003  # paper year
+
+    def test_stats(self):
+        stage = MappingStage(_kb(), MappingContext(2003))
+        _expand(stage, DerivedEvent.original(Event({"graduation_year": 1993})))
+        snap = stage.stats.snapshot()
+        assert snap["events_in"] == 1
+        assert snap["events_out"] == 1

@@ -1,0 +1,183 @@
+"""Unit tests for the semantic pipeline (Figure 1 composition)."""
+
+from __future__ import annotations
+
+from repro.core.config import SemanticConfig
+from repro.core.pipeline import SemanticPipeline
+from repro.model.events import Event
+from repro.model.parser import parse_subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingRule
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_attribute_synonyms(["school"], root="university")
+    jobs = kb.add_domain("jobs")
+    jobs.add_chain("PhD", "graduate degree", "degree")
+    jobs.add_chain("COBOL programming", "software development")
+    kb.add_rule(
+        MappingRule.computed(
+            "exp", "professional_experience", "present_year - graduation_year"
+        )
+    )
+    # A rule that triggers on a *generalized* value: only reachable after
+    # the hierarchy stage ran, proving the fixpoint loop composes stages.
+    kb.add_rule(
+        MappingRule.equivalence(
+            "grad-flag", {"degree": "graduate degree"}, {"is_graduate": True}
+        )
+    )
+    return kb
+
+
+class TestSynonymFirst:
+    def test_root_event_is_first(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig(present_year=2003))
+        result = pipeline.process_event(Event({"school": "Toronto"}))
+        assert result.derived[0].event["university"] == "Toronto"
+        assert result.derived[0].steps  # synonym step recorded
+
+    def test_subscription_only_synonym_stage(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig())
+        sub = parse_subscription("(school = Toronto) and (degree = PhD)")
+        root = pipeline.process_subscription(sub)
+        assert root.attributes() == ("university", "degree")
+        # hierarchy/mapping must NOT touch subscriptions
+        assert len(root) == 2
+
+    def test_subscription_untouched_when_synonyms_disabled(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig(enable_synonyms=False))
+        sub = parse_subscription("(school = Toronto)")
+        assert pipeline.process_subscription(sub) is sub
+
+
+class TestFixpoint:
+    def test_hierarchy_feeds_mappings(self):
+        # PhD --hierarchy--> graduate degree --mapping--> is_graduate
+        pipeline = SemanticPipeline(_kb(), SemanticConfig(present_year=2003))
+        result = pipeline.process_event(Event({"degree": "PhD"}))
+        flagged = [d for d in result.derived if d.event.get("is_graduate") is True]
+        assert flagged, "mapping on generalized value must fire in a later iteration"
+        assert result.iterations >= 2
+
+    def test_mapping_feeds_hierarchy(self):
+        kb = _kb()
+        kb.add_rule(
+            MappingRule.equivalence(
+                "skillify", {"language": "COBOL"}, {"skill": "COBOL programming"}
+            )
+        )
+        pipeline = SemanticPipeline(kb, SemanticConfig())
+        result = pipeline.process_event(Event({"language": "COBOL"}))
+        generalized = [
+            d for d in result.derived if d.event.get("skill") == "software development"
+        ]
+        assert generalized, "hierarchy must generalize mapping-produced values"
+
+    def test_termination_without_new_events(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig())
+        result = pipeline.process_event(Event({"unrelated": 42}))
+        assert len(result.derived) == 1
+        assert result.iterations == 0
+
+    def test_iteration_cap_respected(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig(max_iterations=1))
+        result = pipeline.process_event(Event({"degree": "PhD"}))
+        assert result.iterations <= 1
+        assert all(d.event.get("is_graduate") is None for d in result.derived)
+
+
+class TestDeduplication:
+    def test_same_content_once(self):
+        kb = KnowledgeBase()
+        domain = kb.add_domain("d")
+        # diamond: two paths to "top"
+        domain.add_chain("x", "left", "top")
+        domain.add_chain("x", "right", "top")
+        pipeline = SemanticPipeline(kb, SemanticConfig())
+        result = pipeline.process_event(Event({"v": "x"}))
+        tops = [d for d in result.derived if d.event["v"] == "top"]
+        assert len(tops) == 1
+
+    def test_cheapest_derivation_kept(self):
+        kb = KnowledgeBase()
+        domain = kb.add_domain("d")
+        domain.add_chain("x", "mid", "top")
+        domain.add_isa("x", "top")  # direct shortcut, distance 1
+        pipeline = SemanticPipeline(kb, SemanticConfig())
+        result = pipeline.process_event(Event({"v": "x"}))
+        top = next(d for d in result.derived if d.event["v"] == "top")
+        assert top.generality == 1
+
+    def test_signature_lookup(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig())
+        result = pipeline.process_event(Event({"degree": "PhD"}))
+        some = result.derived[-1]
+        assert result.lookup(some.event.signature) is some
+        assert result.lookup(frozenset({("nope", ("num", 1))})) is None
+
+
+class TestBudgets:
+    def test_generality_budget_prunes_expansion(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig(max_generality=1))
+        result = pipeline.process_event(Event({"degree": "PhD"}))
+        assert all(d.generality <= 1 for d in result.derived)
+        values = {d.event["degree"] for d in result.derived}
+        assert "degree" not in values  # distance 2 is pruned
+
+    def test_budget_composes_across_iterations(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig(max_generality=2))
+        result = pipeline.process_event(Event({"degree": "PhD"}))
+        assert all(d.generality <= 2 for d in result.derived)
+        values = {d.event["degree"] for d in result.derived}
+        assert "degree" in values  # reachable via 1+1 or direct 2
+
+    def test_truncation_flag(self):
+        config = SemanticConfig(max_derived_events=2)
+        pipeline = SemanticPipeline(_kb(), config)
+        result = pipeline.process_event(Event({"degree": "PhD", "graduation_year": 1993}))
+        assert result.truncated
+        assert len(result.derived) <= 2
+        assert pipeline.truncation_count == 1
+
+
+class TestResultViews:
+    def test_semantic_only_excludes_root(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig())
+        result = pipeline.process_event(Event({"degree": "PhD"}))
+        semantic = result.semantic_only()
+        assert all(not d.is_original for d in semantic)
+
+    def test_events_view(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig())
+        result = pipeline.process_event(Event({"degree": "PhD"}))
+        assert len(result.events()) == len(result)
+
+    def test_stage_stats_shape(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig())
+        pipeline.process_event(Event({"degree": "PhD"}))
+        stats = pipeline.stage_stats()
+        assert set(stats) == {"synonym", "hierarchy", "mapping"}
+
+
+class TestStageToggles:
+    def test_syntactic_mode_is_identity(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig.syntactic())
+        event = Event({"school": "Toronto", "degree": "PhD"})
+        result = pipeline.process_event(event)
+        assert len(result.derived) == 1
+        assert result.derived[0].event is event
+
+    def test_hierarchy_only(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig.hierarchy_only())
+        result = pipeline.process_event(Event({"school": "x", "degree": "PhD"}))
+        assert all("school" in d.event for d in result.derived)  # no synonym rewrite
+        assert any(d.event["degree"] == "degree" for d in result.derived)
+        assert all("professional_experience" not in d.event for d in result.derived)
+
+    def test_mappings_only(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig.mappings_only())
+        result = pipeline.process_event(Event({"graduation_year": 1993}))
+        assert any("professional_experience" in d.event for d in result.derived)
+        assert all(d.generality == 0 for d in result.derived)

@@ -1,0 +1,116 @@
+"""Unit tests for the stemming extension stage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.core.provenance import DerivedEvent
+from repro.core.stemming import StemmingStage, stem_phrase, stem_word
+from repro.model.events import Event
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+
+class TestStemmer:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("developers", "developer"),
+            ("developer", "developer"),
+            ("programming", "programm"),
+            ("cities", "city"),
+            ("classes", "class"),
+            ("matched", "match"),
+            ("engineers", "engineer"),
+            ("is", "is"),          # stop word
+            ("bus", "bus"),        # stop word
+            ("cat", "cat"),        # too short to touch
+        ],
+    )
+    def test_stem_word(self, word, expected):
+        assert stem_word(word) == expected
+
+    def test_case_preserved_on_stem(self):
+        assert stem_word("Developers") == "Developer"
+
+    def test_stem_phrase(self):
+        assert stem_phrase("senior java developers") == "senior java developer"
+
+    def test_single_rule_application(self):
+        # not recursively stemmed to nonsense
+        assert stem_word("buildings") == "building"
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_domain("jobs").add_chain("java developer", "developer", "employee")
+    return kb
+
+
+class TestStemmingStage:
+    def test_stems_only_known_terms(self):
+        stage = StemmingStage(_kb())
+        derived = list(stage.expand(DerivedEvent.original(
+            Event({"position": "java developers", "note": "unknown wordses"})
+        )))
+        assert len(derived) == 1
+        assert derived[0].event["position"] == "java developer"
+        assert derived[0].generality == 0
+        assert derived[0].steps[-1].stage == "stemming"
+
+    def test_no_op_on_canonical_terms(self):
+        stage = StemmingStage(_kb())
+        assert list(stage.expand(DerivedEvent.original(
+            Event({"position": "java developer"})
+        ))) == []
+
+    def test_non_string_values_ignored(self):
+        stage = StemmingStage(_kb())
+        assert list(stage.expand(DerivedEvent.original(Event({"n": 5})))) == []
+
+
+class TestEngineIntegration:
+    def test_extra_stage_feeds_hierarchy(self):
+        """'java developers' stems to the known term, which then
+        generalizes up to 'employee' — custom stages compose with the
+        built-in ones through the Figure 1 fixpoint."""
+        kb = _kb()
+        engine = SToPSS(kb, extra_stages=(StemmingStage(kb),))
+        engine.subscribe(parse_subscription("(position = employee)", sub_id="hr"))
+        matches = engine.publish(parse_event("(position, java developers)"))
+        assert [m.subscription.sub_id for m in matches] == ["hr"]
+        stages = [s.stage for s in matches[0].matched_via.steps]
+        assert "stemming" in stages and "hierarchy" in stages
+
+    def test_without_extra_stage_no_match(self):
+        kb = _kb()
+        engine = SToPSS(kb)
+        engine.subscribe(parse_subscription("(position = employee)", sub_id="hr"))
+        assert engine.publish(parse_event("(position, java developers)")) == []
+
+    def test_syntactic_mode_disables_extra_stages(self):
+        kb = _kb()
+        engine = SToPSS(
+            kb,
+            config=SemanticConfig.syntactic(),
+            extra_stages=(StemmingStage(kb),),
+        )
+        engine.subscribe(parse_subscription("(position = java developer)", sub_id="s"))
+        assert engine.publish(parse_event("(position, java developers)")) == []
+
+    def test_reconfigure_keeps_extra_stages(self):
+        kb = _kb()
+        engine = SToPSS(kb, extra_stages=(StemmingStage(kb),))
+        engine.subscribe(parse_subscription("(position = employee)", sub_id="hr"))
+        engine.reconfigure(SemanticConfig.syntactic())
+        assert engine.publish(parse_event("(position, java developers)")) == []
+        engine.reconfigure(SemanticConfig())
+        assert len(engine.publish(parse_event("(position, java developers)"))) == 1
+
+    def test_stage_stats_reported(self):
+        kb = _kb()
+        engine = SToPSS(kb, extra_stages=(StemmingStage(kb),))
+        engine.publish(parse_event("(position, java developers)"))
+        assert "stemming" in engine.stats()["stage_stats"]

@@ -1,0 +1,130 @@
+"""Unit tests for the subscription-side expansion alternative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.core.subexpand import SubscriptionExpandingEngine, expand_subscription
+from repro.model.parser import parse_event, parse_subscription
+from repro.model.predicates import Operator
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.ontology.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def kb() -> KnowledgeBase:
+    return build_jobs_knowledge_base()
+
+
+class TestExpandSubscription:
+    def test_eq_on_taxonomy_term_becomes_in(self, kb):
+        sub = parse_subscription("(degree = graduate degree)", sub_id="s")
+        expanded = expand_subscription(sub, kb)
+        (pred,) = expanded.predicates
+        assert pred.operator is Operator.IN
+        assert {"graduate degree", "PhD", "MSc", "doctorate"} <= set(pred.operand)
+
+    def test_identity_preserved(self, kb):
+        sub = parse_subscription("(degree = PhD)", sub_id="keep-id")
+        expanded = expand_subscription(sub, kb)
+        assert expanded.sub_id == "keep-id"
+
+    def test_non_taxonomy_predicates_untouched(self, kb):
+        sub = parse_subscription(
+            "(professional_experience >= 4) and (name = Unknown Person)", sub_id="s"
+        )
+        assert expand_subscription(sub, kb) is sub
+
+    def test_bound_limits_descendants(self, kb):
+        sub = parse_subscription("(degree = degree)", sub_id="s")
+        bounded = expand_subscription(sub, kb, max_generality=1)
+        (pred,) = bounded.predicates
+        assert "graduate degree" in pred.operand  # distance 1
+        assert "PhD" not in pred.operand          # distance 3
+
+    def test_per_subscription_bound_wins(self, kb):
+        sub = parse_subscription("(degree = degree)", sub_id="s", max_generality=1)
+        expanded = expand_subscription(sub, kb, max_generality=None)
+        (pred,) = expanded.predicates
+        assert "PhD" not in pred.operand
+
+    def test_value_synonyms_included(self, kb):
+        sub = parse_subscription("(degree = PhD)", sub_id="s")
+        expanded = expand_subscription(sub, kb)
+        (pred,) = expanded.predicates
+        assert pred.operator is Operator.IN
+        assert "doctor of philosophy" in pred.operand
+
+
+class TestEngineEquivalence:
+    """On equality-over-terms workloads, subscription-side expansion and
+    the event-side hierarchy stage produce the same matches."""
+
+    CASES = [
+        ("(degree = graduate degree)", "(degree, PhD)", True),
+        ("(degree = degree)", "(degree, MSc)", True),
+        ("(degree = PhD)", "(degree, graduate degree)", False),  # rule R2
+        ("(position = developer)", "(position, java developer)", True),
+        ("(skill = software development)", "(skill, COBOL programming)", True),
+        ("(university = Canadian university)", "(school, Toronto)", True),
+        ("(degree = MSc)", "(degree, PhD)", False),
+    ]
+
+    @pytest.mark.parametrize("sub_text,event_text,expected", CASES)
+    def test_agreement_with_event_side_engine(self, kb, sub_text, event_text, expected):
+        event_side = SToPSS(kb)
+        sub_side = SubscriptionExpandingEngine(kb)
+        event_side.subscribe(parse_subscription(sub_text, sub_id="a"))
+        sub_side.subscribe(parse_subscription(sub_text, sub_id="b"))
+        event = parse_event(event_text)
+        assert bool(event_side.publish(event)) is expected
+        assert bool(sub_side.publish(event)) is expected
+
+    def test_mapping_functions_still_run(self, kb):
+        engine = SubscriptionExpandingEngine(kb)
+        engine.subscribe(
+            parse_subscription("(professional_experience >= 4)", sub_id="s")
+        )
+        matches = engine.publish(parse_event("(graduation_year, 1990)"))
+        assert len(matches) == 1
+
+    def test_synonyms_still_run(self, kb):
+        engine = SubscriptionExpandingEngine(kb)
+        engine.subscribe(parse_subscription("(university = Toronto)", sub_id="s"))
+        assert len(engine.publish(parse_event("(school, Toronto)"))) == 1
+
+    def test_no_per_event_hierarchy_expansion(self, kb):
+        engine = SubscriptionExpandingEngine(kb)
+        result = engine.explain(parse_event("(degree, PhD)"))
+        # mapping-derived events may exist, but no hierarchy steps
+        assert all(
+            step.stage != "hierarchy"
+            for derived in result.derived
+            for step in derived.steps
+        )
+
+
+class TestStaleness:
+    def test_new_concepts_invisible_until_refresh(self):
+        kb = KnowledgeBase()
+        kb.add_domain("d").add_chain("sedan", "car")
+        engine = SubscriptionExpandingEngine(kb)
+        engine.subscribe(parse_subscription("(v = car)", sub_id="s"))
+        assert len(engine.publish(parse_event("(v, sedan)"))) == 1
+        # taxonomy evolves after subscribe
+        kb.taxonomy("d").add_isa("coupe", "car")
+        assert engine.publish(parse_event("(v, coupe)")) == []
+        assert engine.stale_subscriptions() == ["s"]
+        assert engine.refresh() == 1
+        assert len(engine.publish(parse_event("(v, coupe)"))) == 1
+        assert engine.stale_subscriptions() == []
+
+    def test_event_side_engine_has_no_staleness(self):
+        kb = KnowledgeBase()
+        kb.add_domain("d").add_chain("sedan", "car")
+        engine = SToPSS(kb)
+        engine.subscribe(parse_subscription("(v = car)", sub_id="s"))
+        kb.taxonomy("d").add_isa("coupe", "car")
+        assert len(engine.publish(parse_event("(v, coupe)"))) == 1

@@ -1,0 +1,82 @@
+"""Unit tests for the synonym stage (paper §3.1 stage 1)."""
+
+from __future__ import annotations
+
+from repro.core.synonyms import SynonymStage
+from repro.model.events import Event
+from repro.model.parser import parse_subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_attribute_synonyms(["school", "college"], root="university")
+    kb.add_attribute_synonyms(["pay", "compensation"], root="salary")
+    return kb
+
+
+class TestEventRewrite:
+    def test_rewrites_to_root(self):
+        stage = SynonymStage(_kb())
+        event, steps = stage.rewrite_event(Event({"school": "Toronto", "degree": "PhD"}))
+        assert "university" in event and "school" not in event
+        assert event["degree"] == "PhD"
+        assert len(steps) == 1
+        assert steps[0].stage == "synonym"
+        assert "school" in steps[0].description
+
+    def test_multiple_renames(self):
+        stage = SynonymStage(_kb())
+        event, steps = stage.rewrite_event(Event({"school": "T", "pay": 1}))
+        assert set(event.attributes()) == {"university", "salary"}
+        assert len(steps) == 2
+
+    def test_noop_returns_same_event(self):
+        stage = SynonymStage(_kb())
+        original = Event({"degree": "PhD"})
+        event, steps = stage.rewrite_event(original)
+        assert event is original and steps == ()
+
+    def test_root_spelling_unchanged(self):
+        stage = SynonymStage(_kb())
+        original = Event({"university": "Toronto"})
+        event, _ = stage.rewrite_event(original)
+        assert event is original
+
+    def test_idempotent(self):
+        stage = SynonymStage(_kb())
+        once, _ = stage.rewrite_event(Event({"school": "T"}))
+        twice, steps = stage.rewrite_event(once)
+        assert twice is once and steps == ()
+
+    def test_values_untouched(self):
+        # Paper: the synonym stage "operates only at attribute level".
+        kb = _kb()
+        kb.add_value_synonyms(["car", "automobile"])
+        stage = SynonymStage(kb)
+        event, _ = stage.rewrite_event(Event({"item": "automobile"}))
+        assert event["item"] == "automobile"
+
+
+class TestSubscriptionRewrite:
+    def test_root_subscription(self):
+        stage = SynonymStage(_kb())
+        sub = parse_subscription("(school = Toronto) and (pay >= 50000)", sub_id="sx")
+        root = stage.rewrite_subscription(sub)
+        assert root.attributes() == ("university", "salary")
+        assert root.sub_id == "sx"  # identity preserved (Figure 1)
+
+    def test_noop_returns_same_subscription(self):
+        stage = SynonymStage(_kb())
+        sub = parse_subscription("(degree = PhD)")
+        assert stage.rewrite_subscription(sub) is sub
+
+
+class TestStats:
+    def test_counters(self):
+        stage = SynonymStage(_kb())
+        stage.rewrite_event(Event({"school": "T"}))
+        stage.rewrite_event(Event({"degree": "PhD"}))
+        snap = stage.stats.snapshot()
+        assert snap["events_in"] == 2
+        assert snap["rewrites"] == 1

@@ -1,0 +1,125 @@
+"""Coverage for the remaining interface seams: stage defaults, error
+formatting, and the webapp WSGI error-translation path."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.core.interfaces import SemanticStage, StageStats
+from repro.core.provenance import DerivedEvent
+from repro.errors import FormValidationError, ParseError, ReproError
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.webapp.app import JobFinderWebApp
+
+
+class TestSemanticStageDefaults:
+    class _Noop(SemanticStage):
+        name = "noop"
+
+    def test_default_rewrites_are_identity(self):
+        stage = self._Noop()
+        event = Event({"a": 1})
+        rewritten, steps = stage.rewrite_event(event)
+        assert rewritten is event and steps == ()
+        sub = Subscription([], sub_id="s")
+        assert stage.rewrite_subscription(sub) is sub
+
+    def test_default_expand_is_empty(self):
+        stage = self._Noop()
+        assert list(stage.expand(DerivedEvent.original(Event({})))) == []
+
+    def test_custom_stage_usable_in_engine(self):
+        """A do-nothing extra stage must not disturb matching."""
+        from repro.core.engine import SToPSS
+        from repro.model.parser import parse_event, parse_subscription
+
+        kb = build_jobs_knowledge_base()
+        engine = SToPSS(kb, extra_stages=(self._Noop(),))
+        engine.subscribe(parse_subscription("(degree = PhD)", sub_id="s"))
+        assert len(engine.publish(parse_event("(degree, PhD)"))) == 1
+
+
+class TestStageStats:
+    def test_bump_and_snapshot(self):
+        stats = StageStats()
+        stats.bump("custom", 3)
+        stats.events_in = 2
+        snap = stats.snapshot()
+        assert snap["custom"] == 3 and snap["events_in"] == 2
+
+    def test_reset(self):
+        stats = StageStats()
+        stats.bump("x")
+        stats.lookups = 5
+        stats.reset()
+        assert stats.snapshot() == {
+            "events_in": 0, "events_out": 0, "rewrites": 0, "lookups": 0,
+        }
+
+
+class TestErrorFormatting:
+    def test_parse_error_carries_position(self):
+        error = ParseError("bad clause", text="(a = )", position=3)
+        assert "position 3" in str(error)
+        assert "(a = )" in str(error)
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("plain message")) == "plain message"
+
+    def test_form_error_carries_field(self):
+        error = FormValidationError("missing", field="name")
+        assert error.field == "name"
+
+    def test_hierarchy_is_catchable_at_the_root(self):
+        for error_type in (ParseError, FormValidationError):
+            with pytest.raises(ReproError):
+                raise error_type("boom")
+
+
+class TestWebAppWsgiErrorPath:
+    def _call(self, web, method, path, form=None, accept="application/json"):
+        body = b""
+        if form:
+            from urllib.parse import urlencode
+
+            body = urlencode(form).encode()
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": "",
+            "CONTENT_LENGTH": str(len(body)),
+            "wsgi.input": io.BytesIO(body),
+            "HTTP_ACCEPT": accept,
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+
+        chunks = web.wsgi(environ, start_response)
+        return captured["status"], b"".join(chunks).decode()
+
+    def test_validation_error_is_400_over_wsgi(self):
+        web = JobFinderWebApp(Broker(build_jobs_knowledge_base()))
+        status, body = self._call(web, "POST", "/clients", {"role": "subscriber"})
+        assert status.startswith("400")
+        assert "name" in json.loads(body)["error"]
+
+    def test_success_over_wsgi(self):
+        web = JobFinderWebApp(Broker(build_jobs_knowledge_base()))
+        status, body = self._call(
+            web, "POST", "/clients", {"name": "X", "role": "publisher"}
+        )
+        assert status.startswith("201")
+        assert json.loads(body)["name"] == "X"
+
+    def test_404_over_wsgi(self):
+        web = JobFinderWebApp(Broker(build_jobs_knowledge_base()))
+        status, _ = self._call(web, "GET", "/ghost")
+        assert status.startswith("404")

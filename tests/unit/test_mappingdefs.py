@@ -1,0 +1,216 @@
+"""Unit tests for repro.ontology.mappingdefs (expressions and rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingRuleError
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.values import Period
+from repro.ontology.mappingdefs import (
+    Expr,
+    MappingContext,
+    MappingRule,
+    OutputMode,
+    Requirement,
+)
+
+CTX = MappingContext(present_year=2003)
+
+
+def _eval(text: str, event: Event, ctx: MappingContext = CTX):
+    expr = Expr.parse(text)
+    return expr.evaluate(ctx.variables(event), ctx)
+
+
+class TestExpr:
+    @pytest.mark.parametrize(
+        "text,pairs,expected",
+        [
+            ("1 + 2", {}, 3),
+            ("2 * 3 + 4", {}, 10),
+            ("2 + 3 * 4", {}, 14),
+            ("(2 + 3) * 4", {}, 20),
+            ("10 / 4", {}, 2.5),
+            ("8 / 4", {}, 2),
+            ("-x", {"x": 5}, -5),
+            ("3 - -2", {}, 5),
+            ("present_year - graduation_year", {"graduation_year": 1993}, 10),
+            ("years_since(graduation_year)", {"graduation_year": 1990}, 13),
+            ("abs(0 - 4)", {}, 4),
+            ("min(3, 7)", {}, 3),
+            ("max(3, 7)", {}, 7),
+            ("min(x, max(y, 2))", {"x": 9, "y": 1}, 2),
+        ],
+    )
+    def test_arithmetic(self, text, pairs, expected):
+        assert _eval(text, Event(pairs)) == expected
+
+    def test_period_functions(self):
+        event = Event({"p": Period(1994, 1997), "q": Period(1999, None)})
+        assert _eval("duration(p)", event) == 3
+        assert _eval("duration(q)", event) == 4
+        assert _eval("start(p)", event) == 1994
+        assert _eval("end(p)", event) == 1997
+        assert _eval("end(q)", event) == 2003
+
+    def test_variables_reported(self):
+        expr = Expr.parse("present_year - graduation_year + bonus")
+        assert expr.variables == frozenset({"present_year", "graduation_year", "bonus"})
+
+    @pytest.mark.parametrize("text", ["", "1 +", "(1", "1)", "2 ** 3", "1 @ 2", "min(1)"])
+    def test_parse_or_eval_rejects(self, text):
+        try:
+            expr = Expr.parse(text)
+        except MappingRuleError:
+            return
+        with pytest.raises(MappingRuleError):
+            expr.evaluate({}, CTX)
+
+    def test_integerizes_whole_floats(self):
+        assert _eval("5 / 1", Event({})) == 5
+        assert isinstance(_eval("5 / 1", Event({})), int)
+
+
+class TestRequirement:
+    def test_presence_only(self):
+        req = Requirement("skill")
+        assert req.satisfied_by(Event({"skill": "SQL"}))
+        assert not req.satisfied_by(Event({"other": 1}))
+
+    def test_guarded(self):
+        req = Requirement("salary", Predicate.ge("salary", 50000))
+        assert req.satisfied_by(Event({"salary": 60000}))
+        assert not req.satisfied_by(Event({"salary": 40000}))
+
+    def test_guard_attribute_mismatch_rejected(self):
+        with pytest.raises(MappingRuleError):
+            Requirement("salary", Predicate.ge("other", 1))
+
+
+class TestComputedRules:
+    def test_paper_mapping_function(self):
+        rule = MappingRule.computed(
+            "exp", "professional_experience", "present_year - graduation_year"
+        )
+        derived = rule.apply(Event({"graduation_year": 1993}), CTX)
+        assert derived is not None
+        assert derived["professional_experience"] == 10
+        assert derived["graduation_year"] == 1993  # AUGMENT keeps input
+
+    def test_requires_inferred_from_expression(self):
+        rule = MappingRule.computed("exp", "out", "present_year - graduation_year")
+        assert rule.trigger_attributes == frozenset({"graduation_year"})
+
+    def test_missing_input_declines(self):
+        rule = MappingRule.computed("exp", "out", "present_year - graduation_year")
+        assert rule.apply(Event({"other": 1}), CTX) is None
+
+    def test_type_mismatch_declines(self):
+        rule = MappingRule.computed("exp", "out", "present_year - graduation_year")
+        assert rule.apply(Event({"graduation_year": "nineteen"}), CTX) is None
+
+    def test_division_by_zero_declines(self):
+        rule = MappingRule.computed("r", "out", "10 / x", requires=["x"])
+        assert rule.apply(Event({"x": 0}), CTX) is None
+        assert rule.apply(Event({"x": 2}), CTX)["out"] == 5
+
+
+class TestEquivalenceRules:
+    def test_constant_outputs(self):
+        rule = MappingRule.equivalence(
+            "cobol", {"skill": "COBOL programming"}, {"position": "mainframe developer"}
+        )
+        derived = rule.apply(Event({"skill": "COBOL programming"}), CTX)
+        assert derived["position"] == "mainframe developer"
+
+    def test_guard_value_mismatch_declines(self):
+        rule = MappingRule.equivalence("cobol", {"skill": "COBOL"}, {"position": "mf"})
+        assert rule.apply(Event({"skill": "Java"}), CTX) is None
+
+    def test_predicate_guards(self):
+        rule = MappingRule.equivalence(
+            "senior", [Predicate.gt("salary", 100000)], {"band": "senior"}
+        )
+        assert rule.apply(Event({"salary": 120000}), CTX)["band"] == "senior"
+        assert rule.apply(Event({"salary": 90000}), CTX) is None
+
+    def test_multi_output(self):
+        rule = MappingRule.equivalence(
+            "mf", {"position": "mainframe developer"},
+            {"skill": "COBOL programming", "era": Period(1960, 1980)},
+        )
+        derived = rule.apply(Event({"position": "mainframe developer"}), CTX)
+        assert derived["skill"] == "COBOL programming"
+        assert derived["era"] == Period(1960, 1980)
+
+    def test_empty_then_rejected(self):
+        with pytest.raises(MappingRuleError):
+            MappingRule.equivalence("bad", {"a": 1}, {})
+
+
+class TestFunctionRules:
+    def test_function_rule(self):
+        def double(event, ctx):
+            return [("twice", event["x"] * 2)]
+
+        rule = MappingRule.function("double", ["x"], double)
+        assert rule.apply(Event({"x": 21}), CTX)["twice"] == 42
+
+    def test_function_declining(self):
+        rule = MappingRule.function("never", ["x"], lambda e, c: None)
+        assert rule.apply(Event({"x": 1}), CTX) is None
+
+    def test_function_must_declare_requires(self):
+        with pytest.raises(MappingRuleError):
+            MappingRule.function("anon", [], lambda e, c: [("a", 1)])
+
+
+class TestModes:
+    def test_replace_mode_drops_inputs(self):
+        rule = MappingRule.computed(
+            "km", "distance_km", "distance_miles * 2", requires=["distance_miles"],
+            mode=OutputMode.REPLACE,
+        )
+        derived = rule.apply(Event({"distance_miles": 5, "other": 1}), CTX)
+        assert "distance_miles" not in derived
+        assert derived["distance_km"] == 10
+        assert derived["other"] == 1
+
+    def test_identity_output_declines(self):
+        rule = MappingRule.equivalence("same", {"a": 1}, {"a": 1})
+        assert rule.apply(Event({"a": 1}), CTX) is None
+
+
+class TestValidation:
+    def test_unnamed_rejected(self):
+        with pytest.raises(MappingRuleError):
+            MappingRule(name="", requires=(Requirement("a"),), outputs=(("b", 1),))
+
+    def test_no_requires_rejected(self):
+        with pytest.raises(MappingRuleError):
+            MappingRule(name="r", requires=(), outputs=(("b", 1),))
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(MappingRuleError):
+            MappingRule(name="r", requires=(Requirement("a"),))
+
+    def test_outputs_and_fn_exclusive(self):
+        with pytest.raises(MappingRuleError):
+            MappingRule(
+                name="r",
+                requires=(Requirement("a"),),
+                outputs=(("b", 1),),
+                fn=lambda e, c: [],
+            )
+
+
+class TestContext:
+    def test_variables_merge_order(self):
+        ctx = MappingContext(present_year=1999, extra=(("bonus", 7),))
+        bindings = ctx.variables(Event({"bonus": 1, "x": 2}))
+        assert bindings["bonus"] == 7  # extras beat event pairs
+        assert bindings["present_year"] == 1999
+        assert bindings["present_date"] == 1999
+        assert bindings["x"] == 2

@@ -1,0 +1,145 @@
+"""Unit tests specific to the counting and cluster matchers."""
+
+from __future__ import annotations
+
+from repro.matching.cluster import ClusterMatcher
+from repro.matching.counting import CountingMatcher
+from repro.matching.naive import NaiveMatcher
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+
+
+def _sub(sub_id, *preds, **kwargs):
+    return Subscription(list(preds), sub_id=sub_id, **kwargs)
+
+
+class TestCountingMatcher:
+    def test_counter_must_reach_size(self):
+        matcher = CountingMatcher()
+        matcher.insert(_sub("s", Predicate.eq("a", 1), Predicate.eq("b", 2),
+                            Predicate.eq("c", 3)))
+        assert matcher.match_ids(Event({"a": 1, "b": 2})) == []
+        assert matcher.match_ids(Event({"a": 1, "b": 2, "c": 3})) == ["s"]
+
+    def test_two_predicates_same_attribute(self):
+        matcher = CountingMatcher()
+        matcher.insert(_sub("band", Predicate.ge("x", 10), Predicate.le("x", 20)))
+        assert matcher.match_ids(Event({"x": 15})) == ["band"]
+        assert matcher.match_ids(Event({"x": 25})) == []
+        assert matcher.match_ids(Event({"x": 5})) == []
+
+    def test_predicate_sharing_across_subscriptions(self):
+        matcher = CountingMatcher()
+        for i in range(50):
+            matcher.insert(_sub(f"s{i}", Predicate.eq("hot", 1)))
+        # one logical predicate indexed once
+        assert len(matcher._index) == 1
+        assert len(matcher.match(Event({"hot": 1}))) == 50
+
+    def test_removal_updates_usages(self):
+        matcher = CountingMatcher()
+        matcher.insert(_sub("s1", Predicate.eq("a", 1)))
+        matcher.insert(_sub("s2", Predicate.eq("a", 1)))
+        matcher.remove("s2")
+        assert len(matcher._index) == 1
+        matcher.remove("s1")
+        assert len(matcher._index) == 0
+        assert matcher.match(Event({"a": 1})) == []
+
+    def test_universal_subscriptions(self):
+        matcher = CountingMatcher()
+        matcher.insert(_sub("all"))
+        matcher.insert(_sub("some", Predicate.eq("a", 1)))
+        assert matcher.match_ids(Event({})) == ["all"]
+        assert matcher.match_ids(Event({"a": 1})) == ["all", "some"]
+        matcher.remove("all")
+        assert matcher.match_ids(Event({})) == []
+
+    def test_index_probe_stats(self):
+        matcher = CountingMatcher()
+        matcher.insert(_sub("s", Predicate.eq("a", 1)))
+        matcher.match(Event({"a": 1, "b": 2}))
+        assert matcher.stats.index_probes >= 1
+
+
+class TestClusterMatcher:
+    def test_access_predicate_clustering(self):
+        matcher = ClusterMatcher()
+        matcher.insert(_sub("s1", Predicate.eq("a", 1), Predicate.ge("b", 5)))
+        matcher.insert(_sub("s2", Predicate.eq("a", 2)))
+        assert ("a", ("num", 1)) in matcher._clusters
+        assert ("a", ("num", 2)) in matcher._clusters
+        assert matcher.match_ids(Event({"a": 1, "b": 9})) == ["s1"]
+        assert matcher.match_ids(Event({"a": 2})) == ["s2"]
+
+    def test_least_popular_access_chosen(self):
+        matcher = ClusterMatcher()
+        # make (hot, 1) popular
+        for i in range(5):
+            matcher.insert(_sub(f"h{i}", Predicate.eq("hot", 1)))
+        matcher.insert(_sub("mixed", Predicate.eq("hot", 1), Predicate.eq("cold", 9)))
+        # the new subscription should cluster on the rarer (cold, 9)
+        assert "mixed" in matcher._clusters[("cold", ("num", 9))]
+
+    def test_scan_pool_for_no_equality(self):
+        matcher = ClusterMatcher()
+        matcher.insert(_sub("rangey", Predicate.ge("x", 10)))
+        assert "rangey" in matcher._scan_pool
+        assert matcher.match_ids(Event({"x": 15})) == ["rangey"]
+        assert matcher.match_ids(Event({"x": 5})) == []
+
+    def test_empty_subscription_in_scan_pool(self):
+        matcher = ClusterMatcher()
+        matcher.insert(_sub("all"))
+        assert matcher.match_ids(Event({"whatever": 0})) == ["all"]
+
+    def test_no_duplicate_matches(self):
+        matcher = ClusterMatcher()
+        matcher.insert(_sub("s", Predicate.eq("a", 1), Predicate.eq("b", 2)))
+        assert matcher.match_ids(Event({"a": 1, "b": 2})) == ["s"]
+
+    def test_removal_cleans_cluster(self):
+        matcher = ClusterMatcher()
+        matcher.insert(_sub("s1", Predicate.eq("a", 1)))
+        matcher.insert(_sub("s2", Predicate.ge("x", 1)))
+        matcher.remove("s1")
+        matcher.remove("s2")
+        assert not matcher._clusters
+        assert not matcher._scan_pool
+        assert not matcher._popularity
+
+    def test_popularity_decrements_on_remove(self):
+        matcher = ClusterMatcher()
+        matcher.insert(_sub("s1", Predicate.eq("a", 1)))
+        matcher.insert(_sub("s2", Predicate.eq("a", 1)))
+        matcher.remove("s1")
+        assert matcher._popularity[("a", ("num", 1))] == 1
+
+
+class TestCrossAlgorithmAgreement:
+    """Hand-picked tricky cases where all three must agree."""
+
+    CASES = [
+        # (subscription predicates, event pairs, expected)
+        ([Predicate.eq("a", 4)], {"a": 4.0}, True),
+        ([Predicate.ne("a", 4)], {"a": "four"}, True),
+        ([Predicate.ge("a", 4)], {"a": "tall"}, False),
+        ([Predicate.exists("a")], {"a": False}, True),
+        ([Predicate.exists("a")], {"b": 1}, False),
+        ([Predicate.prefix("s", "To")], {"s": "Toronto"}, True),
+        ([Predicate.between("a", 1, 5), Predicate.ne("a", 3)], {"a": 3}, False),
+        ([Predicate.between("a", 1, 5), Predicate.ne("a", 3)], {"a": 4}, True),
+        ([Predicate.isin("a", ["x", "y"])], {"a": "y"}, True),
+    ]
+
+    def test_agreement(self):
+        for index, (preds, pairs, expected) in enumerate(self.CASES):
+            event = Event(pairs)
+            for matcher_cls in (NaiveMatcher, CountingMatcher, ClusterMatcher):
+                matcher = matcher_cls()
+                matcher.insert(Subscription(preds, sub_id=f"case{index}"))
+                got = bool(matcher.match(event))
+                assert got is expected, (
+                    f"{matcher_cls.name} case {index}: expected {expected}, got {got}"
+                )

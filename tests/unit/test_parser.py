@@ -1,0 +1,178 @@
+"""Unit tests for repro.model.parser (the textual language)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.model.parser import (
+    parse_event,
+    parse_predicate,
+    parse_subscription,
+)
+from repro.model.predicates import Operator
+from repro.model.values import Period
+
+
+class TestPredicateParsing:
+    @pytest.mark.parametrize(
+        "text,attribute,operator,operand",
+        [
+            ("(university = Toronto)", "university", Operator.EQ, "Toronto"),
+            ("(degree != PhD)", "degree", Operator.NE, "PhD"),
+            ("(exp >= 4)", "exp", Operator.GE, 4),
+            ("(exp > 4)", "exp", Operator.GT, 4),
+            ("(exp <= 4)", "exp", Operator.LE, 4),
+            ("(exp < 4)", "exp", Operator.LT, 4),
+            ("(professional experience ≥ 4)", "professional_experience", Operator.GE, 4),
+            ("(title prefix senior)", "title", Operator.PREFIX, "senior"),
+            ("(title suffix developer)", "title", Operator.SUFFIX, "developer"),
+            ("(title contains java)", "title", Operator.CONTAINS, "java"),
+            ("(resume exists)", "resume", Operator.EXISTS, None),
+        ],
+    )
+    def test_forms(self, text, attribute, operator, operand):
+        pred = parse_predicate(text)
+        assert pred.attribute == attribute
+        assert pred.operator is operator
+        assert pred.operand == operand
+
+    def test_in_set(self):
+        pred = parse_predicate("(degree in {PhD, MSc, MASc})")
+        assert pred.operator is Operator.IN
+        assert pred.operand == frozenset({"PhD", "MSc", "MASc"})
+
+    def test_range(self):
+        pred = parse_predicate("(salary range [50000, 90000])")
+        assert pred.operator is Operator.RANGE
+        assert pred.evaluate(60000) and not pred.evaluate(10)
+
+    def test_quoted_value_with_operator_chars(self):
+        pred = parse_predicate('(note = "a < b")')
+        assert pred.operand == "a < b"
+
+    def test_multiword_value(self):
+        assert parse_predicate("(position = mainframe developer)").operand == "mainframe developer"
+
+    def test_numeric_prefix_operand_stays_text(self):
+        assert parse_predicate("(zip prefix 94)").operand == "94"
+
+    def test_without_parens(self):
+        assert parse_predicate("x = 1").operand == 1
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "()",
+            "(x)",
+            "(= 4)",
+            "(x >=)",
+            "(x in 4)",
+            "(x in {})",
+            "(x range [1])",
+            "(x range [1, 2, 3])",
+            "(x exists extra)",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_predicate(text)
+
+
+class TestSubscriptionParsing:
+    def test_paper_subscription(self):
+        sub = parse_subscription(
+            "(university = Toronto) and (degree = PhD) and (professional experience >= 4)"
+        )
+        assert len(sub) == 3
+        assert sub.attributes() == ("university", "degree", "professional_experience")
+
+    @pytest.mark.parametrize("conj", ["and", "AND", "&", "&&", "∧"])
+    def test_conjunction_spellings(self, conj):
+        assert len(parse_subscription(f"(a = 1) {conj} (b = 2)")) == 2
+
+    def test_juxtaposition_without_conjunction(self):
+        assert len(parse_subscription("(a = 1) (b = 2)")) == 2
+
+    def test_single_clause(self):
+        assert len(parse_subscription("(a = 1)")) == 1
+
+    def test_kwargs_pass_through(self):
+        sub = parse_subscription("(a = 1)", sub_id="sx", subscriber_id="c1", max_generality=2)
+        assert (sub.sub_id, sub.subscriber_id, sub.max_generality) == ("sx", "c1", 2)
+
+    @pytest.mark.parametrize("text", ["", "   ", "garbage", "(a = 1) or (b = 2)", "(a = 1", "a = 1)"])
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_subscription(text)
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_subscription("(a = 1) nonsense (b = 2)")
+        assert "nonsense" in str(exc_info.value)
+
+
+class TestEventParsing:
+    def test_paper_event(self):
+        event = parse_event(
+            "(school, Toronto)(degree, PhD)(work_experience, true)(graduation_year, 1990)"
+        )
+        assert event["school"] == "Toronto"
+        assert event["work_experience"] is True
+        assert event["graduation_year"] == 1990
+
+    def test_periods(self):
+        event = parse_event("(job1, IBM)(period1, 1994-1997)(period2, 1999-present)")
+        assert event["period1"] == Period(1994, 1997)
+        assert event["period2"] == Period(1999, None)
+
+    def test_separators_tolerated(self):
+        event = parse_event("(a, 1), (b, 2); (c, 3)\n(d, 4)")
+        assert len(event) == 4
+
+    def test_quoted_value_with_comma(self):
+        assert parse_event('(title, "manager, senior")')["title"] == "manager, senior"
+
+    def test_multiword_bare_value(self):
+        assert parse_event("(position, mainframe developer)")["position"] == "mainframe developer"
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "()", "(a)", "(a, )", "(, 1)", "(a, 1, 2)", "(a, 1"],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_event(text)
+
+    def test_conflicting_duplicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_event("(a, 1)(a, 2)")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(university = Toronto) and (degree = PhD)",
+            "(salary range [50000, 90000])",
+            "(degree in {PhD, MSc})",
+            "(resume exists) and (title prefix senior)",
+            "(x != 4) and (y <= 2.5)",
+        ],
+    )
+    def test_subscription_round_trip(self, text):
+        sub = parse_subscription(text)
+        assert parse_subscription(sub.format()).signature == sub.signature
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(school, Toronto)(degree, PhD)",
+            "(flag, true)(year, 1990)(score, 2.5)",
+            "(period1, 1994-1997)(period2, 1999-present)",
+            '(title, "manager, senior")',
+        ],
+    )
+    def test_event_round_trip(self, text):
+        event = parse_event(text)
+        assert parse_event(event.format()).signature == event.signature

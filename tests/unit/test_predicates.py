@@ -1,0 +1,189 @@
+"""Unit tests for repro.model.predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.model.predicates import Operator, Predicate, Range
+from repro.model.values import Period
+
+
+class TestOperator:
+    def test_from_symbol(self):
+        assert Operator.from_symbol(">=") is Operator.GE
+        assert Operator.from_symbol("≥") is Operator.GE
+        assert Operator.from_symbol("==") is Operator.EQ
+        assert Operator.from_symbol("<>") is Operator.NE
+        assert Operator.from_symbol("in") is Operator.IN
+
+    def test_unknown_symbol(self):
+        with pytest.raises(PredicateError):
+            Operator.from_symbol("~=")
+
+    def test_families(self):
+        assert Operator.GE.is_ordering and not Operator.GE.is_string
+        assert Operator.PREFIX.is_string and not Operator.PREFIX.is_ordering
+
+
+class TestRange:
+    def test_contains_inclusive(self):
+        rng = Range(1, 10)
+        assert rng.contains(1) and rng.contains(10) and rng.contains(5)
+        assert not rng.contains(0) and not rng.contains(11)
+
+    def test_incomparable_value(self):
+        assert not Range(1, 10).contains("five")
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(PredicateError):
+            Range(10, 1)
+
+    def test_mixed_type_bounds_rejected(self):
+        with pytest.raises(PredicateError):
+            Range(1, "ten")
+
+    def test_string_range(self):
+        assert Range("a", "m").contains("hello")
+        assert not Range("a", "m").contains("zebra")
+
+
+class TestConstruction:
+    def test_attribute_normalized(self):
+        assert Predicate.ge("Professional Experience", 4).attribute == "professional_experience"
+
+    def test_exists_takes_no_operand(self):
+        with pytest.raises(PredicateError):
+            Predicate("x", Operator.EXISTS, 5)
+
+    def test_missing_operand(self):
+        with pytest.raises(PredicateError):
+            Predicate("x", Operator.EQ, None)
+
+    def test_in_requires_collection(self):
+        with pytest.raises(PredicateError):
+            Predicate("x", Operator.IN, 5)
+
+    def test_in_rejects_empty(self):
+        with pytest.raises(PredicateError):
+            Predicate("x", Operator.IN, frozenset())
+
+    def test_range_requires_range(self):
+        with pytest.raises(PredicateError):
+            Predicate("x", Operator.RANGE, 5)
+
+    def test_string_op_requires_string(self):
+        with pytest.raises(PredicateError):
+            Predicate("x", Operator.PREFIX, 5)
+
+    def test_ordering_rejects_bool(self):
+        with pytest.raises(PredicateError):
+            Predicate.ge("x", True)
+
+    def test_scalar_op_rejects_collection(self):
+        with pytest.raises(PredicateError):
+            Predicate("x", Operator.EQ, [1, 2])
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "pred,value,expected",
+        [
+            (Predicate.eq("x", 4), 4, True),
+            (Predicate.eq("x", 4), 4.0, True),
+            (Predicate.eq("x", 4), 5, False),
+            (Predicate.eq("x", "a"), "a", True),
+            (Predicate.ne("x", 4), 5, True),
+            (Predicate.ne("x", 4), 4, False),
+            (Predicate.ne("x", 4), "four", True),
+            (Predicate.lt("x", 4), 3, True),
+            (Predicate.lt("x", 4), 4, False),
+            (Predicate.le("x", 4), 4, True),
+            (Predicate.gt("x", 4), 5, True),
+            (Predicate.gt("x", 4), 4, False),
+            (Predicate.ge("x", 4), 4, True),
+            (Predicate.ge("x", 4), 3, False),
+            (Predicate.between("x", 2, 6), 4, True),
+            (Predicate.between("x", 2, 6), 7, False),
+            (Predicate.isin("x", [1, 2, 3]), 2, True),
+            (Predicate.isin("x", [1, 2, 3]), 4, False),
+            (Predicate.prefix("x", "To"), "Toronto", True),
+            (Predicate.prefix("x", "To"), "Ottawa", False),
+            (Predicate.suffix("x", "to"), "Toronto", True),
+            (Predicate.contains("x", "ron"), "Toronto", True),
+            (Predicate.contains("x", "xyz"), "Toronto", False),
+            (Predicate.exists("x"), "anything", True),
+        ],
+    )
+    def test_evaluate(self, pred, value, expected):
+        assert pred.evaluate(value) is expected
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert Predicate.ge("x", 4).evaluate("tall") is False
+        assert Predicate.prefix("x", "a").evaluate(7) is False
+
+    def test_period_ordering(self):
+        assert Predicate.ge("p", Period(1994, 1997)).evaluate(Period(1999, None))
+
+
+class TestIdentity:
+    def test_semantically_equal_operands_share_key(self):
+        assert Predicate.eq("x", 4) == Predicate.eq("x", 4.0)
+        assert hash(Predicate.eq("x", 4)) == hash(Predicate.eq("x", 4.0))
+
+    def test_different_ops_differ(self):
+        assert Predicate.ge("x", 4) != Predicate.gt("x", 4)
+
+    def test_attribute_normalization_in_key(self):
+        assert Predicate.eq("Work Experience", 1) == Predicate.eq("work_experience", 1)
+
+    def test_with_attribute(self):
+        pred = Predicate.eq("school", "Toronto")
+        renamed = pred.with_attribute("university")
+        assert renamed.attribute == "university"
+        assert renamed.operand == "Toronto"
+        assert pred.with_attribute("school") is pred
+
+
+class TestImplication:
+    @pytest.mark.parametrize(
+        "strong,weak",
+        [
+            (Predicate.eq("x", 5), Predicate.ge("x", 4)),
+            (Predicate.eq("x", 5), Predicate.exists("x")),
+            (Predicate.ge("x", 5), Predicate.ge("x", 4)),
+            (Predicate.gt("x", 4), Predicate.ge("x", 4)),
+            (Predicate.lt("x", 4), Predicate.le("x", 4)),
+            (Predicate.between("x", 3, 5), Predicate.ge("x", 2)),
+            (Predicate.between("x", 3, 5), Predicate.between("x", 1, 9)),
+            (Predicate.isin("x", [4, 5]), Predicate.ge("x", 3)),
+            (Predicate.prefix("x", "Toronto"), Predicate.contains("x", "Tor")),
+        ],
+    )
+    def test_implies(self, strong, weak):
+        assert strong.implies(weak)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (Predicate.ge("x", 4), Predicate.ge("x", 5)),
+            (Predicate.ge("x", 4), Predicate.ge("y", 4)),
+            (Predicate.ge("x", 4), Predicate.le("x", 10)),
+            (Predicate.exists("x"), Predicate.eq("x", 1)),
+            (Predicate.isin("x", [1, 9]), Predicate.ge("x", 3)),
+        ],
+    )
+    def test_does_not_imply(self, a, b):
+        assert not a.implies(b)
+
+    def test_self_implication(self):
+        pred = Predicate.between("x", 1, 5)
+        assert pred.implies(pred)
+
+
+class TestPresentation:
+    def test_str_forms(self):
+        assert str(Predicate.eq("x", 4)) == "(x = 4)"
+        assert str(Predicate.exists("x")) == "(x exists)"
+        assert "in {" in str(Predicate.isin("x", [1]))
+        assert "range [" in str(Predicate.between("x", 1, 2))

@@ -1,0 +1,160 @@
+"""Unit tests for repro.model.schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, UnknownSchemaError
+from repro.model.events import Event
+from repro.model.parser import parse_subscription
+from repro.model.schema import AttributeSpec, Schema, SchemaRegistry
+from repro.model.values import Period
+
+
+class TestAttributeSpec:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "complex")
+
+    def test_vocabulary_only_for_strings(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "int", vocabulary=frozenset({"a"}))
+
+    def test_bounds_only_for_numeric(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "string", minimum=1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "int", minimum=10, maximum=1)
+
+    @pytest.mark.parametrize(
+        "spec,value,ok",
+        [
+            (AttributeSpec("x", "int"), 4, True),
+            (AttributeSpec("x", "int"), 4.5, False),
+            (AttributeSpec("x", "int"), "4", False),
+            (AttributeSpec("x", "number"), 4.5, True),
+            (AttributeSpec("x", "number"), True, False),
+            (AttributeSpec("x", "bool"), True, True),
+            (AttributeSpec("x", "bool"), 1, False),
+            (AttributeSpec("x", "period"), Period(1990), True),
+            (AttributeSpec("x", "string", vocabulary=frozenset({"a", "b"})), "a", True),
+            (AttributeSpec("x", "string", vocabulary=frozenset({"a", "b"})), "c", False),
+            (AttributeSpec("x", "int", minimum=0, maximum=10), 5, True),
+            (AttributeSpec("x", "int", minimum=0, maximum=10), 11, False),
+            (AttributeSpec("x", "any"), "anything", True),
+        ],
+    )
+    def test_accepts(self, spec, value, ok):
+        assert spec.accepts(value) is ok
+
+    @pytest.mark.parametrize(
+        "spec,text,expected",
+        [
+            (AttributeSpec("x", "int"), "42", 42),
+            (AttributeSpec("x", "float"), "2.5", 2.5),
+            (AttributeSpec("x", "number"), "42", 42),
+            (AttributeSpec("x", "number"), "2.5", 2.5),
+            (AttributeSpec("x", "bool"), "yes", True),
+            (AttributeSpec("x", "bool"), "0", False),
+            (AttributeSpec("x", "period"), "1994-1997", Period(1994, 1997)),
+            (AttributeSpec("x", "string"), "42", "42"),
+            (AttributeSpec("x", "any"), "42", 42),
+        ],
+    )
+    def test_coerce(self, spec, text, expected):
+        assert spec.coerce(text) == expected
+
+    def test_coerce_failures(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "int").coerce("four")
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "bool").coerce("maybe")
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "int", minimum=10).coerce("5")
+
+
+class TestSchema:
+    def _schema(self, closed=False):
+        return Schema(
+            "test",
+            [
+                AttributeSpec("name", "string"),
+                AttributeSpec("age", "int", minimum=0, required=True),
+            ],
+            closed=closed,
+        )
+
+    def test_duplicate_spec_rejected(self):
+        schema = self._schema()
+        with pytest.raises(SchemaError):
+            schema.add(AttributeSpec("name", "string"))
+
+    def test_lookup(self):
+        schema = self._schema()
+        assert "name" in schema and "missing" not in schema
+        assert schema.spec("AGE").value_type == "int"
+        with pytest.raises(SchemaError):
+            schema.spec("missing")
+
+    def test_event_validation(self):
+        schema = self._schema()
+        schema.validate_event(Event({"name": "Ada", "age": 36}))
+        assert schema.violations_for_event(Event({"name": "Ada"})) == [
+            "missing required attribute 'age'"
+        ]
+        assert any(
+            "not a valid int" in v
+            for v in schema.violations_for_event(Event({"name": "Ada", "age": "old"}))
+        )
+
+    def test_open_schema_allows_unknown(self):
+        assert self._schema().violations_for_event(Event({"age": 1, "extra": "x"})) == []
+
+    def test_closed_schema_rejects_unknown(self):
+        violations = self._schema(closed=True).violations_for_event(
+            Event({"age": 1, "extra": "x"})
+        )
+        assert violations == ["unknown attribute 'extra'"]
+
+    def test_subscription_validation(self):
+        schema = self._schema()
+        schema.validate_subscription(parse_subscription("(age >= 4)"))
+        bad = parse_subscription("(age >= fourteen)")
+        assert schema.violations_for_subscription(bad)
+        with pytest.raises(SchemaError):
+            schema.validate_subscription(bad)
+
+    def test_subscription_range_and_in_operands_checked(self):
+        schema = self._schema()
+        assert schema.violations_for_subscription(
+            parse_subscription("(age in {1, two})")
+        )
+        assert not schema.violations_for_subscription(
+            parse_subscription("(age range [1, 10])")
+        )
+
+    def test_exists_predicate_always_valid(self):
+        assert not self._schema().violations_for_subscription(
+            parse_subscription("(age exists)")
+        )
+
+
+class TestSchemaRegistry:
+    def test_register_get(self):
+        registry = SchemaRegistry()
+        schema = registry.register(Schema("jobs"))
+        assert registry.get("jobs") is schema
+        assert "jobs" in registry
+        assert registry.names() == ("jobs",)
+
+    def test_duplicate_rejected(self):
+        registry = SchemaRegistry()
+        registry.register(Schema("jobs"))
+        with pytest.raises(SchemaError):
+            registry.register(Schema("jobs"))
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownSchemaError):
+            SchemaRegistry().get("nope")

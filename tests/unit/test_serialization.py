@@ -1,0 +1,118 @@
+"""Unit tests for knowledge-base JSON persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.model.events import Event
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingContext, MappingRule, OutputMode
+from repro.ontology.serialization import (
+    kb_from_dict,
+    kb_to_dict,
+    load_kb,
+    save_kb,
+)
+from repro.model.predicates import Predicate
+from repro.model.values import Period
+
+
+def _small_kb() -> KnowledgeBase:
+    kb = KnowledgeBase("small")
+    kb.add_attribute_synonyms(["school", "college"], root="university")
+    kb.add_value_synonyms(["car", "auto"], root="car")
+    kb.add_domain("d").add_chain("sedan", "car", "vehicle")
+    kb.add_rule(
+        MappingRule.computed("exp", "professional_experience",
+                             "present_year - graduation_year", domain="d")
+    )
+    kb.add_rule(
+        MappingRule.equivalence(
+            "mf", {"skill": "COBOL"},
+            {"position": "mainframe developer", "era": Period(1960, 1980)},
+            domain="d",
+        )
+    )
+    kb.add_rule(
+        MappingRule.equivalence(
+            "band", [Predicate.between("salary", 50000, 90000)],
+            {"band": "mid"}, mode=OutputMode.AUGMENT,
+        )
+    )
+    return kb
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_structure(self):
+        kb = _small_kb()
+        clone = kb_from_dict(kb_to_dict(kb))
+        assert clone.root_attribute("school") == "university"
+        assert clone.value_root("auto") == "car"
+        assert clone.generalization_distance("sedan", "vehicle") == 2
+        assert {r.name for r in clone.rules()} == {"exp", "mf", "band"}
+
+    def test_rules_behave_after_reload(self):
+        clone = kb_from_dict(kb_to_dict(_small_kb()))
+        ctx = MappingContext(2003)
+        exp = next(r for r in clone.rules() if r.name == "exp")
+        assert exp.apply(Event({"graduation_year": 1993}), ctx)["professional_experience"] == 10
+        mf = next(r for r in clone.rules() if r.name == "mf")
+        derived = mf.apply(Event({"skill": "COBOL"}), ctx)
+        assert derived["era"] == Period(1960, 1980)
+        band = next(r for r in clone.rules() if r.name == "band")
+        assert band.apply(Event({"salary": 60000}), ctx)["band"] == "mid"
+        assert band.apply(Event({"salary": 10000}), ctx) is None
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "kb.json"
+        save_kb(_small_kb(), path)
+        clone = load_kb(path)
+        assert clone.generalization_distance("sedan", "vehicle") == 2
+
+    def test_matching_equivalence_after_reload(self, tmp_path):
+        """The real jobs KB (minus function rules) matches identically
+        after a save/load cycle."""
+        from repro.core.engine import SToPSS
+
+        original = build_jobs_knowledge_base()
+        path = tmp_path / "jobs.json"
+        save_kb(original, path, skip_unserializable=True)
+        reloaded = load_kb(path)
+
+        sub_text = "(university = Toronto) and (professional experience >= 4)"
+        event_text = "(school, Toronto)(graduation_year, 1993)"
+        for kb in (original, reloaded):
+            engine = SToPSS(kb)
+            engine.subscribe(parse_subscription(sub_text, sub_id="s"))
+            assert len(engine.publish(parse_event(event_text))) == 1
+
+
+class TestUnserializable:
+    def test_function_rules_rejected_by_default(self):
+        kb = KnowledgeBase()
+        kb.add_rule(MappingRule.function("fn", ["x"], lambda e, c: [("y", 1)]))
+        with pytest.raises(OntologyError):
+            kb_to_dict(kb)
+
+    def test_function_rules_skipped_on_request(self):
+        kb = KnowledgeBase()
+        kb.add_rule(MappingRule.function("fn", ["x"], lambda e, c: [("y", 1)]))
+        kb.add_rule(MappingRule.equivalence("keep", {"a": 1}, {"b": 2}))
+        data = kb_to_dict(kb, skip_unserializable=True)
+        assert data["dropped_rules"] == ["fn"]
+        assert [r["name"] for r in data["rules"]] == ["keep"]
+
+
+class TestValidation:
+    def test_version_checked(self):
+        with pytest.raises(OntologyError):
+            kb_from_dict({"format_version": 99})
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(OntologyError):
+            load_kb(path)

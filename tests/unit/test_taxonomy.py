@@ -1,0 +1,157 @@
+"""Unit tests for repro.ontology.taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateConceptError, TaxonomyCycleError, UnknownConceptError
+from repro.ontology.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def degrees() -> Taxonomy:
+    t = Taxonomy("jobs")
+    t.add_chain("PhD", "doctorate", "graduate degree", "degree")
+    t.add_chain("MSc", "master's degree", "graduate degree")
+    t.add_chain("BSc", "bachelor's degree", "degree")
+    return t
+
+
+class TestConstruction:
+    def test_add_concept_idempotent(self, degrees):
+        first = degrees.add_concept("PhD")
+        again = degrees.add_concept("phd")
+        assert first is again
+        assert degrees.canonical("PHD") == "PhD"
+
+    def test_first_spelling_wins(self):
+        t = Taxonomy()
+        t.add_concept("Graduate Degree")
+        t.add_concept("graduate degree")
+        assert t.canonical("GRADUATE DEGREE") == "Graduate Degree"
+
+    def test_self_loop_rejected(self, degrees):
+        with pytest.raises(DuplicateConceptError):
+            degrees.add_isa("PhD", "phd")
+
+    def test_cycle_rejected(self, degrees):
+        with pytest.raises(TaxonomyCycleError):
+            degrees.add_isa("degree", "PhD")
+
+    def test_long_cycle_rejected(self):
+        t = Taxonomy()
+        t.add_chain("a", "b", "c", "d")
+        with pytest.raises(TaxonomyCycleError):
+            t.add_isa("d", "a")
+
+    def test_duplicate_edge_tolerated(self, degrees):
+        version = degrees.version
+        degrees.add_isa("PhD", "doctorate")
+        assert degrees.version == version
+
+    def test_multiple_parents(self):
+        t = Taxonomy()
+        t.add_isa("station wagon", "car")
+        t.add_isa("station wagon", "family vehicle")
+        assert set(t.parents("station wagon")) == {"car", "family vehicle"}
+
+
+class TestLookup:
+    def test_contains_spelling_variants(self, degrees):
+        assert "PhD" in degrees and "phd" in degrees and "  PHD " in degrees
+        assert "llb" not in degrees
+        assert 42 not in degrees  # type: ignore[comparison-overlap]
+
+    def test_unknown_concept_raises(self, degrees):
+        with pytest.raises(UnknownConceptError):
+            degrees.concept("LLB")
+
+    def test_parents_children(self, degrees):
+        assert degrees.parents("PhD") == ("doctorate",)
+        assert degrees.children("graduate degree") == ("doctorate", "master's degree")
+
+    def test_roots_and_leaves(self, degrees):
+        assert degrees.roots() == ("degree",)
+        assert set(degrees.leaves()) == {"PhD", "MSc", "BSc"}
+
+    def test_len_and_iter(self, degrees):
+        assert len(degrees) == 8
+        assert {c.term for c in degrees} >= {"PhD", "degree"}
+
+
+class TestTraversal:
+    def test_ancestors_with_distances(self, degrees):
+        assert degrees.ancestors("PhD") == {
+            "doctorate": 1,
+            "graduate degree": 2,
+            "degree": 3,
+        }
+
+    def test_ancestors_bounded(self, degrees):
+        assert degrees.ancestors("PhD", max_distance=2) == {
+            "doctorate": 1,
+            "graduate degree": 2,
+        }
+
+    def test_descendants(self, degrees):
+        assert degrees.descendants("graduate degree") == {
+            "doctorate": 1,
+            "master's degree": 1,
+            "PhD": 2,
+            "MSc": 2,
+        }
+
+    def test_min_distance_on_diamond(self):
+        t = Taxonomy()
+        t.add_chain("x", "a", "top")
+        t.add_chain("x", "top")  # short-cut edge
+        assert t.ancestors("x")["top"] == 1
+
+    def test_is_generalization_of(self, degrees):
+        assert degrees.is_generalization_of("degree", "PhD")
+        assert not degrees.is_generalization_of("PhD", "degree")
+        assert not degrees.is_generalization_of("PhD", "PhD")
+        assert not degrees.is_generalization_of("unknown", "PhD")
+
+    def test_generalization_distance(self, degrees):
+        assert degrees.generalization_distance("PhD", "degree") == 3
+        assert degrees.generalization_distance("PhD", "PhD") == 0
+        assert degrees.generalization_distance("PhD", "MSc") is None
+
+    def test_depth(self, degrees):
+        assert degrees.depth() == 3
+
+    def test_lca(self, degrees):
+        assert degrees.lowest_common_ancestor("PhD", "MSc") == "graduate degree"
+        assert degrees.lowest_common_ancestor("PhD", "doctorate") == "doctorate"
+        t = Taxonomy()
+        t.add_concept("lonely")
+        t.add_concept("island")
+        assert t.lowest_common_ancestor("lonely", "island") is None
+
+
+class TestMaintenance:
+    def test_merge(self, degrees):
+        other = Taxonomy("jobs")
+        other.add_chain("MBA", "master's degree")
+        degrees.merge(other)
+        assert degrees.generalization_distance("MBA", "graduate degree") == 2
+
+    def test_validate_clean(self, degrees):
+        assert degrees.validate() == []
+
+    def test_stats(self, degrees):
+        stats = degrees.stats()
+        assert stats["concepts"] == 8
+        assert stats["depth"] == 3
+        assert stats["roots"] == 1
+
+    def test_from_chains(self):
+        t = Taxonomy.from_chains("v", [("sedan", "car", "vehicle"), ("suv", "car")])
+        assert t.generalization_distance("suv", "vehicle") == 2
+
+    def test_version_bumps(self):
+        t = Taxonomy()
+        v0 = t.version
+        t.add_concept("a")
+        assert t.version > v0

@@ -1,0 +1,120 @@
+"""Unit tests for repro.ontology.thesaurus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateConceptError
+from repro.ontology.thesaurus import Thesaurus
+
+
+class TestBasics:
+    def test_root_defaults_to_first_term(self):
+        t = Thesaurus()
+        assert t.add_synonyms(["university", "school", "college"]) == "university"
+        assert t.root_of("college") == "university"
+
+    def test_explicit_root(self):
+        t = Thesaurus()
+        assert t.add_synonyms(["school", "college"], root="university") == "university"
+        assert t.root_of("school") == "university"
+
+    def test_root_maps_to_itself(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b"])
+        assert t.root_of("a") == "a"
+
+    def test_idempotent_rewrite(self):
+        t = Thesaurus()
+        t.add_synonyms(["x", "y", "z"])
+        root = t.root_of("z")
+        assert t.root_of(root) == root
+
+    def test_unknown_term(self):
+        t = Thesaurus()
+        assert t.root_of("nothing") is None
+        assert t.synonyms_of("nothing") == frozenset()
+        assert "nothing" not in t
+
+    def test_case_insensitive_lookup(self):
+        t = Thesaurus()
+        t.add_synonyms(["University", "School"])
+        assert t.root_of("SCHOOL") == "University"
+        assert t.root_of("school") == "University"
+
+    def test_underscore_space_equivalence(self):
+        t = Thesaurus()
+        t.add_synonyms(["work_experience", "professional experience"])
+        assert t.are_synonyms("work experience", "professional_experience")
+
+    def test_empty_call_rejected(self):
+        with pytest.raises(DuplicateConceptError):
+            Thesaurus().add_synonyms([])
+
+
+class TestMerging:
+    def test_transitive_merge(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b"])
+        t.add_synonyms(["c", "d"])
+        assert not t.are_synonyms("a", "c")
+        t.add_synonyms(["b", "c"])  # bridges the two groups
+        assert t.are_synonyms("a", "d")
+        assert t.group_count() == 1
+
+    def test_merge_keeps_explicit_root(self):
+        t = Thesaurus()
+        t.add_synonyms(["school"], root="university")
+        t.add_synonyms(["college", "academy"])
+        t.add_synonyms(["school", "college"])
+        assert t.root_of("academy") == "university"
+
+    def test_conflicting_explicit_roots_rejected(self):
+        t = Thesaurus()
+        t.add_synonyms(["a"], root="root1")
+        t.add_synonyms(["b"], root="root2")
+        with pytest.raises(DuplicateConceptError):
+            t.add_synonyms(["a", "b"])
+
+    def test_re_rooting_same_group_rejected(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b"], root="a")
+        with pytest.raises(DuplicateConceptError):
+            t.add_synonyms(["b"], root="b")
+
+    def test_same_explicit_root_twice_ok(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b"], root="a")
+        t.add_synonyms(["c"], root="a")
+        assert t.are_synonyms("b", "c")
+
+
+class TestReporting:
+    def test_groups(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b"])
+        t.add_synonyms(["x", "y", "z"])
+        groups = sorted(t.groups(), key=len)
+        assert [len(g) for g in groups] == [2, 3]
+
+    def test_synonyms_include_self(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b"])
+        assert t.synonyms_of("a") == frozenset({"a", "b"})
+
+    def test_len_counts_terms(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b", "c"])
+        assert len(t) == 3
+
+    def test_stats(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b", "c"])
+        t.add_synonyms(["x", "y"])
+        assert t.stats() == {"terms": 5, "groups": 2, "largest_group": 3}
+
+    def test_version_bumps(self):
+        t = Thesaurus()
+        v0 = t.version
+        t.add_synonyms(["a", "b"])
+        assert t.version > v0

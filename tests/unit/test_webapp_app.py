@@ -1,0 +1,169 @@
+"""Unit tests for the demonstration web application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.webapp.app import JobFinderWebApp
+
+
+@pytest.fixture
+def web() -> JobFinderWebApp:
+    return JobFinderWebApp(Broker(build_jobs_knowledge_base()))
+
+
+def _register(web, name, role, **extra):
+    response = web.post(
+        "/clients", {"name": name, "role": role, **extra}, json=True
+    )
+    assert response.status == 201
+    return response.json()["client_id"]
+
+
+class TestClients:
+    def test_register_json(self, web):
+        client_id = _register(web, "Initech", "subscriber", email="hr@x.example")
+        assert client_id
+        listing = web.get("/clients", json=True).json()
+        assert listing[0]["name"] == "Initech"
+        assert "smtp" in listing[0]["transports"]
+
+    def test_register_html(self, web):
+        response = web.post("/clients", {"name": "Initech", "role": "subscriber"})
+        assert response.status == 201 and "Initech" in response.body
+
+    def test_missing_name_rejected(self, web):
+        response = web.post("/clients", {"role": "subscriber"}, json=True)
+        assert response.status == 400 and "name" in response.json()["error"]
+
+    def test_bad_role_rejected(self, web):
+        response = web.post("/clients", {"name": "X", "role": "admin"}, json=True)
+        assert response.status == 400
+
+
+class TestSubscriptions:
+    def test_subscribe_and_list(self, web):
+        cid = _register(web, "Initech", "subscriber", email="hr@x")
+        response = web.post(
+            "/subscriptions",
+            {"client_id": cid, "subscription": "(university = Toronto) and (degree = PhD)"},
+            json=True,
+        )
+        assert response.status == 201
+        sub_id = response.json()["sub_id"]
+        listing = web.get("/subscriptions", json=True).json()
+        assert listing[0]["sub_id"] == sub_id
+        assert listing[0]["subscriber"] == cid
+
+    def test_max_generality_field(self, web):
+        cid = _register(web, "Initech", "subscriber", email="hr@x")
+        response = web.post(
+            "/subscriptions",
+            {"client_id": cid, "subscription": "(degree = degree)", "max_generality": "1"},
+            json=True,
+        )
+        assert response.json()["max_generality"] == 1
+
+    def test_parse_error_is_400(self, web):
+        cid = _register(web, "Initech", "subscriber", email="hr@x")
+        response = web.post(
+            "/subscriptions", {"client_id": cid, "subscription": "garbage"}, json=True
+        )
+        assert response.status == 400 and "parse error" in response.json()["error"]
+
+    def test_unknown_client_is_400(self, web):
+        response = web.post(
+            "/subscriptions", {"client_id": "ghost", "subscription": "(a = 1)"}, json=True
+        )
+        assert response.status == 400
+
+
+class TestPublications:
+    def test_publish_and_match(self, web):
+        cid = _register(web, "Initech", "subscriber", email="hr@x")
+        web.post(
+            "/subscriptions",
+            {"client_id": cid, "subscription": "(university = Toronto)"},
+            json=True,
+        )
+        pid = _register(web, "Ada", "publisher")
+        response = web.post(
+            "/publications", {"client_id": pid, "event": "(school, Toronto)"}, json=True
+        )
+        payload = response.json()
+        assert response.status == 201
+        assert len(payload["matches"]) == 1
+        assert payload["matches"][0]["semantic"] is True
+        assert payload["delivered"] == 1
+
+    def test_notifications_page(self, web):
+        cid = _register(web, "Initech", "subscriber", email="hr@x")
+        web.post("/subscriptions", {"client_id": cid, "subscription": "(a = 1)"}, json=True)
+        pid = _register(web, "Ada", "publisher")
+        web.post("/publications", {"client_id": pid, "event": "(a, 1)"}, json=True)
+        notifications = web.get(f"/notifications/{cid}", json=True).json()
+        assert len(notifications) == 1
+        assert notifications[0]["transport"] == "smtp"
+
+    def test_publication_html_includes_explanations(self, web):
+        cid = _register(web, "Initech", "subscriber", email="hr@x")
+        web.post(
+            "/subscriptions",
+            {"client_id": cid, "subscription": "(university = Toronto)"},
+            json=True,
+        )
+        pid = _register(web, "Ada", "publisher")
+        response = web.post(
+            "/publications", {"client_id": pid, "event": "(school, Toronto)"}
+        )
+        assert "rewritten to root" in response.body
+
+
+class TestExplain:
+    def test_expansion_listing(self, web):
+        response = web.get("/explain?event=(degree, PhD)", json=True)
+        payload = response.json()
+        assert payload["original"] == "(degree, PhD)"
+        assert len(payload["derived"]) >= 3
+
+    def test_missing_event_param(self, web):
+        assert web.get("/explain", json=True).status == 400
+
+
+class TestModeSwitch:
+    def test_get_mode(self, web):
+        assert web.get("/mode", json=True).json() == {"mode": "semantic"}
+
+    def test_switch_and_effect(self, web):
+        cid = _register(web, "Initech", "subscriber", email="hr@x")
+        web.post(
+            "/subscriptions",
+            {"client_id": cid, "subscription": "(university = Toronto)"},
+            json=True,
+        )
+        pid = _register(web, "Ada", "publisher")
+        web.post("/mode", {"mode": "syntactic"}, json=True)
+        response = web.post(
+            "/publications", {"client_id": pid, "event": "(school, Toronto)"}, json=True
+        )
+        assert response.json()["matches"] == []
+        web.post("/mode", {"mode": "semantic"}, json=True)
+        response = web.post(
+            "/publications", {"client_id": pid, "event": "(school, Toronto)"}, json=True
+        )
+        assert len(response.json()["matches"]) == 1
+
+    def test_bad_mode_rejected(self, web):
+        assert web.post("/mode", {"mode": "psychic"}, json=True).status == 400
+
+
+class TestOverview:
+    def test_overview_pages(self, web):
+        assert web.get("/").status == 200
+        payload = web.get("/", json=True).json()
+        assert payload["mode"] == "semantic"
+
+    def test_unknown_page_404(self, web):
+        assert web.get("/missing").status == 404

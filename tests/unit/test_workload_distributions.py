@@ -1,0 +1,124 @@
+"""Unit tests for repro.workload.distributions."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.distributions import (
+    BernoulliSampler,
+    GaussianIntSampler,
+    IntRangeSampler,
+    UniformSampler,
+    WeightedSampler,
+    ZipfSampler,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert math.isclose(sum(zipf_weights(100, 1.0)), 1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert all(math.isclose(w, 0.25) for w in weights)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0)
+        with pytest.raises(WorkloadError):
+            zipf_weights(5, -1)
+
+
+class TestZipfSampler:
+    def test_skew_prefers_early_ranks(self):
+        rng = random.Random(0)
+        sampler = ZipfSampler(list(range(50)), 1.5, rng=rng)
+        samples = [sampler.sample() for _ in range(2000)]
+        first_rank_share = samples.count(0) / len(samples)
+        assert first_rank_share > 0.25
+
+    def test_reproducible(self):
+        a = ZipfSampler("abcdef", 1.0, rng=random.Random(7))
+        b = ZipfSampler("abcdef", 1.0, rng=random.Random(7))
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_all_items_reachable(self):
+        sampler = ZipfSampler([1, 2, 3], 0.5, rng=random.Random(1))
+        assert {sampler.sample() for _ in range(500)} == {1, 2, 3}
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler([], rng=random.Random(0))
+
+
+class TestUniformSampler:
+    def test_uniform_coverage(self):
+        sampler = UniformSampler([1, 2, 3], rng=random.Random(0))
+        assert {sampler.sample() for _ in range(100)} == {1, 2, 3}
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            UniformSampler([], rng=random.Random(0))
+
+
+class TestWeightedSampler:
+    def test_respects_weights(self):
+        sampler = WeightedSampler([("a", 99.0), ("b", 1.0)], rng=random.Random(0))
+        samples = [sampler.sample() for _ in range(500)]
+        assert samples.count("a") > 400
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(WorkloadError):
+            WeightedSampler([("a", 0.0)], rng=random.Random(0))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            WeightedSampler([("a", 1.0), ("b", -1.0)], rng=random.Random(0))
+
+
+class TestIntRangeSampler:
+    def test_bounds_inclusive(self):
+        sampler = IntRangeSampler(1, 3, rng=random.Random(0))
+        assert {sampler.sample() for _ in range(200)} == {1, 2, 3}
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            IntRangeSampler(5, 4, rng=random.Random(0))
+
+
+class TestGaussianIntSampler:
+    def test_clamped(self):
+        sampler = GaussianIntSampler(0, 100, low=-5, high=5, rng=random.Random(0))
+        assert all(-5 <= sampler.sample() <= 5 for _ in range(200))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(WorkloadError):
+            GaussianIntSampler(0, -1, low=0, high=1, rng=random.Random(0))
+        with pytest.raises(WorkloadError):
+            GaussianIntSampler(0, 1, low=2, high=1, rng=random.Random(0))
+
+
+class TestBernoulliSampler:
+    def test_extremes(self):
+        always = BernoulliSampler(1.0, rng=random.Random(0))
+        never = BernoulliSampler(0.0, rng=random.Random(0))
+        assert all(always.sample() for _ in range(20))
+        assert not any(never.sample() for _ in range(20))
+
+    def test_probability_respected(self):
+        sampler = BernoulliSampler(0.2, rng=random.Random(0))
+        rate = sum(sampler.sample() for _ in range(5000)) / 5000
+        assert 0.15 < rate < 0.25
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            BernoulliSampler(1.5, rng=random.Random(0))

@@ -1,0 +1,167 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.workload.generator import (
+    SemanticSpec,
+    SemanticWorkloadGenerator,
+    SyntheticSpec,
+    SyntheticWorkloadGenerator,
+)
+
+
+class TestSyntheticSpec:
+    def test_defaults_valid(self):
+        SyntheticSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_attributes": 0},
+            {"values_per_attribute": 0},
+            {"predicates_per_subscription": (3, 1)},
+            {"pairs_per_event": (0, 2)},
+            {"equality_ratio": 1.5},
+            {"string_value_ratio": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(**kwargs)
+
+
+class TestSyntheticGenerator:
+    def test_reproducible(self):
+        a = SyntheticWorkloadGenerator(SyntheticSpec(seed=5))
+        b = SyntheticWorkloadGenerator(SyntheticSpec(seed=5))
+        assert [s.format() for s in a.subscriptions(20)] == [
+            s.format() for s in b.subscriptions(20)
+        ]
+        assert [e.format() for e in a.events(20)] == [e.format() for e in b.events(20)]
+
+    def test_subscription_shape(self):
+        spec = SyntheticSpec(predicates_per_subscription=(2, 3), seed=1)
+        for sub in SyntheticWorkloadGenerator(spec).subscriptions(50):
+            assert 2 <= len(sub) <= 3
+
+    def test_event_shape(self):
+        spec = SyntheticSpec(pairs_per_event=(3, 4), seed=1)
+        for event in SyntheticWorkloadGenerator(spec).events(50):
+            assert 3 <= len(event) <= 4
+
+    def test_ids_unique(self):
+        generator = SyntheticWorkloadGenerator(SyntheticSpec(seed=2))
+        subs = generator.subscriptions(10)
+        assert len({s.sub_id for s in subs}) == 10
+
+    def test_matchable_by_construction(self):
+        """A generated workload must produce a non-degenerate match rate."""
+        from repro.matching import NaiveMatcher
+
+        generator = SyntheticWorkloadGenerator(SyntheticSpec(seed=3, value_skew=1.2))
+        matcher = NaiveMatcher()
+        for sub in generator.subscriptions(300):
+            matcher.insert(sub)
+        total = sum(len(matcher.match(e)) for e in generator.events(100))
+        assert total > 0
+
+
+class TestSemanticGenerator:
+    @pytest.fixture(scope="class")
+    def kb(self):
+        return build_jobs_knowledge_base()
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            SemanticSpec(domain="jobs", term_attributes=())
+        with pytest.raises(WorkloadError):
+            SemanticSpec.jobs(generality_bias=1.5)
+
+    def test_unknown_subtree_rejected(self, kb):
+        spec = SemanticSpec(domain="jobs", term_attributes=(("x", "nonexistent root"),))
+        with pytest.raises(WorkloadError):
+            SemanticWorkloadGenerator(kb, spec)
+
+    def test_reproducible(self, kb):
+        a = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=4))
+        b = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=4))
+        assert [e.format() for e in a.events(20)] == [e.format() for e in b.events(20)]
+
+    def test_event_values_are_domain_terms(self, kb):
+        generator = SemanticWorkloadGenerator(
+            kb, SemanticSpec.jobs(seed=1, value_synonym_prob=0.0)
+        )
+        taxonomy = kb.taxonomy("jobs")
+        for event in generator.events(40):
+            for attribute, value in event.items():
+                if isinstance(value, str):
+                    root = kb.root_attribute(attribute)
+                    if root in ("degree", "position", "skill", "university"):
+                        assert value in taxonomy, f"{attribute}={value!r}"
+
+    def test_values_scoped_to_subtree(self, kb):
+        generator = SemanticWorkloadGenerator(
+            kb,
+            SemanticSpec.jobs(seed=2, synonym_spelling_prob=0.0, value_synonym_prob=0.0),
+        )
+        taxonomy = kb.taxonomy("jobs")
+        roots = dict(generator.spec.term_attributes)
+        for event in generator.events(60):
+            for attribute, value in event.items():
+                if attribute in roots and isinstance(value, str):
+                    assert (
+                        taxonomy.generalization_distance(value, roots[attribute])
+                        is not None
+                    )
+
+    def test_synonym_spelling_probability(self, kb):
+        always = SemanticWorkloadGenerator(
+            kb, SemanticSpec.jobs(seed=3, synonym_spelling_prob=1.0)
+        )
+        never = SemanticWorkloadGenerator(
+            kb, SemanticSpec.jobs(seed=3, synonym_spelling_prob=0.0)
+        )
+        root_attrs = {"degree", "position", "skill", "university"}
+        never_attrs = {a for e in never.events(40) for a in e.attributes()}
+        assert {a for a in never_attrs if a in root_attrs} == never_attrs - {
+            "graduation_year", "salary"
+        }
+        always_attrs = {a for e in always.events(40) for a in e.attributes()}
+        assert any(a not in root_attrs and a not in ("graduation_year", "salary")
+                   for a in always_attrs)
+
+    def test_generality_bias_produces_nonleaf_terms(self, kb):
+        generator = SemanticWorkloadGenerator(
+            kb, SemanticSpec.jobs(seed=5, generality_bias=1.0)
+        )
+        taxonomy = kb.taxonomy("jobs")
+        leaves = set(taxonomy.leaves())
+        values = {
+            p.operand
+            for s in generator.subscriptions(50)
+            for p in s
+            if isinstance(p.operand, str) and p.operand in taxonomy
+        }
+        assert values - leaves, "bias=1.0 must yield ancestor terms"
+
+    def test_stream_phases(self, kb):
+        generator = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=6))
+        ops = list(generator.stream(5, 7))
+        kinds = [op for op, _ in ops]
+        assert kinds == ["subscribe"] * 5 + ["publish"] * 7
+
+    def test_max_generality_passed(self, kb):
+        generator = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=7))
+        sub = generator.subscription(max_generality=2)
+        assert sub.max_generality == 2
+
+    def test_vehicles_preset(self):
+        from repro.ontology.domains import build_vehicles_knowledge_base
+
+        kb = build_vehicles_knowledge_base()
+        generator = SemanticWorkloadGenerator(kb, SemanticSpec.vehicles(seed=1))
+        assert generator.events(5) and generator.subscriptions(5)

@@ -1,0 +1,86 @@
+"""Unit tests for the job-finder demonstration scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.core.config import SemanticConfig
+from repro.model.values import Period
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.workload.jobfinder import JobFinderScenario, JobFinderSpec
+
+
+@pytest.fixture(scope="module")
+def scenario() -> JobFinderScenario:
+    return JobFinderScenario(
+        build_jobs_knowledge_base(),
+        JobFinderSpec(n_companies=6, n_candidates=15, seed=13),
+    )
+
+
+class TestGeneration:
+    def test_cast_sizes(self, scenario):
+        assert len(scenario.companies) == 6
+        assert len(scenario.candidates) == 15
+
+    def test_reproducible(self):
+        kb = build_jobs_knowledge_base()
+        spec = JobFinderSpec(n_companies=4, n_candidates=8, seed=99)
+        a, b = JobFinderScenario(kb, spec), JobFinderScenario(kb, spec)
+        assert [c.resume.format() for c in a.candidates] == [
+            c.resume.format() for c in b.candidates
+        ]
+        assert [
+            s.format() for comp in a.companies for s in comp.subscriptions
+        ] == [s.format() for comp in b.companies for s in comp.subscriptions]
+
+    def test_company_subscription_counts(self, scenario):
+        for company in scenario.companies:
+            assert 1 <= len(company.subscriptions) <= 3
+
+    def test_resume_shape(self, scenario):
+        for candidate in scenario.candidates:
+            resume = candidate.resume
+            assert "graduation_year" in resume
+            # spelling variation: one of the synonym spellings is present
+            assert any(a in resume for a in ("university", "school", "college"))
+            assert any(a in resume for a in ("degree", "qualification", "diploma"))
+
+    def test_job_periods_are_ordered(self, scenario):
+        for candidate in scenario.candidates:
+            periods = [
+                value
+                for attribute, value in candidate.resume.items()
+                if attribute.startswith("period") and isinstance(value, Period)
+            ]
+            for earlier, later in zip(periods, periods[1:]):
+                assert earlier.closed_end(2003) < later.start
+
+    def test_resumes_have_unique_ids(self, scenario):
+        ids = [c.resume.event_id for c in scenario.candidates]
+        assert len(set(ids)) == len(ids)
+
+
+class TestExecution:
+    def test_run_semantic(self, scenario):
+        broker = Broker(build_jobs_knowledge_base())
+        report = scenario.run(broker)
+        assert report.mode == "semantic"
+        assert report.companies == 6 and report.candidates == 15
+        assert report.matches > 0
+        assert report.deliveries == report.matches
+        assert sum(report.per_company_matches.values()) == report.matches
+
+    def test_semantic_dominates_syntactic(self, scenario):
+        semantic = scenario.run(Broker(build_jobs_knowledge_base()))
+        syntactic = scenario.run(
+            Broker(build_jobs_knowledge_base(), config=SemanticConfig.syntactic())
+        )
+        assert semantic.matches >= syntactic.matches
+        assert semantic.semantic_matches > 0
+
+    def test_summary_text(self, scenario):
+        report = scenario.run(Broker(build_jobs_knowledge_base()))
+        text = report.summary()
+        assert "semantic" in text and "matches" in text

@@ -1,0 +1,86 @@
+"""Unit tests for workload trace record/replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.clients import ClientKind
+from repro.core.config import SemanticConfig
+from repro.errors import WorkloadError
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.workload.trace import Trace, TraceOp
+
+
+def _sample_trace() -> Trace:
+    trace = Trace()
+    trace.record_register("c1", "Initech", ClientKind.SUBSCRIBER, {"smtp": "hr@x"})
+    trace.record_register("c2", "Ada", ClientKind.PUBLISHER, {})
+    trace.record_subscribe(
+        "c1", parse_subscription("(university = Toronto)", sub_id="s1")
+    )
+    trace.record_publish("c2", parse_event("(school, Toronto)", event_id="e1"))
+    return trace
+
+
+class TestRecording:
+    def test_ops_in_order(self):
+        trace = _sample_trace()
+        assert [op.op for op in trace] == ["register", "register", "subscribe", "publish"]
+        assert len(trace) == 4
+
+    def test_subscription_payload(self):
+        trace = _sample_trace()
+        payload = trace.ops[2].payload
+        assert payload["sub_id"] == "s1"
+        assert payload["text"] == "(university = Toronto)"
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        trace = _sample_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert [op.to_json() for op in loaded] == [op.to_json() for op in trace]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(_sample_trace().ops[0].to_json() + "\n\n\n")
+        assert len(Trace.load(path)) == 1
+
+    def test_bad_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"op": "register", "x": 1}\nnot json\n')
+        with pytest.raises(WorkloadError) as exc_info:
+            Trace.load(path)
+        assert "line 2" in str(exc_info.value)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceOp.from_json('{"op": "explode"}')
+
+
+class TestReplay:
+    def test_replay_reproduces_matches(self):
+        trace = _sample_trace()
+        broker = Broker(build_jobs_knowledge_base())
+        counts = trace.replay(broker)
+        assert counts == {"register": 2, "subscribe": 1, "publish": 1, "matches": 1}
+
+    def test_same_trace_two_modes(self):
+        """The C5 comparison: one trace, two modes, different match counts."""
+        trace = _sample_trace()
+        semantic = trace.replay(Broker(build_jobs_knowledge_base()))
+        syntactic = trace.replay(
+            Broker(build_jobs_knowledge_base(), config=SemanticConfig.syntactic())
+        )
+        assert semantic["matches"] == 1
+        assert syntactic["matches"] == 0
+
+    def test_replay_after_save_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _sample_trace().save(path)
+        counts = Trace.load(path).replay(Broker(build_jobs_knowledge_base()))
+        assert counts["matches"] == 1
