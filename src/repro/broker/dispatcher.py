@@ -115,12 +115,21 @@ class EventDispatcher:
     # -- reporting ---------------------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
+        engine_stats = self.engine.stats()
+        matcher_stats = engine_stats.get("matcher_stats", {})
+        cache_info = engine_stats.get("expansion_cache", {})
         return {
             "clients": len(self.registry),
             "subscriptions": len(self.engine),
             "publications": len(self.reports),
             "matches": sum(r.match_count for r in self.reports),
             "deliveries": sum(r.delivered_count for r in self.reports),
-            "engine": self.engine.stats(),
+            # batched publish-path headline counters, surfaced at the
+            # top level so operators need not dig through the engine:
+            "batches": matcher_stats.get("batches", 0),
+            "probes_saved": matcher_stats.get("probes_saved", 0),
+            "expansion_cache_hit_rate": cache_info.get("hit_rate", 0.0),
+            "derived_events": engine_stats.get("derived_events", 0),
+            "engine": engine_stats,
             "notifier": self.notifier.snapshot(),
         }

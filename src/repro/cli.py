@@ -69,6 +69,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     table = Table("job-finder demo: semantic vs. syntactic",
                   ["mode", "subscriptions", "resumes", "matches", "semantic-only", "delivered"])
+    publish_table = Table(
+        "publish path (batched matching)",
+        ["mode", "batches", "derived", "pred-evals", "probes-saved", "cache-hit%"],
+    )
     for mode, config in (
         ("semantic", SemanticConfig.semantic()),
         ("syntactic", SemanticConfig.syntactic()),
@@ -84,7 +88,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             report.semantic_matches,
             report.deliveries,
         )
+        engine_stats = broker.engine.stats()
+        matcher_stats = engine_stats["matcher_stats"]
+        cache = engine_stats["expansion_cache"]
+        publish_table.add(
+            mode,
+            matcher_stats["batches"],
+            engine_stats["derived_events"],
+            matcher_stats["predicate_evaluations"],
+            matcher_stats["probes_saved"],
+            round(100.0 * cache["hit_rate"], 1),
+        )
     table.print()
+    print()
+    publish_table.print()
     return 0
 
 

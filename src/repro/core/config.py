@@ -53,6 +53,10 @@ class SemanticConfig:
     present_year:
         Evaluation date for mapping functions (paper's
         ``present_date``).
+    expansion_cache_size:
+        Capacity of the engine's LRU cache of semantic expansions,
+        keyed by root-event signature (workload traces repeat
+        publications).  ``0`` disables the cache.
     """
 
     enable_synonyms: bool = True
@@ -64,6 +68,7 @@ class SemanticConfig:
     max_iterations: int = 4
     max_derived_events: int = 512
     present_year: int = DEFAULT_PRESENT_YEAR
+    expansion_cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.max_generality is not None and self.max_generality < 0:
@@ -74,6 +79,8 @@ class SemanticConfig:
             raise ConfigError("max_derived_events must be >= 1")
         if not (1900 <= self.present_year <= 2200):
             raise ConfigError("present_year out of plausible range")
+        if self.expansion_cache_size < 0:
+            raise ConfigError("expansion_cache_size must be >= 0")
 
     # -- presets ---------------------------------------------------------------
 

@@ -2,27 +2,42 @@
 
 This is the component Figure 1 depicts: subscriptions pass through the
 synonym stage and land in the (unmodified) matching algorithm; each
-publication is expanded by the semantic pipeline into a set of derived
-events, every derived event is matched syntactically, and the union of
-matches — filtered by each subscriber's generality tolerance — is the
-semantic match set.
+publication is expanded by the semantic pipeline into a delta-encoded
+batch of derived events, the whole batch is matched syntactically in
+one :meth:`~repro.matching.base.MatchingAlgorithm.match_batch` pass,
+and the resulting per-subscription minima — filtered by each
+subscriber's generality tolerance — are the semantic match set.
+
+Two publish-path optimizations keep the hot path linear in *new* work
+rather than in the expansion factor:
+
+* batched matching — sibling derivations share every ``(attribute,
+  value)`` pair outside their deltas, so batch-aware matchers probe
+  each distinct pair once per publication (``probes_saved`` in the
+  matcher stats counts the sharing);
+* an LRU expansion cache keyed by root-event signature — workload
+  traces repeat publications, and the semantic expansion depends only
+  on the knowledge base and configuration, so repeats skip the
+  pipeline entirely.
 
 The engine runs in the demo's two modes (paper §4): *semantic* (any
 stage combination enabled) or *syntactic* (no stage runs; the engine
 degenerates to the bare matching algorithm).  Modes can be switched at
 runtime with :meth:`SToPSS.reconfigure`, which re-derives every stored
-subscription's root form and rebuilds the matcher.
+subscription's root form and rebuilds the matcher in place.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterator
 
 from repro.core.config import SemanticConfig
 from repro.core.pipeline import PipelineResult, SemanticPipeline
-from repro.core.provenance import DerivedEvent, SemanticMatch
+from repro.core.provenance import SemanticMatch
 from repro.errors import UnknownSubscriptionError
 from repro.matching.base import MatchingAlgorithm, create_matcher
+from repro.metrics.counters import CounterRegistry
 from repro.model.events import Event
 from repro.model.subscriptions import Subscription
 from repro.ontology.knowledge_base import KnowledgeBase
@@ -69,6 +84,13 @@ class SToPSS:
         self._originals: dict[str, tuple[int, Subscription]] = {}
         self._next_seq = 0
         self.publications = 0
+        #: publish-path counters: expansion-cache hits/misses, derived
+        #: totals and the per-publication derived-count histogram.
+        self.counters = CounterRegistry()
+        #: (root-event signature, publisher_id) -> PipelineResult, LRU order.
+        self._expansion_cache: OrderedDict[tuple, PipelineResult] = OrderedDict()
+        #: kb.version the cached expansions were derived under.
+        self._expansion_cache_kb_version = kb.version
 
     # -- subscription management ---------------------------------------------------
 
@@ -80,6 +102,7 @@ class SToPSS:
         self._matcher.insert(root)
         self._originals[subscription.sub_id] = (self._next_seq, subscription)
         self._next_seq += 1
+        self._invalidate_expansion_cache()
         return root
 
     def unsubscribe(self, sub_id: str) -> Subscription:
@@ -88,6 +111,7 @@ class SToPSS:
             raise UnknownSubscriptionError(f"no subscription {sub_id!r}")
         self._matcher.remove(sub_id)
         _, original = self._originals.pop(sub_id)
+        self._invalidate_expansion_cache()
         return original
 
     def __len__(self) -> int:
@@ -109,31 +133,70 @@ class SToPSS:
         """Match one publication, returning semantic matches in
         subscription insertion order.
 
-        Each subscription is reported at most once, with the *least
-        general* derivation that reached it; subscriptions whose
-        personal ``max_generality`` is tighter than the match's
-        generality are dropped (paper §3.2's per-user information-loss
-        control).
+        The publish hot path is one batched pass: the semantic
+        expansion (served from the LRU cache when this content was
+        published before) goes to the matcher's
+        :meth:`~repro.matching.base.MatchingAlgorithm.match_batch` as a
+        delta-encoded whole.  Each subscription is reported at most
+        once, with the *least general* derivation that reached it;
+        subscriptions whose personal ``max_generality`` is tighter than
+        the match's generality are dropped (paper §3.2's per-user
+        information-loss control).
         """
         self.publications += 1
-        result = self.pipeline.process_event(event)
+        result = self._expand(event)
+        derived_count = len(result.derived)
+        self.counters.bump("publish.derived_events", derived_count)
+        self.counters.bump(f"publish.derived_histogram.{derived_count}")
         return self._collect_matches(event, result)
 
     def explain(self, event: Event) -> PipelineResult:
         """The full pipeline expansion for *event* (demo inspection)."""
         return self.pipeline.process_event(event)
 
+    def _expand(self, event: Event) -> PipelineResult:
+        """The semantic expansion for *event*, LRU-cached by content
+        signature (the expansion depends only on the knowledge base and
+        the active configuration, never on the event id)."""
+        capacity = self.config.expansion_cache_size
+        if capacity <= 0:
+            return self.pipeline.process_event(event)
+        kb_version = self.kb.version
+        if kb_version != self._expansion_cache_kb_version:
+            # the knowledge base was mutated at runtime (new synonyms,
+            # taxonomy edges, rules): every cached expansion is stale.
+            self._invalidate_expansion_cache()
+            self._expansion_cache_kb_version = kb_version
+        cache = self._expansion_cache
+        # publisher_id is part of the key so a cached derivation chain
+        # is never attributed to a different publisher's equal-content
+        # event (trace repeats come from the same publisher, so this
+        # costs nothing in the workloads the cache targets).
+        key = (event.signature, event.publisher_id)
+        result = cache.get(key)
+        if result is not None:
+            cache.move_to_end(key)
+            self.counters.bump("expansion_cache.hits")
+            return result
+        self.counters.bump("expansion_cache.misses")
+        result = self.pipeline.process_event(event)
+        cache[key] = result
+        while len(cache) > capacity:
+            cache.popitem(last=False)
+        return result
+
+    def _invalidate_expansion_cache(self) -> None:
+        """Drop cached expansions.  Configuration changes require this
+        for correctness; subscription churn does not strictly (the
+        expansion never reads the subscription table) but custom extra
+        stages may keep state, so churn invalidates conservatively."""
+        self._expansion_cache.clear()
+        self.counters.bump("expansion_cache.invalidations")
+
     def _collect_matches(
         self, event: Event, result: PipelineResult
     ) -> list[SemanticMatch]:
-        best: dict[str, tuple[int, DerivedEvent]] = {}
-        matcher = self._matcher
-        for derived in result.derived:
-            generality = derived.generality
-            for root_sub in matcher.match(derived.event):
-                known = best.get(root_sub.sub_id)
-                if known is None or generality < known[0]:
-                    best[root_sub.sub_id] = (generality, derived)
+        best = self._matcher.match_batch(result)
         matches: list[SemanticMatch] = []
         for sub_id, (generality, derived) in best.items():
             seq_original = self._originals.get(sub_id)
@@ -164,25 +227,73 @@ class SToPSS:
         """Switch stage configuration at runtime.
 
         Every stored subscription is re-derived under the new config
-        and the matcher is rebuilt, so root forms always correspond to
-        the active synonym setting.
+        and the matcher is rebuilt *in place* (cleared and refilled),
+        so root forms always correspond to the active synonym setting.
+        Resetting the existing instance — rather than instantiating a
+        fresh one from the registry — preserves instance-provided
+        matchers that were never registered under a name, and keeps
+        ``engine.matcher`` identity stable across mode switches.
+        Cached expansions are dropped: they were derived under the old
+        configuration.
         """
-        self.config = config
-        self.pipeline = SemanticPipeline(
+        new_pipeline = SemanticPipeline(
             self.kb, config, extra_stages=self._extra_stages
         )
-        rebuilt = create_matcher(self._matcher_name)
-        for _, (__, subscription) in sorted(
-            self._originals.items(), key=lambda item: item[1][0]
-        ):
-            rebuilt.insert(self.pipeline.process_subscription(subscription))
-        self._matcher = rebuilt
+        ordered = list(self.subscriptions())
+        # Derive every new root form *before* touching the matcher, so
+        # a failing derivation leaves the engine fully functional on
+        # the old configuration.
+        roots = [new_pipeline.process_subscription(sub) for sub in ordered]
+        old_config, old_pipeline = self.config, self.pipeline
+        matcher = self._matcher
+        old_roots = list(matcher.subscriptions())
+        self.config = config
+        self.pipeline = new_pipeline
+        self._invalidate_expansion_cache()
+        matcher.clear()
+        try:
+            for root in roots:
+                matcher.insert(root)
+        except BaseException:
+            # a matcher that rejects one new root form must not strand
+            # the engine half-built: restore the exact proven-good
+            # roots captured above (no re-derivation, which could
+            # itself fail if the KB moved since).
+            self.config, self.pipeline = old_config, old_pipeline
+            matcher.clear()
+            for root in old_roots:
+                matcher.insert(root)
+            raise
 
     # -- reporting ------------------------------------------------------------------------
 
     @property
     def matcher(self) -> MatchingAlgorithm:
         return self._matcher
+
+    def expansion_cache_info(self) -> dict[str, object]:
+        """Hit/miss/size/rate of the LRU expansion cache."""
+        hits = self.counters.get("expansion_cache.hits")
+        misses = self.counters.get("expansion_cache.misses")
+        lookups = hits + misses
+        return {
+            "capacity": self.config.expansion_cache_size,
+            "size": len(self._expansion_cache),
+            "hits": hits,
+            "misses": misses,
+            "invalidations": self.counters.get("expansion_cache.invalidations"),
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
+
+    def derived_histogram(self) -> dict[int, int]:
+        """Per-publication derived-event-count histogram
+        (``{derived_count: publications}``)."""
+        return {
+            int(bucket): count
+            for bucket, count in self.counters.group(
+                "publish.derived_histogram"
+            ).items()
+        }
 
     def stats(self) -> dict[str, object]:
         return {
@@ -193,4 +304,7 @@ class SToPSS:
             "matcher_stats": self._matcher.stats.snapshot(),
             "stage_stats": self.pipeline.stage_stats(),
             "truncations": self.pipeline.truncation_count,
+            "derived_events": self.counters.get("publish.derived_events"),
+            "derived_histogram": self.derived_histogram(),
+            "expansion_cache": self.expansion_cache_info(),
         }

@@ -37,7 +37,18 @@ __all__ = ["SemanticPipeline", "PipelineResult"]
 
 @dataclass
 class PipelineResult:
-    """Everything the semantic stage produced for one publication."""
+    """Everything the semantic stage produced for one publication.
+
+    ``derived`` is a delta-encoded derivation DAG flattened in
+    discovery order: entry 0 is the batch root and every later entry
+    carries a ``parent`` pointer plus the ``delta`` of attribute names
+    it rewrote (see :class:`~repro.core.provenance.DerivedEvent`).
+    Batch matchers walk those parent chains to re-match only each
+    event's delta; parent chains always terminate at a parentless
+    root, and every ancestor's content also appears in ``derived``
+    (possibly under a cheaper provenance — content, keyed by
+    signature, is what matters to matching).
+    """
 
     original: Event
     derived: list[DerivedEvent]
@@ -45,6 +56,22 @@ class PipelineResult:
     truncated: bool = False
     #: signature -> index into ``derived`` (for dedup introspection)
     _by_signature: dict[EventSignature, int] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_derived(
+        cls, original: Event, derived: list[DerivedEvent]
+    ) -> "PipelineResult":
+        """Package an externally built derivation list (benchmarks,
+        tests) with the signature index filled in.  Unlike
+        :meth:`SemanticPipeline.process_event` — whose ``_integrate``
+        keeps exactly one entry per signature, preferring the cheapest
+        provenance — this helper keeps the list as given and indexes
+        the *first* entry per signature; batch matchers tolerate the
+        duplicates (content is matched by signature)."""
+        result = cls(original=original, derived=list(derived))
+        for index, entry in enumerate(result.derived):
+            result._by_signature.setdefault(entry.event.signature, index)
+        return result
 
     def __len__(self) -> int:
         return len(self.derived)
@@ -59,6 +86,25 @@ class PipelineResult:
     def lookup(self, signature: EventSignature) -> DerivedEvent | None:
         index = self._by_signature.get(signature)
         return None if index is None else self.derived[index]
+
+    def dag_edges(self) -> list[tuple[EventSignature, EventSignature, frozenset]]:
+        """``(parent_signature, child_signature, delta)`` triples of
+        the derivation DAG (introspection/tests)."""
+        return [
+            (d.parent.event.signature, d.event.signature, d.delta)
+            for d in self.derived
+            if d.parent is not None
+        ]
+
+    def total_pairs(self) -> int:
+        """Attribute pairs summed over all derived events — the work a
+        per-event matcher re-probes from scratch."""
+        return sum(len(d.event) for d in self.derived)
+
+    def distinct_pairs(self) -> int:
+        """Distinct ``(attribute, value)`` pairs across the batch — the
+        probe floor for a sharing batch matcher."""
+        return len({pair for d in self.derived for pair in d.event.signature})
 
 
 class SemanticPipeline:

@@ -58,10 +58,22 @@ class DerivedEvent:
     pipeline deduplication is the underlying event's signature —
     two different chains reaching the same content are one derived
     event (the cheaper chain is kept).
+
+    Derived events are *delta-encoded* against their parent: ``parent``
+    is the event this one was expanded from (``None`` for the batch
+    root) and ``delta`` is the set of attribute names whose
+    ``(attribute, value)`` pair differs from the parent's.  Sibling
+    derivations share every pair outside their deltas, which is what
+    lets batch matchers (:meth:`~repro.matching.base.MatchingAlgorithm.
+    match_batch`) re-match only the changed pairs instead of the whole
+    event.  Both fields are excluded from equality/hashing — identity
+    remains (event, steps).
     """
 
     event: Event
     steps: tuple[DerivationStep, ...] = ()
+    parent: "DerivedEvent | None" = field(default=None, compare=False, repr=False)
+    delta: frozenset = field(default_factory=frozenset, compare=False, repr=False)
 
     @classmethod
     def original(cls, event: Event) -> "DerivedEvent":
@@ -82,8 +94,34 @@ class DerivedEvent:
         return len(self.steps)
 
     def extend(self, event: Event, step: DerivationStep) -> "DerivedEvent":
-        """The derived event obtained by applying one more step."""
-        return DerivedEvent(event, self.steps + (step,))
+        """The derived event obtained by applying one more step.
+
+        The child records this event as its ``parent`` and the set of
+        attribute names whose pair changed as its ``delta`` (computed
+        from the canonical signatures, so ``4`` → ``4.0`` is no
+        change)."""
+        changed = frozenset(
+            name for name, _ in self.event.signature ^ event.signature
+        )
+        return DerivedEvent(event, self.steps + (step,), parent=self, delta=changed)
+
+    def removed_pairs(self) -> list[tuple[str, object]]:
+        """The parent's ``(attribute, value)`` pairs this derivation
+        dropped or rewrote (empty for the batch root)."""
+        if self.parent is None:
+            return []
+        parent_event = self.parent.event
+        return [
+            (name, parent_event[name]) for name in self.delta if name in parent_event
+        ]
+
+    def added_pairs(self) -> list[tuple[str, object]]:
+        """This event's ``(attribute, value)`` pairs absent from (or
+        rewritten against) the parent (empty for the batch root)."""
+        if self.parent is None:
+            return []
+        event = self.event
+        return [(name, event[name]) for name in self.delta if name in event]
 
     def used_rule(self, rule_name: str) -> bool:
         """Whether *rule_name* already fired along this chain."""

@@ -16,7 +16,7 @@ from repro.matching.base import (
 )
 from repro.matching.cluster import ClusterMatcher
 from repro.matching.counting import CountingMatcher
-from repro.matching.index import PredicateIndex
+from repro.matching.index import PredicateIndex, SatisfactionCache
 from repro.matching.naive import NaiveMatcher
 from repro.matching.stats import MatchStats
 
@@ -29,5 +29,6 @@ __all__ = [
     "CountingMatcher",
     "ClusterMatcher",
     "PredicateIndex",
+    "SatisfactionCache",
     "MatchStats",
 ]

@@ -12,12 +12,16 @@ semantic stage unchanged.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import DuplicateSubscriptionError, MatchingError, UnknownSubscriptionError
 from repro.matching.stats import MatchStats
 from repro.model.events import Event
 from repro.model.subscriptions import Subscription
+
+if TYPE_CHECKING:  # avoid a runtime matching <-> core import cycle
+    from repro.core.pipeline import PipelineResult
+    from repro.core.provenance import DerivedEvent
 
 __all__ = ["MatchingAlgorithm", "register_matcher", "create_matcher", "matcher_names"]
 
@@ -101,6 +105,59 @@ class MatchingAlgorithm(abc.ABC):
     def match_ids(self, event: Event) -> list[str]:
         """Convenience: matching subscription ids."""
         return [sub.sub_id for sub in self.match(event)]
+
+    # -- batched matching --------------------------------------------------------
+
+    def match_batch(
+        self, result: "PipelineResult"
+    ) -> dict[str, tuple[int, "DerivedEvent"]]:
+        """Match one semantic expansion batch in a single pass.
+
+        Returns, per matched ``sub_id``, the pair ``(generality,
+        derived_event)`` of the *least general* derivation that reached
+        the subscription (first derivation wins ties, following the
+        batch's discovery order) — exactly the reduction the engine's
+        per-event loop used to compute.
+
+        The default implementation falls back to one :meth:`match` call
+        per derived event, so any third-party matcher keeps working
+        unchanged; indexed matchers override :meth:`_match_batch` to
+        share per-``(attribute, value)`` predicate satisfaction across
+        the batch's delta-encoded derivations.
+        """
+        self.stats.batches += 1
+        return self._match_batch(result)
+
+    def _match_batch(
+        self, result: "PipelineResult"
+    ) -> dict[str, tuple[int, "DerivedEvent"]]:
+        """Serial fallback: full re-match per derived event."""
+        best: dict[str, tuple[int, "DerivedEvent"]] = {}
+        for derived in result.derived:
+            self._reduce_batch_matches(
+                best,
+                derived,
+                derived.generality,
+                (subscription.sub_id for subscription in self.match(derived.event)),
+            )
+        return best
+
+    def _reduce_batch_matches(
+        self,
+        best: dict[str, tuple[int, "DerivedEvent"]],
+        derived: "DerivedEvent",
+        generality: int,
+        matched_ids,
+    ) -> int:
+        """Fold one derived event's matched ids into *best* (shared by
+        the batch implementations); returns how many ids were seen."""
+        count = 0
+        for sub_id in matched_ids:
+            count += 1
+            known = best.get(sub_id)
+            if known is None or generality < known[0]:
+                best[sub_id] = (generality, derived)
+        return count
 
     # -- extension points ------------------------------------------------------------
 

@@ -11,15 +11,29 @@ their access predicate is already known satisfied.
 Subscriptions with no equality predicate fall back to a scan pool
 (range-only subscriptions are rare in the targeted workloads; the A1
 benchmark quantifies the sensitivity).
+
+The batched path (:meth:`ClusterMatcher._match_batch`) memoizes
+residual-predicate outcomes per ``(predicate, value)`` across the
+semantic expansion: sibling derivations differ from their parent by one
+delta, so nearly every residual evaluation repeats verbatim and is
+answered from the memo instead of re-evaluated.  Sound because
+predicate keys and canonical value keys identify behavior exactly
+(``4`` vs ``4.0`` evaluate identically under every operator).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.matching.base import MatchingAlgorithm, register_matcher
 from repro.model.events import Event
 from repro.model.predicates import Operator, Predicate
 from repro.model.subscriptions import Subscription
 from repro.model.values import canonical_value_key
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineResult
+    from repro.core.provenance import DerivedEvent
 
 __all__ = ["ClusterMatcher"]
 
@@ -103,14 +117,20 @@ class ClusterMatcher(MatchingAlgorithm):
     def _residual_match(self, event: Event, predicates: tuple[Predicate, ...]) -> bool:
         stats = self.stats
         for predicate in predicates:
-            stats.predicate_evaluations += 1
             if predicate.attribute not in event:
                 return False
+            # counted only for real evaluate() calls (absent-attribute
+            # rejections are dict probes), matching the batch path's
+            # accounting so serial-vs-batch eval ratios are honest.
+            stats.predicate_evaluations += 1
             if not predicate.evaluate(event[predicate.attribute]):
                 return False
         return True
 
-    def _match(self, event: Event) -> list[Subscription]:
+    def _matched_ids(self, event: Event, residual_check) -> list[str]:
+        """One event's matched ids: probe the cluster of each event
+        pair, then sweep the scan pool.  *residual_check* evaluates a
+        residual predicate tuple (serial or batch-memoized)."""
         stats = self.stats
         matched_ids: list[str] = []
         for attribute, value in event.items():
@@ -120,13 +140,58 @@ class ClusterMatcher(MatchingAlgorithm):
                 continue
             for sub_id, residual in cluster.items():
                 stats.candidates += 1
-                if self._residual_match(event, residual):
+                if residual_check(event, residual):
                     matched_ids.append(sub_id)
         for sub_id, predicates in self._scan_pool.items():
             stats.candidates += 1
-            if self._residual_match(event, predicates):
+            if residual_check(event, predicates):
                 matched_ids.append(sub_id)
-        return self._ordered(matched_ids)
+        return matched_ids
+
+    def _match(self, event: Event) -> list[Subscription]:
+        return self._ordered(self._matched_ids(event, self._residual_match))
+
+    # -- batched matching ---------------------------------------------------------
+
+    def _residual_match_memo(
+        self, event: Event, predicates: tuple[Predicate, ...], memo: dict
+    ) -> bool:
+        """`_residual_match` with cross-derivation evaluation sharing:
+        each ``(predicate, value)`` outcome is computed once per batch."""
+        stats = self.stats
+        for predicate in predicates:
+            value = event.get(predicate.attribute)
+            if value is None:  # None is not a legal value: attribute absent
+                return False
+            key = (predicate.key, canonical_value_key(value))
+            outcome = memo.get(key)
+            if outcome is None:
+                stats.predicate_evaluations += 1
+                outcome = predicate.evaluate(value)
+                memo[key] = outcome
+            else:
+                stats.probes_saved += 1
+            if not outcome:
+                return False
+        return True
+
+    def _match_batch(
+        self, result: "PipelineResult"
+    ) -> dict[str, tuple[int, "DerivedEvent"]]:
+        stats = self.stats
+        #: (predicate key, canonical value key) -> bool
+        memo: dict[tuple, bool] = {}
+
+        def residual_check(event, predicates):
+            return self._residual_match_memo(event, predicates, memo)
+
+        best: dict[str, tuple[int, "DerivedEvent"]] = {}
+        for derived in result.derived:
+            matched_ids = self._matched_ids(derived.event, residual_check)
+            stats.events += 1
+            stats.matches += len(matched_ids)
+            self._reduce_batch_matches(best, derived, derived.generality, matched_ids)
+        return best
 
 
 register_matcher(ClusterMatcher.name, ClusterMatcher)

@@ -11,14 +11,28 @@ Subscriptions are decomposed into predicates held in a shared
 
 Predicate sharing falls out naturally: a predicate used by ten thousand
 subscriptions is evaluated once per event, then credited to each user.
+
+The batched path (:meth:`CountingMatcher._match_batch`) extends the
+sharing *across the semantic expansion*: each distinct ``(attribute,
+value)`` pair in the batch is probed once and flattened into a
+per-subscription contribution list; a derived event's counters are then
+its parent's counters adjusted by just its delta — subtract the
+contributions of rewritten pairs, add the contributions of their
+replacements — instead of a full re-count.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.matching.base import MatchingAlgorithm, register_matcher
-from repro.matching.index import PredicateIndex, PredicateKey
+from repro.matching.index import PredicateIndex, PredicateKey, SatisfactionCache
 from repro.model.events import Event
 from repro.model.subscriptions import Subscription
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineResult
+    from repro.core.provenance import DerivedEvent
 
 __all__ = ["CountingMatcher"]
 
@@ -78,6 +92,87 @@ class CountingMatcher(MatchingAlgorithm):
         stats.candidates += len(counters)
         matched_ids.extend(self._universal)
         return self._ordered(matched_ids)
+
+    # -- batched matching ---------------------------------------------------------
+
+    def _pair_contributions(self, keys: tuple) -> tuple:
+        """Flatten satisfied predicate keys for one pair into
+        ``(sub_id, uses)`` counter credits (the per-pair payload the
+        batch memoizes)."""
+        self.stats.predicate_evaluations += len(keys)
+        usages = self._usages
+        credit: dict[str, int] = {}
+        for key in keys:
+            for sub_id, uses in usages[key].items():
+                credit[sub_id] = credit.get(sub_id, 0) + uses
+        return tuple(credit.items())
+
+    def _match_batch(
+        self, result: "PipelineResult"
+    ) -> dict[str, tuple[int, "DerivedEvent"]]:
+        stats = self.stats
+        index = self._index
+        sizes = self._sizes
+        universal = self._universal
+        probes_before = index.probes
+        cache = SatisfactionCache(index, transform=self._pair_contributions)
+        #: event signature -> fully adjusted counters for that content
+        counters_of: dict = {}
+
+        def counters_for(derived: "DerivedEvent") -> dict[str, int]:
+            # Walk up the parent chain to the nearest memoized ancestor
+            # (ultimately the parentless batch root), then come back
+            # down applying each delta as a counter adjustment.
+            chain = []
+            node = derived
+            counts = None
+            while True:
+                known = counters_of.get(node.event.signature)
+                if known is not None:
+                    counts = known
+                    break
+                chain.append(node)
+                if node.parent is None:
+                    break
+                node = node.parent
+            for node in reversed(chain):
+                if counts is None:  # batch root: full count from its pairs
+                    counts = {}
+                    for attribute, value in node.event.items():
+                        for sub_id, uses in cache.satisfied(attribute, value):
+                            counts[sub_id] = counts.get(sub_id, 0) + uses
+                else:
+                    counts = dict(counts)
+                    for attribute, value in node.removed_pairs():
+                        for sub_id, uses in cache.satisfied(attribute, value):
+                            remaining = counts.get(sub_id, 0) - uses
+                            if remaining:
+                                counts[sub_id] = remaining
+                            else:
+                                counts.pop(sub_id, None)
+                    for attribute, value in node.added_pairs():
+                        for sub_id, uses in cache.satisfied(attribute, value):
+                            counts[sub_id] = counts.get(sub_id, 0) + uses
+                counters_of[node.event.signature] = counts
+            return counts
+
+        best: dict[str, tuple[int, "DerivedEvent"]] = {}
+        for derived in result.derived:
+            counts = counters_for(derived)
+            stats.events += 1
+            stats.candidates += len(counts)
+            generality = derived.generality
+            matched = self._reduce_batch_matches(
+                best,
+                derived,
+                generality,
+                (sub_id for sub_id, count in counts.items() if count == sizes[sub_id]),
+            )
+            matched += self._reduce_batch_matches(best, derived, generality, universal)
+            stats.matches += matched
+        stats.index_probes += index.probes - probes_before
+        stats.probes_saved += cache.hits
+        return best
 
 
 register_matcher(CountingMatcher.name, CountingMatcher)

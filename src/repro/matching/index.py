@@ -21,7 +21,7 @@ sharing is the main memory/speed lever in content-based matching.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.model.attributes import normalize_attribute
 from repro.model.events import Event
@@ -33,7 +33,7 @@ from repro.model.values import (
     values_equal,
 )
 
-__all__ = ["PredicateIndex", "PredicateKey"]
+__all__ = ["PredicateIndex", "PredicateKey", "SatisfactionCache"]
 
 #: Hashable predicate identity (``Predicate.key``).
 PredicateKey = tuple
@@ -348,3 +348,50 @@ class PredicateIndex:
         """
         for attribute, value in event.items():
             yield from self.satisfied(attribute, value)
+
+
+class SatisfactionCache:
+    """Per-batch memo of predicate-satisfaction sets.
+
+    One semantic expansion batch probes the index with many derived
+    events that share most of their ``(attribute, value)`` pairs — each
+    sibling differs from its parent by one delta.  This cache keys the
+    result of :meth:`PredicateIndex.satisfied` (optionally transformed
+    once into a matcher-specific payload, e.g. the counting matcher's
+    per-subscription contribution list) by the pair's canonical
+    identity, so every distinct pair is probed exactly once per batch.
+
+    Caching by ``canonical_value_key`` is sound because canonically
+    equal values (``4`` vs ``4.0``) behave identically under every
+    predicate operator — the same invariant event signatures and
+    predicate keys are already built on.
+    """
+
+    __slots__ = ("_index", "_transform", "_cache", "hits", "misses")
+
+    def __init__(
+        self,
+        index: PredicateIndex,
+        transform: Callable[[tuple], object] | None = None,
+    ) -> None:
+        self._index = index
+        self._transform = transform
+        self._cache: dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def satisfied(self, attribute: str, value: Value):
+        """The (transformed) satisfaction set for one pair, memoized."""
+        pair = (attribute, canonical_value_key(value))
+        payload = self._cache.get(pair)
+        if payload is None:
+            self.misses += 1
+            keys = tuple(self._index.satisfied(attribute, value))
+            payload = keys if self._transform is None else self._transform(keys)
+            self._cache[pair] = payload
+        else:
+            self.hits += 1
+        return payload

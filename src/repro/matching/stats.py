@@ -28,6 +28,10 @@ class MatchStats:
         index filtering.
     matches: subscriptions returned.
     inserts / removals: subscription table churn.
+    batches: number of ``match_batch()`` calls served.
+    probes_saved: per-pair index probes / predicate evaluations a
+        batch matcher answered from its cross-derivation memo instead
+        of re-probing (0 for serial matching).
     """
 
     events: int = 0
@@ -37,6 +41,8 @@ class MatchStats:
     matches: int = 0
     inserts: int = 0
     removals: int = 0
+    batches: int = 0
+    probes_saved: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     def bump(self, name: str, amount: int = 1) -> None:
@@ -51,6 +57,8 @@ class MatchStats:
         self.matches = 0
         self.inserts = 0
         self.removals = 0
+        self.batches = 0
+        self.probes_saved = 0
         self.extra.clear()
 
     def snapshot(self) -> dict[str, int]:
@@ -63,6 +71,8 @@ class MatchStats:
             "matches": self.matches,
             "inserts": self.inserts,
             "removals": self.removals,
+            "batches": self.batches,
+            "probes_saved": self.probes_saved,
         }
         data.update(self.extra)
         return data

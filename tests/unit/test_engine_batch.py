@@ -1,0 +1,213 @@
+"""Unit tests for the batched publish path: expansion cache behavior,
+matcher-instance preservation across ``reconfigure``, and the batch
+counters surfaced through engine/dispatcher stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.matching import CountingMatcher, MatchingAlgorithm
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingRule
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_attribute_synonyms(["school"], root="university")
+    kb.add_domain("jobs").add_chain("PhD", "graduate degree", "degree")
+    kb.add_rule(
+        MappingRule.computed(
+            "exp", "professional_experience", "present_year - graduation_year"
+        )
+    )
+    return kb
+
+
+@pytest.fixture
+def engine() -> SToPSS:
+    return SToPSS(_kb(), config=SemanticConfig(present_year=2003))
+
+
+class TestExpansionCache:
+    def test_repeat_publication_hits(self, engine):
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="s"))
+        first = engine.publish(parse_event("(degree, PhD)"))
+        info = engine.expansion_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 1 and info["size"] == 1
+        second = engine.publish(parse_event("(degree, PhD)"))
+        info = engine.expansion_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == pytest.approx(0.5)
+        assert [(m.subscription.sub_id, m.generality) for m in first] == [
+            (m.subscription.sub_id, m.generality) for m in second
+        ]
+
+    def test_distinct_content_misses(self, engine):
+        engine.publish(parse_event("(degree, PhD)"))
+        engine.publish(parse_event("(degree, MSc)"))
+        info = engine.expansion_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 0
+
+    def test_same_content_different_id_hits(self, engine):
+        engine.publish(parse_event("(degree, PhD)", event_id="a"))
+        engine.publish(parse_event("(degree, PhD)", event_id="b"))
+        assert engine.expansion_cache_info()["hits"] == 1
+
+    def test_subscribe_invalidates(self, engine):
+        engine.publish(parse_event("(degree, PhD)"))
+        assert engine.expansion_cache_info()["size"] == 1
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="late"))
+        info = engine.expansion_cache_info()
+        assert info["size"] == 0 and info["invalidations"] >= 1
+        # correctness: the late subscription is matched by the republished event
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert [m.subscription.sub_id for m in matches] == ["late"]
+
+    def test_unsubscribe_invalidates(self, engine):
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="s"))
+        engine.publish(parse_event("(degree, PhD)"))
+        engine.unsubscribe("s")
+        assert engine.expansion_cache_info()["size"] == 0
+        assert engine.publish(parse_event("(degree, PhD)")) == []
+
+    def test_reconfigure_invalidates(self, engine):
+        engine.subscribe(parse_subscription("(university = Toronto)", sub_id="s"))
+        event = parse_event("(school, Toronto)")
+        assert len(engine.publish(event)) == 1  # synonym rewrite
+        engine.reconfigure(SemanticConfig.syntactic())
+        assert engine.expansion_cache_info()["size"] == 0
+        assert engine.publish(event) == []  # stale expansion would still match
+
+    def test_lru_eviction(self):
+        engine = SToPSS(
+            _kb(), config=SemanticConfig(present_year=2003, expansion_cache_size=2)
+        )
+        for value in ("a", "b", "c"):
+            engine.publish(parse_event(f"(k, {value})"))
+        assert engine.expansion_cache_info()["size"] == 2
+        engine.publish(parse_event("(k, a)"))  # evicted: counts as a miss
+        assert engine.expansion_cache_info()["misses"] == 4
+
+    def test_kb_mutation_invalidates(self, engine):
+        engine.subscribe(parse_subscription("(degree = doctorate)", sub_id="s"))
+        event = parse_event("(degree, PhD)")
+        assert engine.publish(event) == []  # 'doctorate' unknown so far
+        engine.kb.add_value_synonyms(["PhD", "doctorate"], root="doctorate")
+        matches = engine.publish(event)  # same content: must not be served stale
+        assert [m.subscription.sub_id for m in matches] == ["s"]
+
+    def test_zero_capacity_disables(self):
+        engine = SToPSS(
+            _kb(), config=SemanticConfig(present_year=2003, expansion_cache_size=0)
+        )
+        engine.publish(parse_event("(degree, PhD)"))
+        engine.publish(parse_event("(degree, PhD)"))
+        info = engine.expansion_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0 and info["size"] == 0
+
+
+class TestReconfigureMatcherInstance:
+    def test_instance_preserved(self):
+        matcher = CountingMatcher()
+        engine = SToPSS(_kb(), matcher=matcher, config=SemanticConfig(present_year=2003))
+        engine.subscribe(parse_subscription("(school = Toronto)", sub_id="s"))
+        engine.reconfigure(SemanticConfig.syntactic())
+        assert engine.matcher is matcher
+        engine.reconfigure(SemanticConfig(present_year=2003))
+        assert engine.matcher is matcher
+        assert len(engine.publish(parse_event("(school, Toronto)"))) == 1
+
+    def test_unregistered_instance_survives(self):
+        class LocalMatcher(CountingMatcher):
+            name = "local-unregistered"
+
+        matcher = LocalMatcher()
+        engine = SToPSS(_kb(), matcher=matcher, config=SemanticConfig(present_year=2003))
+        engine.subscribe(parse_subscription("(university = Toronto)", sub_id="s"))
+        engine.reconfigure(SemanticConfig.syntactic())  # must not hit the registry
+        assert engine.matcher is matcher
+        assert engine.publish(parse_event("(school, Toronto)")) == []
+        engine.reconfigure(SemanticConfig(present_year=2003))
+        assert len(engine.publish(parse_event("(school, Toronto)"))) == 1
+
+
+    def test_failed_rebuild_restores_old_state(self):
+        class PickyMatcher(CountingMatcher):
+            # rejects non-root 'school' forms: under the semantic
+            # config roots arrive rewritten to 'university', but a
+            # switch to syntactic re-inserts the raw subscription.
+            name = "picky"
+
+            def _on_insert(self, subscription):
+                if "school" in subscription.attributes():
+                    raise RuntimeError("refused 'school'")
+                super()._on_insert(subscription)
+
+        matcher = PickyMatcher()
+        engine = SToPSS(_kb(), matcher=matcher, config=SemanticConfig(present_year=2003))
+        engine.subscribe(parse_subscription("(school = Toronto)", sub_id="s"))
+        with pytest.raises(RuntimeError):
+            engine.reconfigure(SemanticConfig.syntactic())
+        # the engine must still be fully functional on the old config
+        assert engine.mode == "semantic"
+        assert len(engine.publish(parse_event("(school, Toronto)"))) == 1
+
+
+class TestBatchFallback:
+    def test_custom_matcher_without_batch_override(self):
+        class MinimalMatcher(MatchingAlgorithm):
+            name = "minimal"
+
+            def _match(self, event):
+                return [
+                    subscription
+                    for _, subscription in self._subscriptions.values()
+                    if all(
+                        predicate.attribute in event
+                        and predicate.evaluate(event[predicate.attribute])
+                        for predicate in subscription.predicates
+                    )
+                ]
+
+        engine = SToPSS(
+            _kb(), matcher=MinimalMatcher(), config=SemanticConfig(present_year=2003)
+        )
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="s"))
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert [(m.subscription.sub_id, m.generality) for m in matches] == [("s", 2)]
+        assert engine.matcher.stats.batches == 1
+
+
+class TestBatchCounters:
+    def test_engine_stats_shape(self, engine):
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="s"))
+        engine.publish(parse_event("(degree, PhD)"))
+        stats = engine.stats()
+        assert stats["matcher_stats"]["batches"] == 1
+        assert "probes_saved" in stats["matcher_stats"]
+        assert stats["derived_events"] >= 1
+        histogram = stats["derived_histogram"]
+        assert sum(histogram.values()) == 1
+        assert all(isinstance(bucket, int) for bucket in histogram)
+
+    def test_counting_probes_saved_on_shared_pairs(self, engine):
+        # two derived events share the 'other' pair; the second probe
+        # of that pair must be served from the batch memo.
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="s"))
+        engine.publish(parse_event("(degree, PhD)(other, 1)"))
+        assert engine.matcher.stats.probes_saved > 0
+
+    def test_dispatcher_surfaces_batch_stats(self):
+        broker = Broker(_kb(), config=SemanticConfig(present_year=2003))
+        subscriber = broker.register_subscriber("acme", email="a@example.com")
+        broker.subscribe(subscriber.client_id, "(degree = degree)")
+        publisher = broker.register_publisher("ada")
+        broker.publish(publisher.client_id, "(degree, PhD)")
+        stats = broker.dispatcher.stats()
+        assert stats["batches"] == 1
+        assert "probes_saved" in stats and "expansion_cache_hit_rate" in stats
+        assert stats["derived_events"] >= 1
