@@ -26,9 +26,7 @@ MATCHERS = ("naive", "counting", "cluster")
 
 def _load(matcher, subscriptions):
     for subscription in subscriptions:
-        matcher.insert(
-            Subscription(subscription.predicates, sub_id=subscription.sub_id)
-        )
+        matcher.insert(Subscription(subscription.predicates, sub_id=subscription.sub_id))
 
 
 @pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s}subs")
@@ -51,8 +49,14 @@ def test_a1_scaling_table(benchmark, synthetic_workload, capsys):
     sample = events[:50]
     table = Table(
         "A1 — matcher scaling (ms per event)",
-        ["subscriptions", "naive", "counting", "cluster",
-         "naive/counting", "naive/cluster"],
+        [
+            "subscriptions",
+            "naive",
+            "counting",
+            "cluster",
+            "naive/counting",
+            "naive/cluster",
+        ],
     )
     timings: dict[tuple[str, int], float] = {}
 
@@ -122,9 +126,7 @@ def _synthetic_batches(events, width=_BATCH_WIDTH):
                 attribute=attribute,
                 generality=1 + k // len(attributes),
             )
-            derived.append(
-                root.extend(event.with_value(attribute, alternative), step)
-            )
+            derived.append(root.extend(event.with_value(attribute, alternative), step))
         batches.append(PipelineResult.from_derived(event, derived))
     return batches
 
@@ -154,8 +156,15 @@ def test_a1_batch_vs_serial_table(benchmark, synthetic_workload, capsys):
     table = Table(
         f"A1 — batched vs serial matching ({size} subscriptions, "
         f"{_BATCH_WIDTH + 1} derived/publication)",
-        ["matcher", "serial evals", "batch evals", "evals ratio",
-         "probes saved", "serial ms", "batch ms"],
+        [
+            "matcher",
+            "serial evals",
+            "batch evals",
+            "evals ratio",
+            "probes saved",
+            "serial ms",
+            "batch ms",
+        ],
     )
     ratios: dict[str, float] = {}
 
@@ -193,10 +202,15 @@ def test_a1_batch_vs_serial_table(benchmark, synthetic_workload, capsys):
             assert batch_best == serial_best, f"{name} batch/serial diverged"
             ratio = serial_evals / max(batch_evals, 1)
             ratios[name] = ratio
-            table.add(name, serial_evals, batch_evals, round(ratio, 2),
-                      matcher.stats.probes_saved,
-                      round(serial_elapsed * 1000, 2),
-                      round(batch_elapsed * 1000, 2))
+            table.add(
+                name,
+                serial_evals,
+                batch_evals,
+                round(ratio, 2),
+                matcher.stats.probes_saved,
+                round(serial_elapsed * 1000, 2),
+                round(batch_elapsed * 1000, 2),
+            )
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
     with capsys.disabled():

@@ -44,9 +44,7 @@ def _chained_kb(depth: int) -> KnowledgeBase:
 @pytest.mark.parametrize("depth", DEPTHS, ids=lambda d: f"depth{d}")
 def test_a2_fixpoint_chain_cost(benchmark, depth):
     kb = _chained_kb(depth)
-    pipeline = SemanticPipeline(
-        kb, SemanticConfig(max_iterations=2 * depth + 2)
-    )
+    pipeline = SemanticPipeline(kb, SemanticConfig(max_iterations=2 * depth + 2))
     event = Event({"a0": "s0"})
 
     result = benchmark(pipeline.process_event, event)

@@ -55,8 +55,7 @@ def test_a3_upward_expansion_cost(benchmark, shape):
 def test_a3_shape_table(benchmark, capsys):
     table = Table(
         "A3 — taxonomy shape: event-up vs subscription-down expansion",
-        ["depth", "fanout", "concepts", "event-up derived",
-         "sub-down candidates"],
+        ["depth", "fanout", "concepts", "event-up derived", "sub-down candidates"],
     )
     recorded = {}
 

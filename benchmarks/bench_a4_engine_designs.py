@@ -25,7 +25,6 @@ from repro.core.engine import SToPSS
 from repro.core.subexpand import SubscriptionExpandingEngine
 from repro.metrics import Table
 from repro.model.subscriptions import Subscription
-from repro.ontology.domains import build_jobs_knowledge_base
 from repro.workload.generator import SemanticSpec, SemanticWorkloadGenerator
 
 #: Equality-only workload: the regime where the two designs cover the

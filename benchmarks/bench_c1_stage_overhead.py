@@ -9,6 +9,7 @@ isolating the semantic stage's overhead.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
@@ -29,9 +30,7 @@ CONFIGS = {
 
 
 @pytest.mark.parametrize("name", list(CONFIGS))
-def test_c1_publish_latency_by_configuration(
-    benchmark, jobs_kb, semantic_workload, name
-):
+def test_c1_publish_latency_by_configuration(benchmark, jobs_kb, semantic_workload, name):
     subscriptions, events = semantic_workload
     engine = build_engine(jobs_kb, subscriptions, CONFIGS[name])
 
@@ -70,8 +69,7 @@ def test_c1_overhead_table(benchmark, jobs_kb, semantic_workload, capsys):
                 derived += len(engine.explain(event).derived)
                 matches += len(engine.publish(event))
             elapsed = time.perf_counter() - started
-            table.add(name, matches, derived / len(events),
-                      1000 * elapsed / len(events))
+            table.add(name, matches, derived / len(events), 1000 * elapsed / len(events))
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
     with capsys.disabled():
@@ -108,8 +106,15 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
     subscriptions, events = semantic_workload
     table = Table(
         "C1 — batched publish vs serial re-match (400 subscriptions, 100 events)",
-        ["configuration", "matcher", "serial evals", "batch evals",
-         "evals ratio", "probes saved", "cache hit%"],
+        [
+            "configuration",
+            "matcher",
+            "serial evals",
+            "batch evals",
+            "evals ratio",
+            "probes saved",
+            "cache hit%",
+        ],
     )
     payload: dict[str, object] = {
         "workload": "jobfinder",
@@ -123,16 +128,10 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
         payload["configurations"] = []
         for config_name, config in CONFIGS.items():
             for matcher_name in ("counting", "cluster"):
-                serial_engine = build_engine(
-                    jobs_kb, subscriptions, config, matcher=matcher_name
-                )
-                serial_evals, serial_best = _serial_publish_evals(
-                    serial_engine, events
-                )
+                serial_engine = build_engine(jobs_kb, subscriptions, config, matcher=matcher_name)
+                serial_evals, serial_best = _serial_publish_evals(serial_engine, events)
 
-                engine = build_engine(
-                    jobs_kb, subscriptions, config, matcher=matcher_name
-                )
+                engine = build_engine(jobs_kb, subscriptions, config, matcher=matcher_name)
                 before = engine.matcher.stats.predicate_evaluations
                 batch_best: dict[str, int] = {}
                 started = time.perf_counter()
@@ -160,9 +159,7 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
                     if pass_index == 0:
                         # measured directly, in the same window as the
                         # serial baseline (one pass over the trace)
-                        first_pass_evals = (
-                            engine.matcher.stats.predicate_evaluations - before
-                        )
+                        first_pass_evals = engine.matcher.stats.predicate_evaluations - before
                         first_pass_probes_saved = engine.matcher.stats.probes_saved
                 elapsed = time.perf_counter() - started
                 stats = engine.matcher.stats
@@ -208,7 +205,11 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
                 })
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
-    out_path = _REPO_ROOT / "BENCH_publish.json"
+    # the CI benchmark-regression gate redirects the fresh run so it
+    # can be diffed against the committed baseline
+    out_path = pathlib.Path(
+        os.environ.get("STOPSS_BENCH_OUTPUT", _REPO_ROOT / "BENCH_publish.json")
+    )
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     with capsys.disabled():
         print()
@@ -222,9 +223,7 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
     for entry in payload["configurations"]:  # type: ignore[union-attr]
         histogram = {int(k): v for k, v in entry["derived_histogram"].items()}
         publications = sum(histogram.values())
-        derived_per_event = (
-            sum(k * v for k, v in histogram.items()) / publications
-        )
+        derived_per_event = sum(k * v for k, v in histogram.items()) / publications
         if derived_per_event >= 2.0:
             assert entry["evals_ratio"] >= 2.0, entry
         else:

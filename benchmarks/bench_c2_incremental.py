@@ -30,9 +30,7 @@ def _match_pairs(engine, events) -> set:
     return pairs
 
 
-def test_c2_incremental_stage_contribution(
-    benchmark, jobs_kb, semantic_workload, capsys
-):
+def test_c2_incremental_stage_contribution(benchmark, jobs_kb, semantic_workload, capsys):
     subscriptions, events = semantic_workload
     table = Table(
         "C2 — incremental stage composition (cumulative matches)",

@@ -44,10 +44,7 @@ def test_c3_cross_domain_matching(benchmark, capsys):
     events = [parse_event(text) for text in CROSS_DOMAIN_EVENTS]
 
     def run():
-        return [
-            {m.subscription.sub_id for m in engine.publish(event)}
-            for event in events
-        ]
+        return [{m.subscription.sub_id for m in engine.publish(event)} for event in events]
 
     results = benchmark(run)
 
@@ -88,10 +85,7 @@ def test_c3_bridges_off_lose_cross_domain_matches(benchmark, capsys):
     events = [parse_event(text) for text in CROSS_DOMAIN_EVENTS]
 
     def run():
-        return [
-            {m.subscription.sub_id for m in engine.publish(event)}
-            for event in events
-        ]
+        return [{m.subscription.sub_id for m in engine.publish(event)} for event in events]
 
     results = benchmark(run)
     assert "electronics-2" not in results[0]

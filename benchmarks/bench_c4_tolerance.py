@@ -29,13 +29,9 @@ def _run(engine, events):
 
 
 @pytest.mark.parametrize("bound", BOUNDS, ids=lambda b: f"g{b}")
-def test_c4_publish_latency_by_tolerance(
-    benchmark, jobs_kb, semantic_workload, bound
-):
+def test_c4_publish_latency_by_tolerance(benchmark, jobs_kb, semantic_workload, bound):
     subscriptions, events = semantic_workload
-    engine = build_engine(
-        jobs_kb, subscriptions, SemanticConfig(max_generality=bound)
-    )
+    engine = build_engine(jobs_kb, subscriptions, SemanticConfig(max_generality=bound))
 
     def run():
         return sum(len(engine.publish(event)) for event in events[:20])
@@ -55,9 +51,7 @@ def test_c4_tolerance_recall_table(benchmark, jobs_kb, semantic_workload, capsys
         table.rows.clear()
         series.clear()
         for bound in BOUNDS:
-            engine = build_engine(
-                jobs_kb, subscriptions, SemanticConfig(max_generality=bound)
-            )
+            engine = build_engine(jobs_kb, subscriptions, SemanticConfig(max_generality=bound))
             series[bound] = _run(engine, events)
         unbounded_matches = series[None][0]
         for bound in BOUNDS:

@@ -51,12 +51,17 @@ def test_c5_mode_comparison_table(benchmark, capsys):
 
     table = Table(
         "C5 — demo modes on the identical scenario",
-        ["mode", "subscriptions", "resumes", "matches", "semantic-only",
-         "delivered"],
+        ["mode", "subscriptions", "resumes", "matches", "semantic-only", "delivered"],
     )
     for mode, report in reports.items():
-        table.add(mode, report.subscriptions, report.publications,
-                  report.matches, report.semantic_matches, report.deliveries)
+        table.add(
+            mode,
+            report.subscriptions,
+            report.publications,
+            report.matches,
+            report.semantic_matches,
+            report.deliveries,
+        )
     with capsys.disabled():
         print()
         table.print()

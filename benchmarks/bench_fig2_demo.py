@@ -25,15 +25,20 @@ def _run_demo() -> JobFinderWebApp:
         # rotate preferred transports across companies so all four
         # Figure 2 transports carry traffic
         kwargs = {
-            "email": f"hr@{company.name.lower()}.example" if transports[index % 4] == "email" else "",
+            "email": f"hr@{company.name.lower()}.example"
+            if transports[index % 4] == "email"
+            else "",
             "sms": f"+1-555-{index:04d}" if transports[index % 4] == "sms" else "",
             "tcp": f"{company.name.lower()}:9000" if transports[index % 4] == "tcp" else "",
             "udp": f"{company.name.lower()}:9001" if transports[index % 4] == "udp" else "",
         }
         cid = web.post(
             "/clients",
-            {"name": company.name, "role": "subscriber",
-             **{k: v for k, v in kwargs.items() if v}},
+            {
+                "name": company.name,
+                "role": "subscriber",
+                **{k: v for k, v in kwargs.items() if v},
+            },
             json=True,
         ).json()["client_id"]
         for subscription in company.subscriptions:
@@ -61,8 +66,14 @@ def test_fig2_end_to_end_demo(benchmark, capsys):
     stats = web.broker.stats()
     table = Table(
         "F2 / Figure 2 — end-to-end demo",
-        ["clients", "subscriptions", "publications", "matches", "delivered",
-         "dead-lettered"],
+        [
+            "clients",
+            "subscriptions",
+            "publications",
+            "matches",
+            "delivered",
+            "dead-lettered",
+        ],
     )
     table.add(
         stats["clients"], stats["subscriptions"], stats["publications"],

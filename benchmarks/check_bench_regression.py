@@ -1,0 +1,111 @@
+"""CI benchmark-regression gate for the batched publish path.
+
+Compares a freshly generated ``BENCH_publish.json`` (written by
+``bench_c1_stage_overhead.py::test_c1_batch_vs_serial_publish``, output
+path overridable via ``STOPSS_BENCH_OUTPUT``) against the committed
+baseline, per ``(configuration, matcher)`` row:
+
+* ``batch_predicate_evaluations`` must not increase by more than the
+  tolerance — the number of predicate evaluations one trace pass costs
+  is the deterministic proxy for publish cost;
+* ``probes_saved`` (and its two-pass variant, which exercises the
+  cross-publication memo on a trace replay) must not decrease by more
+  than the tolerance.
+
+Counters are deterministic and machine-independent, so the tolerance
+only absorbs intentional drift; tighten it if rows start flapping.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE FRESH [--tolerance 0.10]
+
+Exit status 0 = within tolerance, 1 = regression, 2 = usage/shape error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: rows where the baseline counter is tiny are skipped for the
+#: lower-bound checks — a saved-probe count of 3 dropping to 2 is not a
+#: regression signal, it is noise around an irrelevant code path.
+MIN_BASELINE = 20
+
+
+def _rows(payload: dict) -> dict[tuple[str, str], dict]:
+    return {
+        (entry["configuration"], entry["matcher"]): entry
+        for entry in payload.get("configurations", [])
+    }
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Human-readable regression descriptions (empty = gate passes)."""
+    failures: list[str] = []
+    base_rows = _rows(baseline)
+    fresh_rows = _rows(fresh)
+    missing = sorted(set(base_rows) - set(fresh_rows))
+    if missing:
+        failures.append(f"rows missing from fresh run: {missing}")
+    for key in sorted(set(base_rows) & set(fresh_rows)):
+        base, new = base_rows[key], fresh_rows[key]
+        label = "/".join(key)
+
+        base_evals = base["batch_predicate_evaluations"]
+        new_evals = new["batch_predicate_evaluations"]
+        if new_evals > base_evals * (1 + tolerance):
+            failures.append(
+                f"{label}: batch predicate evaluations regressed "
+                f"{base_evals} -> {new_evals} "
+                f"(+{100 * (new_evals / max(base_evals, 1) - 1):.1f}%)"
+            )
+
+        for field in ("probes_saved", "probes_saved_two_passes"):
+            base_saved = base.get(field, 0)
+            new_saved = new.get(field, 0)
+            if base_saved < MIN_BASELINE:
+                continue
+            if new_saved < base_saved * (1 - tolerance):
+                failures.append(
+                    f"{label}: {field} regressed {base_saved} -> {new_saved} "
+                    f"(-{100 * (1 - new_saved / base_saved):.1f}%)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("fresh", type=pathlib.Path)
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        fresh = json.loads(args.fresh.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load benchmark payloads: {exc}", file=sys.stderr)
+        return 2
+    if not _rows(baseline) or not _rows(fresh):
+        print("benchmark payloads carry no configuration rows", file=sys.stderr)
+        return 2
+
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"benchmark regression gate FAILED ({len(failures)} finding(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    rows = len(_rows(fresh))
+    print(
+        f"benchmark regression gate passed: {rows} rows within "
+        f"{100 * args.tolerance:.0f}% of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,8 +57,7 @@ def main() -> None:
         event = parse_event(text)
         print(f"\npublishing {event.format()}")
         for match in engine.publish(event):
-            print(f"  -> {match.subscription.sub_id} "
-                  f"(generality {match.generality})")
+            print(f"  -> {match.subscription.sub_id} (generality {match.generality})")
 
     # Round-trip: export the efficient internal form back to DAML+OIL.
     document = export_daml(taxonomy)

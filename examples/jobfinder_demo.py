@@ -17,9 +17,7 @@ from repro.workload import JobFinderScenario, JobFinderSpec
 
 def main() -> None:
     kb = build_jobs_knowledge_base()
-    scenario = JobFinderScenario(
-        kb, JobFinderSpec(n_companies=8, n_candidates=24, seed=2003)
-    )
+    scenario = JobFinderScenario(kb, JobFinderSpec(n_companies=8, n_candidates=24, seed=2003))
     web = JobFinderWebApp(Broker(build_jobs_knowledge_base()))
 
     # --- companies register and subscribe through the web app ------------

@@ -48,9 +48,7 @@ def main() -> None:
         f"({missed / max(1, semantic.matches):.0%})"
     )
 
-    per_company = Table(
-        "matches per company (semantic mode)", ["company", "matches"]
-    )
+    per_company = Table("matches per company (semantic mode)", ["company", "matches"])
     for name, count in sorted(semantic.per_company_matches.items()):
         per_company.add(name, count)
     per_company.print()

@@ -46,9 +46,7 @@ def main() -> None:
 
     # The per-subscription flavor: an entry-level recruiter caps generality.
     engine = SToPSS(kb)
-    engine.subscribe(
-        parse_subscription("(skill = software development)", sub_id="open")
-    )
+    engine.subscribe(parse_subscription("(skill = software development)", sub_id="open"))
     engine.subscribe(
         parse_subscription(
             "(skill = software development)", sub_id="entry-level", max_generality=1

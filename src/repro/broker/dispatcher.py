@@ -97,9 +97,7 @@ class EventDispatcher:
         client = self.registry.get(client_id)
         if not client.kind.can_publish:
             raise BrokerError(f"client {client_id!r} is not a publisher")
-        stamped = Event(
-            event.items(), event_id=event.event_id, publisher_id=client_id
-        )
+        stamped = Event(event.items(), event_id=event.event_id, publisher_id=client_id)
         matches = self.engine.publish(stamped)
         outcomes: list[DeliveryOutcome] = []
         for match in matches:
@@ -128,6 +126,8 @@ class EventDispatcher:
             # top level so operators need not dig through the engine:
             "batches": matcher_stats.get("batches", 0),
             "probes_saved": matcher_stats.get("probes_saved", 0),
+            "memo_hits": matcher_stats.get("memo_hits", 0),
+            "memo_invalidations": matcher_stats.get("memo_invalidations", 0),
             "expansion_cache_hit_rate": cache_info.get("hit_rate", 0.0),
             "derived_events": engine_stats.get("derived_events", 0),
             "engine": engine_stats,

@@ -122,9 +122,7 @@ class NotificationEngine:
         last_error = ""
         preferences = client.preferred_transports()
         if not preferences:
-            outcome = DeliveryOutcome(
-                notification, None, 0, False, error="client has no addresses"
-            )
+            outcome = DeliveryOutcome(notification, None, 0, False, error="client has no addresses")
             return self._finish(outcome)
         for position, transport_name in enumerate(preferences):
             if transport_name not in self.transports:

@@ -67,11 +67,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     spec = JobFinderSpec(
         n_companies=args.companies, n_candidates=args.candidates, seed=args.seed
     )
-    table = Table("job-finder demo: semantic vs. syntactic",
-                  ["mode", "subscriptions", "resumes", "matches", "semantic-only", "delivered"])
+    table = Table(
+        "job-finder demo: semantic vs. syntactic",
+        ["mode", "subscriptions", "resumes", "matches", "semantic-only", "delivered"],
+    )
     publish_table = Table(
         "publish path (batched matching)",
-        ["mode", "batches", "derived", "pred-evals", "probes-saved", "cache-hit%"],
+        ["mode", "batches", "derived", "pred-evals", "probes-saved", "memo-hits", "cache-hit%"],
     )
     for mode, config in (
         ("semantic", SemanticConfig.semantic()),
@@ -97,6 +99,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             engine_stats["derived_events"],
             matcher_stats["predicate_evaluations"],
             matcher_stats["probes_saved"],
+            matcher_stats["memo_hits"],
             round(100.0 * cache["hit_rate"], 1),
         )
     table.print()
@@ -146,10 +149,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - interacti
 def _cmd_kb(args: argparse.Namespace) -> int:
     kb = build_demo_knowledge_base()
     stats = kb.stats()
-    table = Table(f"knowledge base {stats['name']!r}", ["domain", "concepts", "edges", "roots", "leaves", "depth"])
+    table = Table(
+        f"knowledge base {stats['name']!r}",
+        ["domain", "concepts", "edges", "roots", "leaves", "depth"],
+    )
     for domain, tstats in stats["domains"].items():  # type: ignore[union-attr]
-        table.add(domain, tstats["concepts"], tstats["edges"], tstats["roots"],
-                  tstats["leaves"], tstats["depth"])
+        table.add(
+            domain,
+            tstats["concepts"],
+            tstats["edges"],
+            tstats["roots"],
+            tstats["leaves"],
+            tstats["depth"],
+        )
     table.print()
     print(f"attribute synonyms: {stats['attribute_synonyms']}")
     print(f"value synonyms:     {stats['value_synonyms']}")

@@ -89,8 +89,12 @@ class SToPSS:
         self.counters = CounterRegistry()
         #: (root-event signature, publisher_id) -> PipelineResult, LRU order.
         self._expansion_cache: OrderedDict[tuple, PipelineResult] = OrderedDict()
-        #: kb.version the cached expansions were derived under.
-        self._expansion_cache_kb_version = kb.version
+        #: locally-bumped epoch folded into the semantic version; lets
+        #: subscription-side refresh (and tests) force-invalidate every
+        #: semantic cache even when ``kb.version`` is unchanged.
+        self._epoch = 0
+        #: (kb.version, epoch) the cached semantic state was derived under.
+        self._semantic_version = (kb.version, self._epoch)
 
     # -- subscription management ---------------------------------------------------
 
@@ -102,7 +106,13 @@ class SToPSS:
         self._matcher.insert(root)
         self._originals[subscription.sub_id] = (self._next_seq, subscription)
         self._next_seq += 1
-        self._invalidate_expansion_cache()
+        if self.pipeline.has_stateful_stages():
+            # the expansion itself never reads the subscription table,
+            # so churn only matters when a custom stage keeps state;
+            # otherwise the cache stays warm across subscribe/publish
+            # interleavings.  (The matcher's own memo handled churn in
+            # ``insert`` above.)
+            self._invalidate_expansion_cache()
         return root
 
     def unsubscribe(self, sub_id: str) -> Subscription:
@@ -111,7 +121,8 @@ class SToPSS:
             raise UnknownSubscriptionError(f"no subscription {sub_id!r}")
         self._matcher.remove(sub_id)
         _, original = self._originals.pop(sub_id)
-        self._invalidate_expansion_cache()
+        if self.pipeline.has_stateful_stages():
+            self._invalidate_expansion_cache()
         return original
 
     def __len__(self) -> int:
@@ -122,9 +133,7 @@ class SToPSS:
 
     def subscriptions(self) -> Iterator[Subscription]:
         """Original subscriptions in insertion order."""
-        for _, (__, subscription) in sorted(
-            self._originals.items(), key=lambda item: item[1][0]
-        ):
+        for _, (__, subscription) in sorted(self._originals.items(), key=lambda item: item[1][0]):
             yield subscription
 
     # -- publishing -------------------------------------------------------------------
@@ -144,6 +153,7 @@ class SToPSS:
         information-loss control).
         """
         self.publications += 1
+        self._sync_semantic_version()
         result = self._expand(event)
         derived_count = len(result.derived)
         self.counters.bump("publish.derived_events", derived_count)
@@ -154,6 +164,27 @@ class SToPSS:
         """The full pipeline expansion for *event* (demo inspection)."""
         return self.pipeline.process_event(event)
 
+    def _sync_semantic_version(self) -> None:
+        """Detect knowledge-base mutations (new synonyms, taxonomy
+        edges, rules) or local epoch bumps and drop every cache derived
+        under the old version — the engine's expansion cache and the
+        matcher's cross-publication memo alike."""
+        current = (self.kb.version, self._epoch)
+        if current != self._semantic_version:
+            self._semantic_version = current
+            self._invalidate_expansion_cache()
+            self._matcher.invalidate_memo("kb-version")
+
+    def bump_semantic_epoch(self, reason: str = "external") -> None:
+        """Force-invalidate all cached semantic state (expansion cache
+        and matcher memo) even when ``kb.version`` is unchanged — used
+        by the subscription-side engine's ``refresh`` so re-expanded
+        descendant sets can never be shadowed by stale cache entries."""
+        self._epoch += 1
+        self._semantic_version = (self.kb.version, self._epoch)
+        self._invalidate_expansion_cache()
+        self._matcher.invalidate_memo(reason)
+
     def _expand(self, event: Event) -> PipelineResult:
         """The semantic expansion for *event*, LRU-cached by content
         signature (the expansion depends only on the knowledge base and
@@ -161,12 +192,6 @@ class SToPSS:
         capacity = self.config.expansion_cache_size
         if capacity <= 0:
             return self.pipeline.process_event(event)
-        kb_version = self.kb.version
-        if kb_version != self._expansion_cache_kb_version:
-            # the knowledge base was mutated at runtime (new synonyms,
-            # taxonomy edges, rules): every cached expansion is stale.
-            self._invalidate_expansion_cache()
-            self._expansion_cache_kb_version = kb_version
         cache = self._expansion_cache
         # publisher_id is part of the key so a cached derivation chain
         # is never attributed to a different publisher's equal-content
@@ -186,31 +211,56 @@ class SToPSS:
         return result
 
     def _invalidate_expansion_cache(self) -> None:
-        """Drop cached expansions.  Configuration changes require this
-        for correctness; subscription churn does not strictly (the
-        expansion never reads the subscription table) but custom extra
-        stages may keep state, so churn invalidates conservatively."""
+        """Drop cached expansions.  Configuration and knowledge-base
+        changes require this for correctness; subscription churn does
+        not (the expansion never reads the subscription table), so
+        churn only triggers it when a custom extra stage declares
+        itself stateful (see
+        :attr:`~repro.core.interfaces.SemanticStage.stateful`)."""
         self._expansion_cache.clear()
         self.counters.bump("expansion_cache.invalidations")
 
-    def _collect_matches(
-        self, event: Event, result: PipelineResult
-    ) -> list[SemanticMatch]:
-        best = self._matcher.match_batch(result)
+    def _admit(self, original: Subscription, generality: int, derived) -> int | None:
+        """Per-match tolerance gate: the charged generality of a match,
+        or ``None`` to reject it.
+
+        The unified tolerance semantics (shared with the
+        subscription-side engine, which overrides this hook) is a
+        single per-derivation-chain budget: every generalization along
+        the path from the publication to the matching form — wherever
+        it was paid, event-side expansion or subscription-side
+        descendant sets — charges the same budget.  Here the chain
+        generality is already fully charged by the pipeline, so only
+        the subscriber's personal bound remains to check (paper §3.2's
+        per-user information-loss control)."""
+        if original.max_generality is not None and generality > original.max_generality:
+            return None
+        return generality
+
+    #: optional ``(sub_id, derived) -> int`` scorer handed to
+    #: ``match_batch``; ``None`` means the reduction minimizes plain
+    #: chain generality.  The subscription-side engine overrides this
+    #: with its chain-budget scorer so the winning derivation per
+    #: subscription is the one with the lowest *total* charge.
+    _derivation_score = None
+
+    def _collect_matches(self, event: Event, result: PipelineResult) -> list[SemanticMatch]:
+        best = self._matcher.match_batch(result, score=self._derivation_score)
         matches: list[SemanticMatch] = []
         for sub_id, (generality, derived) in best.items():
             seq_original = self._originals.get(sub_id)
             if seq_original is None:  # pragma: no cover - defensive
                 continue
             _, original = seq_original
-            if original.max_generality is not None and generality > original.max_generality:
+            admitted = self._admit(original, generality, derived)
+            if admitted is None:
                 continue
             matches.append(
                 SemanticMatch(
                     subscription=original,
                     event=event,
                     matched_via=derived,
-                    generality=generality,
+                    generality=admitted,
                 )
             )
         matches.sort(key=lambda match: self._originals[match.subscription.sub_id][0])
@@ -236,9 +286,7 @@ class SToPSS:
         Cached expansions are dropped: they were derived under the old
         configuration.
         """
-        new_pipeline = SemanticPipeline(
-            self.kb, config, extra_stages=self._extra_stages
-        )
+        new_pipeline = SemanticPipeline(self.kb, config, extra_stages=self._extra_stages)
         ordered = list(self.subscriptions())
         # Derive every new root form *before* touching the matcher, so
         # a failing derivation leaves the engine fully functional on
@@ -250,6 +298,9 @@ class SToPSS:
         self.config = config
         self.pipeline = new_pipeline
         self._invalidate_expansion_cache()
+        # the cluster matcher's memo survives churn by design, but a
+        # mode switch is an engine-level reason: drop it explicitly.
+        matcher.invalidate_memo("reconfigure")
         matcher.clear()
         try:
             for root in roots:
@@ -307,4 +358,5 @@ class SToPSS:
             "derived_events": self.counters.get("publish.derived_events"),
             "derived_histogram": self.derived_histogram(),
             "expansion_cache": self.expansion_cache_info(),
+            "semantic_epoch": self._epoch,
         }

@@ -40,6 +40,10 @@ class HierarchyStage(SemanticStage):
 
     name = STAGE_HIERARCHY
 
+    #: pure function of the knowledge base: cached expansions stay
+    #: valid across subscription churn (see SemanticStage.stateful).
+    stateful = False
+
     def __init__(
         self,
         kb: KnowledgeBase,
@@ -64,9 +68,7 @@ class HierarchyStage(SemanticStage):
                     derived, attribute, value, generality_budget
                 )
             if self._generalize_attributes:
-                produced += yield from self._expand_attribute(
-                    derived, attribute, generality_budget
-                )
+                produced += yield from self._expand_attribute(derived, attribute, generality_budget)
         self.stats.events_out += produced
 
     def _expand_value(

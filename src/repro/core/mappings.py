@@ -31,6 +31,10 @@ class MappingStage(SemanticStage):
 
     name = STAGE_MAPPING
 
+    #: pure function of the knowledge base: cached expansions stay
+    #: valid across subscription churn (see SemanticStage.stateful).
+    stateful = False
+
     def __init__(self, kb: KnowledgeBase, context: MappingContext | None = None) -> None:
         super().__init__()
         self._kb = kb

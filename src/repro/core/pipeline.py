@@ -58,9 +58,7 @@ class PipelineResult:
     _by_signature: dict[EventSignature, int] = field(default_factory=dict, repr=False)
 
     @classmethod
-    def from_derived(
-        cls, original: Event, derived: list[DerivedEvent]
-    ) -> "PipelineResult":
+    def from_derived(cls, original: Event, derived: list[DerivedEvent]) -> "PipelineResult":
         """Package an externally built derivation list (benchmarks,
         tests) with the signature index filled in.  Unlike
         :meth:`SemanticPipeline.process_event` — whose ``_integrate``
@@ -129,6 +127,15 @@ class SemanticPipeline:
         self.extra_stages = extra_stages
         self.truncation_count = 0
 
+    def has_stateful_stages(self) -> bool:
+        """Whether any extra stage may read state beyond the knowledge
+        base (see :attr:`~repro.core.interfaces.SemanticStage.stateful`).
+        The built-in three are stateless by construction; duck-typed
+        extra stages without the attribute count as stateful, keeping
+        the engine's conservative cache-invalidation behavior for them.
+        """
+        return any(getattr(stage, "stateful", True) for stage in self.extra_stages)
+
     # -- subscription path (Figure 1 left) ----------------------------------------
 
     def process_subscription(self, subscription: Subscription) -> Subscription:
@@ -174,17 +181,10 @@ class SemanticPipeline:
         for iteration in range(1, config.max_iterations + 1):
             produced: list[DerivedEvent] = []
             for derived in frontier:
-                remaining = (
-                    None
-                    if budget_total is None
-                    else budget_total - derived.generality
-                )
+                remaining = None if budget_total is None else budget_total - derived.generality
                 for stage in stages:
                     for candidate in stage.expand(derived, generality_budget=remaining):
-                        if (
-                            budget_total is not None
-                            and candidate.generality > budget_total
-                        ):
+                        if budget_total is not None and candidate.generality > budget_total:
                             continue
                         produced.append(candidate)
             if not produced:

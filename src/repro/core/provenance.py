@@ -45,7 +45,10 @@ class DerivationStep:
     rule: str = ""
 
     def __str__(self) -> str:
-        suffix = f" (+{self.generality} level{'s' if self.generality != 1 else ''})" if self.generality else ""
+        suffix = ""
+        if self.generality:
+            plural = "s" if self.generality != 1 else ""
+            suffix = f" (+{self.generality} level{plural})"
         return f"[{self.stage}] {self.description}{suffix}"
 
 
@@ -100,9 +103,7 @@ class DerivedEvent:
         attribute names whose pair changed as its ``delta`` (computed
         from the canonical signatures, so ``4`` → ``4.0`` is no
         change)."""
-        changed = frozenset(
-            name for name, _ in self.event.signature ^ event.signature
-        )
+        changed = frozenset(name for name, _ in self.event.signature ^ event.signature)
         return DerivedEvent(event, self.steps + (step,), parent=self, delta=changed)
 
     def removed_pairs(self) -> list[tuple[str, object]]:
@@ -111,9 +112,7 @@ class DerivedEvent:
         if self.parent is None:
             return []
         parent_event = self.parent.event
-        return [
-            (name, parent_event[name]) for name in self.delta if name in parent_event
-        ]
+        return [(name, parent_event[name]) for name in self.delta if name in parent_event]
 
     def added_pairs(self) -> list[tuple[str, object]]:
         """This event's ``(attribute, value)`` pairs absent from (or

@@ -28,6 +28,10 @@ class SynonymStage(SemanticStage):
 
     name = STAGE_SYNONYM
 
+    #: pure function of the knowledge base: cached expansions stay
+    #: valid across subscription churn (see SemanticStage.stateful).
+    stateful = False
+
     def __init__(self, kb: KnowledgeBase) -> None:
         super().__init__()
         self._kb = kb

@@ -42,6 +42,9 @@ class MatchingAlgorithm(abc.ABC):
         self._subscriptions: dict[str, tuple[int, Subscription]] = {}
         self._next_seq = 0
         self.stats = MatchStats()
+        #: active per-derivation scorer for the current match_batch
+        #: call (see :meth:`match_batch`); ``None`` = chain generality.
+        self._batch_score = None
 
     # -- subscription table ----------------------------------------------------
 
@@ -55,6 +58,7 @@ class MatchingAlgorithm(abc.ABC):
         self._next_seq += 1
         self.stats.inserts += 1
         self._on_insert(subscription)
+        self.invalidate_memo("subscription-churn")
 
     def remove(self, sub_id: str) -> Subscription:
         """Remove and return a subscription by id; unknown ids raise
@@ -65,6 +69,7 @@ class MatchingAlgorithm(abc.ABC):
             raise UnknownSubscriptionError(f"no subscription {sub_id!r}") from None
         self.stats.removals += 1
         self._on_remove(subscription)
+        self.invalidate_memo("subscription-churn")
         return subscription
 
     def __len__(self) -> int:
@@ -109,7 +114,7 @@ class MatchingAlgorithm(abc.ABC):
     # -- batched matching --------------------------------------------------------
 
     def match_batch(
-        self, result: "PipelineResult"
+        self, result: "PipelineResult", *, score=None
     ) -> dict[str, tuple[int, "DerivedEvent"]]:
         """Match one semantic expansion batch in a single pass.
 
@@ -119,6 +124,16 @@ class MatchingAlgorithm(abc.ABC):
         batch's discovery order) — exactly the reduction the engine's
         per-event loop used to compute.
 
+        ``score`` optionally replaces the quantity that reduction
+        minimizes (and reports): a ``(sub_id, derived) -> int``
+        callable.  The subscription-side engine passes its chain-budget
+        scorer — chain generality *plus* the subscription's descendant
+        charge — so the winning derivation per subscription is the one
+        with the lowest **total** charge, not merely the lowest
+        event-side generality (a mapping-derived form can be cheaper
+        than the raw event).  Without it the score is the derivation's
+        chain generality, the event-side engine's semantics.
+
         The default implementation falls back to one :meth:`match` call
         per derived event, so any third-party matcher keeps working
         unchanged; indexed matchers override :meth:`_match_batch` to
@@ -126,11 +141,41 @@ class MatchingAlgorithm(abc.ABC):
         the batch's delta-encoded derivations.
         """
         self.stats.batches += 1
-        return self._match_batch(result)
+        self._batch_score = score
+        try:
+            best = self._match_batch(result)
+        finally:
+            self._batch_score = None
+        if score is not None:
+            # Enforce the contract centrally: a custom _match_batch
+            # override that builds its own best-dict without routing
+            # through _reduce_batch_matches still must never report an
+            # unscored generality (the subscription-side engine gates
+            # tolerance on it).  Re-scoring the chosen witness is
+            # idempotent for conforming reductions; a bypassing matcher
+            # merely loses the cheapest-witness argmin, never the
+            # correctness of the charge.
+            for sub_id, (generality, derived) in best.items():
+                scored = score(sub_id, derived)
+                if scored != generality:
+                    best[sub_id] = (scored, derived)
+        return best
 
-    def _match_batch(
-        self, result: "PipelineResult"
-    ) -> dict[str, tuple[int, "DerivedEvent"]]:
+    def invalidate_memo(self, reason: str = "external") -> None:
+        """Drop any cross-publication memo state this matcher keeps.
+
+        Called with reason ``"subscription-churn"`` after every
+        ``insert``/``remove`` and by the engine with ``"kb-version"`` /
+        ``"reconfigure"`` / ``"refresh"`` when the semantic layer's
+        inputs move.  Matchers whose memo payloads embed subscription
+        state (the counting matcher's contribution lists) must clear on
+        churn; matchers whose memos are pure functions of predicate
+        identity (the cluster matcher's residual outcomes) may keep the
+        memo warm across churn and only honor the engine-driven
+        reasons.  The default is a no-op: serial matchers keep no memo.
+        """
+
+    def _match_batch(self, result: "PipelineResult") -> dict[str, tuple[int, "DerivedEvent"]]:
         """Serial fallback: full re-match per derived event."""
         best: dict[str, tuple[int, "DerivedEvent"]] = {}
         for derived in result.derived:
@@ -152,11 +197,13 @@ class MatchingAlgorithm(abc.ABC):
         """Fold one derived event's matched ids into *best* (shared by
         the batch implementations); returns how many ids were seen."""
         count = 0
+        score_fn = self._batch_score
         for sub_id in matched_ids:
             count += 1
+            score = generality if score_fn is None else score_fn(sub_id, derived)
             known = best.get(sub_id)
-            if known is None or generality < known[0]:
-                best[sub_id] = (generality, derived)
+            if known is None or score < known[0]:
+                best[sub_id] = (score, derived)
         return count
 
     # -- extension points ------------------------------------------------------------

@@ -14,11 +14,17 @@ benchmark quantifies the sensitivity).
 
 The batched path (:meth:`ClusterMatcher._match_batch`) memoizes
 residual-predicate outcomes per ``(predicate, value)`` across the
-semantic expansion: sibling derivations differ from their parent by one
-delta, so nearly every residual evaluation repeats verbatim and is
-answered from the memo instead of re-evaluated.  Sound because
-predicate keys and canonical value keys identify behavior exactly
-(``4`` vs ``4.0`` evaluate identically under every operator).
+semantic expansion *and across publications*: sibling derivations
+differ from their parent by one delta, and workload traces repeat
+pairs across events, so nearly every residual evaluation repeats
+verbatim and is answered from the persistent memo instead of
+re-evaluated.  Sound because predicate keys and canonical value keys
+identify behavior exactly (``4`` vs ``4.0`` evaluate identically under
+every operator); since ``Predicate.evaluate`` is a pure function of
+that identity, subscription churn cannot stale an entry — the memo
+stays warm across subscribe/unsubscribe and is only dropped on the
+engine-propagated reasons (knowledge-base version changes, refresh,
+reconfigure) and on capacity overflow.
 """
 
 from __future__ import annotations
@@ -46,6 +52,9 @@ class ClusterMatcher(MatchingAlgorithm):
 
     name = "cluster"
 
+    #: entry bound of the cross-publication residual-outcome memo
+    memo_capacity = 65536
+
     def __init__(self) -> None:
         super().__init__()
         #: cluster key -> {sub_id: residual predicates to evaluate}
@@ -56,6 +65,20 @@ class ClusterMatcher(MatchingAlgorithm):
         #: popularity of candidate access pairs, used to pick the most
         #: selective (least popular) access predicate for new arrivals.
         self._popularity: dict[_ClusterKey, int] = {}
+        #: (predicate key, canonical value key) -> evaluation outcome;
+        #: survives across match_batch calls AND subscription churn.
+        self._residual_memo: dict[tuple, bool] = {}
+
+    def invalidate_memo(self, reason: str = "external") -> None:
+        """Outcomes are keyed by predicate identity, which churn cannot
+        stale — only engine-driven reasons drop the memo.  Entries for
+        since-removed predicates are harmless and bounded by
+        ``memo_capacity``."""
+        if reason == "subscription-churn":
+            return
+        if self._residual_memo:
+            self._residual_memo.clear()
+            self.stats.memo_invalidations += 1
 
     # -- maintenance -------------------------------------------------------------
 
@@ -64,12 +87,8 @@ class ClusterMatcher(MatchingAlgorithm):
         keys = []
         for predicate in subscription.predicates:
             if predicate.operator is Operator.EQ:
-                keys.append(
-                    (
-                        (predicate.attribute, canonical_value_key(predicate.operand)),  # type: ignore[arg-type]
-                        predicate,
-                    )
-                )
+                value_key = canonical_value_key(predicate.operand)  # type: ignore[arg-type]
+                keys.append(((predicate.attribute, value_key), predicate))
         return keys
 
     def _on_insert(self, subscription: Subscription) -> None:
@@ -157,7 +176,8 @@ class ClusterMatcher(MatchingAlgorithm):
         self, event: Event, predicates: tuple[Predicate, ...], memo: dict
     ) -> bool:
         """`_residual_match` with cross-derivation evaluation sharing:
-        each ``(predicate, value)`` outcome is computed once per batch."""
+        each ``(predicate, value)`` outcome is computed once per memo
+        lifetime (the memo persists across publications)."""
         stats = self.stats
         for predicate in predicates:
             value = event.get(predicate.attribute)
@@ -167,20 +187,22 @@ class ClusterMatcher(MatchingAlgorithm):
             outcome = memo.get(key)
             if outcome is None:
                 stats.predicate_evaluations += 1
+                stats.memo_misses += 1
                 outcome = predicate.evaluate(value)
+                if len(memo) >= self.memo_capacity:
+                    memo.clear()
+                    stats.memo_invalidations += 1
                 memo[key] = outcome
             else:
                 stats.probes_saved += 1
+                stats.memo_hits += 1
             if not outcome:
                 return False
         return True
 
-    def _match_batch(
-        self, result: "PipelineResult"
-    ) -> dict[str, tuple[int, "DerivedEvent"]]:
+    def _match_batch(self, result: "PipelineResult") -> dict[str, tuple[int, "DerivedEvent"]]:
         stats = self.stats
-        #: (predicate key, canonical value key) -> bool
-        memo: dict[tuple, bool] = {}
+        memo = self._residual_memo
 
         def residual_check(event, predicates):
             return self._residual_match_memo(event, predicates, memo)

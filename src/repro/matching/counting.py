@@ -13,12 +13,18 @@ Predicate sharing falls out naturally: a predicate used by ten thousand
 subscriptions is evaluated once per event, then credited to each user.
 
 The batched path (:meth:`CountingMatcher._match_batch`) extends the
-sharing *across the semantic expansion*: each distinct ``(attribute,
-value)`` pair in the batch is probed once and flattened into a
-per-subscription contribution list; a derived event's counters are then
-its parent's counters adjusted by just its delta — subtract the
-contributions of rewritten pairs, add the contributions of their
-replacements — instead of a full re-count.
+sharing *across the semantic expansion and across publications*: each
+distinct ``(attribute, value)`` pair is probed once and flattened into
+a per-subscription contribution list held in a persistent
+:class:`~repro.matching.index.SatisfactionCache`; a derived event's
+counters are then its parent's counters adjusted by just its delta —
+subtract the contributions of rewritten pairs, add the contributions of
+their replacements — instead of a full re-count.  Because the memoized
+contribution lists embed subscription ids and usage counts, the memo is
+invalidated on every subscription insert/remove (and on the
+engine-propagated knowledge-base reasons); between churn events it
+stays warm, so trace replays and sibling publications skip the index
+entirely for repeated pairs.
 """
 
 from __future__ import annotations
@@ -42,6 +48,9 @@ class CountingMatcher(MatchingAlgorithm):
 
     name = "counting"
 
+    #: pair-table bound of the cross-publication satisfaction memo
+    memo_capacity = 65536
+
     def __init__(self) -> None:
         super().__init__()
         self._index = PredicateIndex()
@@ -51,6 +60,19 @@ class CountingMatcher(MatchingAlgorithm):
         self._sizes: dict[str, int] = {}
         #: subscriptions with zero predicates match every event
         self._universal: set[str] = set()
+        #: (attribute, canonical value key) -> per-subscription counter
+        #: credits; survives across match_batch calls until churn.
+        self._memo = SatisfactionCache(
+            self._index,
+            transform=self._pair_contributions,
+            capacity=self.memo_capacity,
+        )
+
+    def invalidate_memo(self, reason: str = "external") -> None:
+        """The memo payload embeds ``{sub_id: uses}`` credits, so every
+        reason — churn included — must drop it."""
+        if self._memo.clear():
+            self.stats.memo_invalidations += 1
 
     def _on_insert(self, subscription: Subscription) -> None:
         size = len(subscription.predicates)
@@ -86,9 +108,7 @@ class CountingMatcher(MatchingAlgorithm):
                 counters[sub_id] = counters.get(sub_id, 0) + uses
         stats.index_probes += self._index.probes - probes_before
         sizes = self._sizes
-        matched_ids = [
-            sub_id for sub_id, count in counters.items() if count == sizes[sub_id]
-        ]
+        matched_ids = [sub_id for sub_id, count in counters.items() if count == sizes[sub_id]]
         stats.candidates += len(counters)
         matched_ids.extend(self._universal)
         return self._ordered(matched_ids)
@@ -107,15 +127,15 @@ class CountingMatcher(MatchingAlgorithm):
                 credit[sub_id] = credit.get(sub_id, 0) + uses
         return tuple(credit.items())
 
-    def _match_batch(
-        self, result: "PipelineResult"
-    ) -> dict[str, tuple[int, "DerivedEvent"]]:
+    def _match_batch(self, result: "PipelineResult") -> dict[str, tuple[int, "DerivedEvent"]]:
         stats = self.stats
         index = self._index
         sizes = self._sizes
         universal = self._universal
         probes_before = index.probes
-        cache = SatisfactionCache(index, transform=self._pair_contributions)
+        cache = self._memo
+        hits_before, misses_before = cache.hits, cache.misses
+        clears_before = cache.invalidations
         #: event signature -> fully adjusted counters for that content
         counters_of: dict = {}
 
@@ -171,7 +191,14 @@ class CountingMatcher(MatchingAlgorithm):
             matched += self._reduce_batch_matches(best, derived, generality, universal)
             stats.matches += matched
         stats.index_probes += index.probes - probes_before
-        stats.probes_saved += cache.hits
+        hits = cache.hits - hits_before
+        stats.probes_saved += hits
+        stats.memo_hits += hits
+        stats.memo_misses += cache.misses - misses_before
+        # capacity-overflow self-clears happen inside cache.satisfied;
+        # count them like every other memo drop (the cluster matcher's
+        # overflow accounting is the precedent).
+        stats.memo_invalidations += cache.invalidations - clears_before
         return best
 
 

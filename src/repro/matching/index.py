@@ -228,7 +228,8 @@ class PredicateIndex:
     def _install(self, index: _AttributeIndex, predicate: Predicate) -> None:
         op, key = predicate.operator, predicate.key
         if op is Operator.EQ:
-            index.equalities.setdefault(canonical_value_key(predicate.operand), set()).add(key)  # type: ignore[arg-type]
+            value_key = canonical_value_key(predicate.operand)  # type: ignore[arg-type]
+            index.equalities.setdefault(value_key, set()).add(key)
         elif op is Operator.IN:
             for member in predicate.operand:  # type: ignore[union-attr]
                 index.equalities.setdefault(canonical_value_key(member), set()).add(key)
@@ -238,12 +239,14 @@ class PredicateIndex:
             bucket = _type_bucket(predicate.operand)  # type: ignore[arg-type]
             if bucket is not None:
                 per_op = index.orderings.setdefault(bucket, {})
-                per_op.setdefault(op, _BoundaryList()).add(predicate.operand, key)  # type: ignore[arg-type]
+                boundary = per_op.setdefault(op, _BoundaryList())
+                boundary.add(predicate.operand, key)  # type: ignore[arg-type]
         elif op is Operator.RANGE:
             rng = predicate.operand
             bucket = _type_bucket(rng.low)  # type: ignore[union-attr]
             if bucket is not None:
-                index.ranges.setdefault(bucket, _BoundaryList()).add(rng.low, key)  # type: ignore[union-attr]
+                boundary = index.ranges.setdefault(bucket, _BoundaryList())
+                boundary.add(rng.low, key)  # type: ignore[union-attr]
         elif op is Operator.PREFIX:
             index.prefix_trie.add(predicate.operand, key)  # type: ignore[arg-type]
         elif op is Operator.SUFFIX:
@@ -256,11 +259,12 @@ class PredicateIndex:
     def _uninstall(self, index: _AttributeIndex, predicate: Predicate) -> None:
         op, key = predicate.operator, predicate.key
         if op is Operator.EQ:
-            bucket_set = index.equalities.get(canonical_value_key(predicate.operand))  # type: ignore[arg-type]
+            value_key = canonical_value_key(predicate.operand)  # type: ignore[arg-type]
+            bucket_set = index.equalities.get(value_key)
             if bucket_set is not None:
                 bucket_set.discard(key)
                 if not bucket_set:
-                    del index.equalities[canonical_value_key(predicate.operand)]  # type: ignore[arg-type]
+                    del index.equalities[value_key]
         elif op is Operator.IN:
             for member in predicate.operand:  # type: ignore[union-attr]
                 member_key = canonical_value_key(member)
@@ -351,15 +355,25 @@ class PredicateIndex:
 
 
 class SatisfactionCache:
-    """Per-batch memo of predicate-satisfaction sets.
+    """Cross-publication memo of predicate-satisfaction sets.
 
-    One semantic expansion batch probes the index with many derived
+    A semantic expansion batch probes the index with many derived
     events that share most of their ``(attribute, value)`` pairs — each
-    sibling differs from its parent by one delta.  This cache keys the
+    sibling differs from its parent by one delta — and workload traces
+    then repeat those pairs across *publications*.  This cache keys the
     result of :meth:`PredicateIndex.satisfied` (optionally transformed
     once into a matcher-specific payload, e.g. the counting matcher's
     per-subscription contribution list) by the pair's canonical
-    identity, so every distinct pair is probed exactly once per batch.
+    identity, so every distinct pair is probed exactly once per memo
+    lifetime, not once per batch.
+
+    Lifetime is owned by the matcher: payloads that embed subscription
+    state (the counting matcher's contribution lists) must be dropped
+    via :meth:`clear` on subscription churn, and the engine propagates
+    knowledge-base version changes the same way.  ``capacity`` bounds
+    memory: when the pair table would exceed it, the memo self-clears
+    (cheap, and the steady-state working set of real traces is far
+    below any sane capacity).
 
     Caching by ``canonical_value_key`` is sound because canonically
     equal values (``4`` vs ``4.0``) behave identically under every
@@ -367,21 +381,41 @@ class SatisfactionCache:
     predicate keys are already built on.
     """
 
-    __slots__ = ("_index", "_transform", "_cache", "hits", "misses")
+    __slots__ = (
+        "_index",
+        "_transform",
+        "_cache",
+        "capacity",
+        "hits",
+        "misses",
+        "invalidations",
+    )
 
     def __init__(
         self,
         index: PredicateIndex,
         transform: Callable[[tuple], object] | None = None,
+        *,
+        capacity: int = 65536,
     ) -> None:
         self._index = index
         self._transform = transform
         self._cache: dict[tuple, object] = {}
+        self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    def clear(self) -> int:
+        """Drop every memoized pair; returns how many were held."""
+        held = len(self._cache)
+        if held:
+            self._cache.clear()
+            self.invalidations += 1
+        return held
 
     def satisfied(self, attribute: str, value: Value):
         """The (transformed) satisfaction set for one pair, memoized."""
@@ -391,6 +425,8 @@ class SatisfactionCache:
             self.misses += 1
             keys = tuple(self._index.satisfied(attribute, value))
             payload = keys if self._transform is None else self._transform(keys)
+            if len(self._cache) >= self.capacity:
+                self.clear()
             self._cache[pair] = payload
         else:
             self.hits += 1

@@ -32,6 +32,13 @@ class MatchStats:
     probes_saved: per-pair index probes / predicate evaluations a
         batch matcher answered from its cross-derivation memo instead
         of re-probing (0 for serial matching).
+    memo_hits / memo_misses: lookups into the matcher's
+        cross-publication satisfaction memo (a strict subset of the
+        work counted by ``probes_saved`` accrues here once the memo
+        survives across ``match_batch`` calls).
+    memo_invalidations: times the cross-publication memo was dropped
+        (subscription churn for payloads that embed subscription state,
+        knowledge-base version changes propagated by the engine).
     """
 
     events: int = 0
@@ -43,6 +50,9 @@ class MatchStats:
     removals: int = 0
     batches: int = 0
     probes_saved: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_invalidations: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     def bump(self, name: str, amount: int = 1) -> None:
@@ -59,6 +69,9 @@ class MatchStats:
         self.removals = 0
         self.batches = 0
         self.probes_saved = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_invalidations = 0
         self.extra.clear()
 
     def snapshot(self) -> dict[str, int]:
@@ -73,6 +86,9 @@ class MatchStats:
             "removals": self.removals,
             "batches": self.batches,
             "probes_saved": self.probes_saved,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_invalidations": self.memo_invalidations,
         }
         data.update(self.extra)
         return data

@@ -58,9 +58,7 @@ class CounterRegistry:
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
         """Per-counter change versus an earlier snapshot."""
         keys = set(self._counts) | set(earlier)
-        return {
-            key: self._counts.get(key, 0) - earlier.get(key, 0) for key in sorted(keys)
-        }
+        return {key: self._counts.get(key, 0) - earlier.get(key, 0) for key in sorted(keys)}
 
     def merge(self, other: "CounterRegistry") -> None:
         for name, value in other.snapshot().items():

@@ -51,9 +51,7 @@ class Table:
 
     def add(self, *cells: object) -> None:
         if len(cells) != len(self.headers):
-            raise ValueError(
-                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
-            )
+            raise ValueError(f"row has {len(cells)} cells, table has {len(self.headers)} columns")
         self.rows.append(list(cells))
 
     def render(self) -> str:

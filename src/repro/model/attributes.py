@@ -30,9 +30,7 @@ __all__ = [
 
 #: Canonical attribute names: lowercase word characters separated by
 #: single underscores, optionally prefixed by ``domain:``.
-ATTRIBUTE_PATTERN = re.compile(
-    r"^(?:[a-z0-9][a-z0-9_]*:)?[a-z0-9][a-z0-9_]*$"
-)
+ATTRIBUTE_PATTERN = re.compile(r"^(?:[a-z0-9][a-z0-9_]*:)?[a-z0-9][a-z0-9_]*$")
 
 _WHITESPACE_RUN = re.compile(r"[\s\-]+")
 _UNDERSCORE_RUN = re.compile(r"_{2,}")
@@ -66,9 +64,7 @@ def normalize_attribute(name: str) -> str:
             f"(normalized form {collapsed!r})"
         )
     if collapsed.count(":") > 1:
-        raise InvalidAttributeError(
-            f"attribute {name!r} has more than one domain qualifier"
-        )
+        raise InvalidAttributeError(f"attribute {name!r} has more than one domain qualifier")
     if not ATTRIBUTE_PATTERN.match(collapsed):
         raise InvalidAttributeError(
             f"attribute {name!r} does not normalize to a valid name "

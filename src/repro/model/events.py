@@ -131,9 +131,7 @@ class Event:
 
     # -- derivation helpers (used by the semantic stages) -------------------
 
-    def with_renamed_attributes(
-        self, renames: Mapping[str, str] | Callable[[str], str]
-    ) -> "Event":
+    def with_renamed_attributes(self, renames: Mapping[str, str] | Callable[[str], str]) -> "Event":
         """A copy with attributes renamed — the synonym stage's rewrite to
         "root" attributes.  *renames* is either an explicit mapping
         (missing attributes stay put) or a callable applied to every
@@ -144,10 +142,7 @@ class Event:
         if callable(renames):
             mapper = renames
         else:
-            table = {
-                normalize_attribute(k): normalize_attribute(v)
-                for k, v in renames.items()
-            }
+            table = {normalize_attribute(k): normalize_attribute(v) for k, v in renames.items()}
             mapper = lambda name: table.get(name, name)  # noqa: E731
         new_pairs = [(mapper(name), value) for name, value in self._pairs.items()]
         if all(new == old for (new, _), old in zip(new_pairs, self._pairs)):
@@ -185,6 +180,4 @@ class Event:
     def format(self) -> str:
         """Render in the paper's event notation:
         ``(school, Toronto)(degree, PhD)``."""
-        return "".join(
-            f"({name}, {format_value(value)})" for name, value in self._pairs.items()
-        )
+        return "".join(f"({name}, {format_value(value)})" for name, value in self._pairs.items())

@@ -109,9 +109,7 @@ def _check_filler(filler: str, text: str, position: int, allow_empty: bool = Tru
         raise ParseError("expected a conjunction between clauses", text, position)
     for token in filler.replace(",", " ").replace(";", " ").split():
         if token.lower() not in _CONJUNCTIONS:
-            raise ParseError(
-                f"unexpected text {token!r} between clauses", text, position
-            )
+            raise ParseError(f"unexpected text {token!r} between clauses", text, position)
 
 
 def _find_operator(body: str) -> tuple[Operator, int, int] | None:
@@ -223,13 +221,15 @@ def parse_predicate(clause: str, *, _source: str | None = None, _offset: int = 0
                 raise ParseError("EXISTS takes no operand", source, _offset)
             return Predicate.exists(attr_text)
         if not operand_text:
-            raise ParseError(
-                f"operator {operator.value!r} is missing its operand", source, _offset
-            )
+            raise ParseError(f"operator {operator.value!r} is missing its operand", source, _offset)
         if operator is Operator.IN:
-            return Predicate(attr_text, operator, _parse_in_operand(operand_text, source, _offset))
+            return Predicate(
+                attr_text, operator, _parse_in_operand(operand_text, source, _offset)
+            )
         if operator is Operator.RANGE:
-            return Predicate(attr_text, operator, _parse_range_operand(operand_text, source, _offset))
+            return Predicate(
+                attr_text, operator, _parse_range_operand(operand_text, source, _offset)
+            )
         operand = parse_value_literal(operand_text)
         if operator.is_string and not isinstance(operand, str):
             operand = operand_text  # '(zip prefix 94)' keeps 94 textual
@@ -295,14 +295,10 @@ def parse_event(
     for body, offset in groups:
         parts = _split_commas(body)
         if len(parts) != 2:
-            raise ParseError(
-                f"event pair must be (attribute, value), got {body!r}", text, offset
-            )
+            raise ParseError(f"event pair must be (attribute, value), got {body!r}", text, offset)
         attr_text, value_text = parts[0].strip(), parts[1].strip()
         if not attr_text or not value_text:
-            raise ParseError(
-                f"event pair must be (attribute, value), got {body!r}", text, offset
-            )
+            raise ParseError(f"event pair must be (attribute, value), got {body!r}", text, offset)
         try:
             pairs.append((attr_text, parse_value_literal(value_text)))
         except (InvalidValueError, InvalidAttributeError) as exc:

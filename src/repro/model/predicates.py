@@ -94,22 +94,15 @@ class Range:
         check_value(self.low)
         check_value(self.high)
         if not values_comparable(self.low, self.high):
-            raise PredicateError(
-                f"range bounds {self.low!r} and {self.high!r} are not comparable"
-            )
+            raise PredicateError(f"range bounds {self.low!r} and {self.high!r} are not comparable")
         if compare_values(self.low, self.high) > 0:
-            raise PredicateError(
-                f"range low {self.low!r} exceeds high {self.high!r}"
-            )
+            raise PredicateError(f"range low {self.low!r} exceeds high {self.high!r}")
 
     def contains(self, value: Value) -> bool:
         """Whether *value* lies within the closed interval."""
         if not values_comparable(value, self.low):
             return False
-        return (
-            compare_values(value, self.low) >= 0
-            and compare_values(value, self.high) <= 0
-        )
+        return compare_values(value, self.low) >= 0 and compare_values(value, self.high) <= 0
 
     def __str__(self) -> str:
         return f"[{format_value(self.low)},{format_value(self.high)}]"
@@ -128,17 +121,13 @@ def _check_operand(operator: Operator, operand: Operand) -> Operand:
         raise PredicateError(f"{operator.name} requires an operand")
     if operator is Operator.RANGE:
         if not isinstance(operand, Range):
-            raise PredicateError(
-                f"RANGE requires a Range operand, got {type(operand).__name__}"
-            )
+            raise PredicateError(f"RANGE requires a Range operand, got {type(operand).__name__}")
         return operand
     if operator is Operator.IN:
         if isinstance(operand, (set, frozenset, list, tuple)):
             members = frozenset(check_value(v) for v in operand)
         else:
-            raise PredicateError(
-                f"IN requires a collection operand, got {type(operand).__name__}"
-            )
+            raise PredicateError(f"IN requires a collection operand, got {type(operand).__name__}")
         if not members:
             raise PredicateError("IN requires a non-empty collection")
         return members
@@ -148,9 +137,7 @@ def _check_operand(operator: Operator, operand: Operand) -> Operand:
         )
     check_value(operand)
     if operator.is_string and not isinstance(operand, str):
-        raise PredicateError(
-            f"{operator.name} requires a string operand, got {operand!r}"
-        )
+        raise PredicateError(f"{operator.name} requires a string operand, got {operand!r}")
     if operator.is_ordering and isinstance(operand, bool):
         raise PredicateError("ordering operators are undefined for booleans")
     return operand
@@ -258,7 +245,8 @@ class Predicate:
         if op is Operator.RANGE:
             return self.operand.contains(value)  # type: ignore[union-attr]
         if op is Operator.IN:
-            return any(values_equal(value, member) for member in self.operand)  # type: ignore[union-attr]
+            members = self.operand  # type: ignore[union-attr]
+            return any(values_equal(value, member) for member in members)
         if not isinstance(value, str):
             return False
         if op is Operator.PREFIX:
@@ -274,9 +262,12 @@ class Predicate:
             operand_key: object = None
         elif self.operator is Operator.RANGE:
             rng = self.operand
-            operand_key = (canonical_value_key(rng.low), canonical_value_key(rng.high))  # type: ignore[union-attr]
+            low_key = canonical_value_key(rng.low)  # type: ignore[union-attr]
+            high_key = canonical_value_key(rng.high)  # type: ignore[union-attr]
+            operand_key = (low_key, high_key)
         elif self.operator is Operator.IN:
-            operand_key = frozenset(canonical_value_key(v) for v in self.operand)  # type: ignore[union-attr]
+            members = self.operand  # type: ignore[union-attr]
+            operand_key = frozenset(canonical_value_key(v) for v in members)
         else:
             operand_key = canonical_value_key(self.operand)  # type: ignore[arg-type]
         return (self.attribute, self.operator, operand_key)
@@ -378,8 +369,10 @@ class Predicate:
         if self.operator is Operator.EXISTS:
             return f"({self.attribute} exists)"
         if self.operator is Operator.IN:
-            members = ",".join(sorted(format_value(v) for v in self.operand))  # type: ignore[union-attr]
+            values = self.operand  # type: ignore[union-attr]
+            members = ",".join(sorted(format_value(v) for v in values))
             return f"({self.attribute} in {{{members}}})"
         if self.operator is Operator.RANGE:
             return f"({self.attribute} range {self.operand})"
-        return f"({self.attribute} {self.operator.value} {format_value(self.operand)})"  # type: ignore[arg-type]
+        formatted = format_value(self.operand)  # type: ignore[arg-type]
+        return f"({self.attribute} {self.operator.value} {formatted})"

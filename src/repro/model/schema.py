@@ -16,7 +16,7 @@ vocabulary.  Schemas power
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import SchemaError, UnknownSchemaError
@@ -57,14 +57,10 @@ class AttributeSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "name", normalize_attribute(self.name))
         if self.value_type not in VALUE_TYPES:
-            raise SchemaError(
-                f"unknown value type {self.value_type!r} for attribute {self.name!r}"
-            )
+            raise SchemaError(f"unknown value type {self.value_type!r} for attribute {self.name!r}")
         if self.vocabulary is not None:
             if self.value_type not in ("string", "any"):
-                raise SchemaError(
-                    f"vocabulary only applies to string attributes ({self.name!r})"
-                )
+                raise SchemaError(f"vocabulary only applies to string attributes ({self.name!r})")
             object.__setattr__(self, "vocabulary", frozenset(self.vocabulary))
         if (self.minimum is not None or self.maximum is not None) and self.value_type not in (
             "int",
@@ -72,11 +68,7 @@ class AttributeSpec:
             "number",
         ):
             raise SchemaError(f"bounds only apply to numeric attributes ({self.name!r})")
-        if (
-            self.minimum is not None
-            and self.maximum is not None
-            and self.minimum > self.maximum
-        ):
+        if self.minimum is not None and self.maximum is not None and self.minimum > self.maximum:
             raise SchemaError(f"minimum exceeds maximum for attribute {self.name!r}")
 
     def accepts(self, value: Value) -> bool:
@@ -131,9 +123,7 @@ class AttributeSpec:
                 f"cannot interpret {text!r} as {self.value_type} for {self.name!r}"
             ) from exc
         if not self.accepts(value):
-            raise SchemaError(
-                f"value {value!r} violates constraints of attribute {self.name!r}"
-            )
+            raise SchemaError(f"value {value!r} violates constraints of attribute {self.name!r}")
         return value
 
 
@@ -243,9 +233,7 @@ class Schema:
     def validate_subscription(self, subscription: Subscription) -> None:
         problems = self.violations_for_subscription(subscription)
         if problems:
-            raise SchemaError(
-                f"subscription violates schema {self.name!r}: {problems[0]}"
-            )
+            raise SchemaError(f"subscription violates schema {self.name!r}: {problems[0]}")
 
 
 class SchemaRegistry:

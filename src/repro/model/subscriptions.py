@@ -134,9 +134,7 @@ class Subscription:
 
     # -- derivation (synonym stage) ---------------------------------------------
 
-    def with_renamed_attributes(
-        self, renames: Mapping[str, str]
-    ) -> "Subscription":
+    def with_renamed_attributes(self, renames: Mapping[str, str]) -> "Subscription":
         """A copy with predicate attributes renamed to their roots.
 
         Keeps the same ``sub_id``/``subscriber_id`` — the rewritten

@@ -76,9 +76,7 @@ class Period:
             if not isinstance(self.end, int) or isinstance(self.end, bool):
                 raise InvalidValueError(f"period end must be an int or None, got {self.end!r}")
             if self.end < self.start:
-                raise InvalidValueError(
-                    f"period end {self.end} precedes start {self.start}"
-                )
+                raise InvalidValueError(f"period end {self.end} precedes start {self.start}")
 
     @property
     def is_open(self) -> bool:
@@ -152,9 +150,7 @@ def check_value(value: object) -> Value:
     """Validate *value*, returning it unchanged or raising
     :class:`~repro.errors.InvalidValueError`."""
     if not is_valid_value(value):
-        raise InvalidValueError(
-            f"unsupported value {value!r} of type {type(value).__name__}"
-        )
+        raise InvalidValueError(f"unsupported value {value!r} of type {type(value).__name__}")
     return value  # type: ignore[return-value]
 
 

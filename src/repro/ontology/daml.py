@@ -233,9 +233,7 @@ def export_daml(
         if concept.description:
             lines.append(f"    <rdfs:comment>{concept.description}</rdfs:comment>")
         for parent in taxonomy.parents(concept.term):
-            lines.append(
-                f'    <rdfs:subClassOf rdf:resource="#{_term_to_id(parent)}"/>'
-            )
+            lines.append(f'    <rdfs:subClassOf rdf:resource="#{_term_to_id(parent)}"/>')
         lines.append("  </daml:Class>")
     for a, b in class_equivalences:
         lines.append(f'  <daml:Class rdf:ID="{_term_to_id(a)}">')
@@ -244,9 +242,7 @@ def export_daml(
         lines.append("  </daml:Class>")
     for a, b in property_equivalences:
         lines.append(f'  <daml:DatatypeProperty rdf:ID="{a.replace(" ", "_")}">')
-        lines.append(
-            f'    <daml:samePropertyAs rdf:resource="#{b.replace(" ", "_")}"/>'
-        )
+        lines.append(f'    <daml:samePropertyAs rdf:resource="#{b.replace(" ", "_")}"/>')
         lines.append("  </daml:DatatypeProperty>")
     lines.append("</rdf:RDF>")
     return "\n".join(lines)

@@ -116,9 +116,7 @@ def _total_employment(event: Event, context: MappingContext):
     total = 0
     seen = False
     for attribute, value in event.items():
-        if attribute == "period" or (
-            attribute.startswith("period") and attribute[6:].isdigit()
-        ):
+        if attribute == "period" or (attribute.startswith("period") and attribute[6:].isdigit()):
             if isinstance(value, Period):
                 seen = True
                 total += value.duration(context.present_year)
@@ -209,9 +207,7 @@ def build_jobs_knowledge_base() -> KnowledgeBase:
 
 def jobs_schema() -> Schema:
     """Typed schema for job-finder events and subscriptions."""
-    current_positions = tuple(
-        term for chain in _POSITION_CHAINS for term in chain
-    )
+    current_positions = tuple(term for chain in _POSITION_CHAINS for term in chain)
     specs = [
         AttributeSpec("name", "string"),
         AttributeSpec("university", "string"),

@@ -66,7 +66,9 @@ class KnowledgeBase:
         try:
             return self._taxonomies[domain]
         except KeyError:
-            raise UnknownDomainError(f"no domain {domain!r} in knowledge base {self.name!r}") from None
+            raise UnknownDomainError(
+                f"no domain {domain!r} in knowledge base {self.name!r}"
+            ) from None
 
     def domains(self) -> tuple[str, ...]:
         return tuple(self._taxonomies)
@@ -82,9 +84,7 @@ class KnowledgeBase:
 
     # -- attribute synonyms (stage 1 knowledge) --------------------------------------
 
-    def add_attribute_synonyms(
-        self, terms: Iterable[str], *, root: str | None = None
-    ) -> str:
+    def add_attribute_synonyms(self, terms: Iterable[str], *, root: str | None = None) -> str:
         """Declare attribute names synonymous; returns the root
         attribute in normalized form."""
         normalized = [normalize_attribute(t) for t in terms]
@@ -179,9 +179,7 @@ class KnowledgeBase:
                     if ancestor not in merged or merged[ancestor] > distance:
                         merged[ancestor] = distance
         self_keys = {term_key(s) for s in seeds}
-        return {
-            t: d for t, d in merged.items() if term_key(t) not in self_keys
-        }
+        return {t: d for t, d in merged.items() if term_key(t) not in self_keys}
 
     def is_generalization_of(
         self, general: str, specific: str, *, domain: str | None = None

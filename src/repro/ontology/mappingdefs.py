@@ -27,7 +27,7 @@ performance design) so only candidate rules are evaluated per event.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from repro.errors import MappingRuleError
@@ -172,9 +172,7 @@ class Expr:
     def parse(cls, text: str) -> "Expr":
         tokens = cls._tokenize(text)
         rpn = cls._to_rpn(tokens, text)
-        variables = frozenset(
-            tok[1] for tok in rpn if tok[0] == "var"
-        )
+        variables = frozenset(tok[1] for tok in rpn if tok[0] == "var")
         return cls(text, rpn, variables)
 
     @staticmethod
@@ -416,10 +414,7 @@ class MappingRule:
         reqs = [r if isinstance(r, Requirement) else Requirement(r) for r in requires]
         if not reqs:
             builtin = {"present_year", "present_date"}
-            reqs = [
-                Requirement(var)
-                for var in sorted(expr.variables - builtin)
-            ]
+            reqs = [Requirement(var) for var in sorted(expr.variables - builtin)]
         return cls(
             name=name,
             requires=tuple(reqs),
@@ -479,8 +474,14 @@ class MappingRule:
         reqs = tuple(r if isinstance(r, Requirement) else Requirement(r) for r in requires)
         if not reqs:
             raise MappingRuleError(f"function rule {name!r} must declare required attributes")
-        return cls(name=name, requires=reqs, fn=fn, domain=domain, mode=mode,
-                   description=description)
+        return cls(
+            name=name,
+            requires=reqs,
+            fn=fn,
+            domain=domain,
+            mode=mode,
+            description=description,
+        )
 
     # -- application ----------------------------------------------------------------
 
@@ -494,7 +495,9 @@ class MappingRule:
         """Whether every required input is present and passes its guard."""
         return all(req.satisfied_by(event) for req in self.requires)
 
-    def produce(self, event: Event, context: MappingContext) -> tuple[tuple[str, Value], ...] | None:
+    def produce(
+        self, event: Event, context: MappingContext
+    ) -> tuple[tuple[str, Value], ...] | None:
         """Compute the output pairs for *event*, or ``None`` when the
         rule declines (inapplicable, missing inputs, or an evaluation
         dead-end such as a type mismatch)."""

@@ -172,9 +172,7 @@ def kb_to_dict(kb: KnowledgeBase, *, skip_unserializable: bool = False) -> dict:
         else:
             rules.append(encoded)
     if dropped and not skip_unserializable:
-        raise OntologyError(
-            "cannot serialize function-backed mapping rules: " + ", ".join(dropped)
-        )
+        raise OntologyError("cannot serialize function-backed mapping rules: " + ", ".join(dropped))
     return {
         "format_version": FORMAT_VERSION,
         "name": kb.name,

@@ -72,15 +72,11 @@ class Taxonomy:
         child = self.add_concept(specialized)
         parent = self.add_concept(generalized)
         if child.key == parent.key:
-            raise DuplicateConceptError(
-                f"concept {child.term!r} cannot be its own generalization"
-            )
+            raise DuplicateConceptError(f"concept {child.term!r} cannot be its own generalization")
         if parent.key in self._parents[child.key]:
             return
         if self._reaches(parent.key, child.key):
-            raise TaxonomyCycleError(
-                f"edge {child.term!r} -> {parent.term!r} would create a cycle"
-            )
+            raise TaxonomyCycleError(f"edge {child.term!r} -> {parent.term!r} would create a cycle")
         self._parents[child.key].add(parent.key)
         self._children[parent.key].add(child.key)
         self.version += 1
@@ -147,15 +143,11 @@ class Taxonomy:
 
     def roots(self) -> tuple[str, ...]:
         """Concepts without generalizations (hierarchy tops)."""
-        return tuple(
-            sorted(c.term for k, c in self._concepts.items() if not self._parents[k])
-        )
+        return tuple(sorted(c.term for k, c in self._concepts.items() if not self._parents[k]))
 
     def leaves(self) -> tuple[str, ...]:
         """Concepts without specializations."""
-        return tuple(
-            sorted(c.term for k, c in self._concepts.items() if not self._children[k])
-        )
+        return tuple(sorted(c.term for k, c in self._concepts.items() if not self._children[k]))
 
     # -- traversal -------------------------------------------------------------------
 

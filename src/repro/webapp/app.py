@@ -27,7 +27,6 @@ from __future__ import annotations
 from repro.broker.broker import Broker
 from repro.broker.clients import ClientKind
 from repro.errors import (
-    BrokerError,
     FormValidationError,
     ParseError,
     ReproError,
@@ -101,9 +100,7 @@ class JobFinderWebApp:
         @app.route("POST", "/clients")
         def register_client(request: Request) -> Response:
             name = required(request.form, "name")
-            role = required_choice(
-                request.form, "role", ("publisher", "subscriber", "both")
-            )
+            role = required_choice(request.form, "role", ("publisher", "subscriber", "both"))
             client = broker.register_client(
                 name,
                 kind=ClientKind(role),
@@ -149,12 +146,8 @@ class JobFinderWebApp:
         def subscribe(request: Request) -> Response:
             client_id = required(request.form, "client_id")
             text = required(request.form, "subscription")
-            max_generality = optional_int(
-                request.form, "max_generality", default=None, minimum=0
-            )
-            subscription = broker.subscribe(
-                client_id, text, max_generality=max_generality
-            )
+            max_generality = optional_int(request.form, "max_generality", default=None, minimum=0)
+            subscription = broker.subscribe(client_id, text, max_generality=max_generality)
             if request.wants_json:
                 return Response.json_response(
                     {
@@ -214,9 +207,7 @@ class JobFinderWebApp:
                     },
                     status=201,
                 )
-            items = "".join(
-                f"<li><pre>{escape(m.explain())}</pre></li>" for m in report.matches
-            )
+            items = "".join(f"<li><pre>{escape(m.explain())}</pre></li>" for m in report.matches)
             return _page(
                 "published",
                 f"<p>event {escape(report.event.format())} matched "
@@ -261,9 +252,7 @@ class JobFinderWebApp:
                         "truncated": result.truncated,
                     }
                 )
-            items = "".join(
-                f"<li><pre>{escape(d.explain())}</pre></li>" for d in result.derived
-            )
+            items = "".join(f"<li><pre>{escape(d.explain())}</pre></li>" for d in result.derived)
             return _page("semantic expansion", f"<ul>{items}</ul>")
 
         @app.route("GET", "/mode")

@@ -158,9 +158,7 @@ class App:
 
         return register
 
-    def _match(
-        self, method: str, path: str
-    ) -> tuple[Handler, dict[str, str]]:
+    def _match(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
         segments = tuple(seg for seg in path.strip("/").split("/") if seg) or ("",)
         methods_seen: set[str] = set()
         for route_method, pattern, handler in self._routes:
@@ -219,9 +217,7 @@ class App:
         return [response.body.encode("utf-8")]
 
 
-def _match_segments(
-    pattern: tuple[str, ...], segments: tuple[str, ...]
-) -> dict[str, str] | None:
+def _match_segments(pattern: tuple[str, ...], segments: tuple[str, ...]) -> dict[str, str] | None:
     if len(pattern) != len(segments):
         return None
     params: dict[str, str] = {}

@@ -128,9 +128,7 @@ class IntRangeSampler:
 class GaussianIntSampler:
     """Rounded Gaussian clamped to ``[low, high]`` (salary-like values)."""
 
-    def __init__(
-        self, mean: float, stddev: float, low: int, high: int, *, rng: random.Random
-    ):
+    def __init__(self, mean: float, stddev: float, low: int, high: int, *, rng: random.Random):
         if low > high:
             raise WorkloadError(f"empty clamp range [{low}, {high}]")
         if stddev < 0:

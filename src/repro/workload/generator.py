@@ -19,7 +19,7 @@ Two generators cover the evaluation's needs:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import WorkloadError
@@ -231,12 +231,8 @@ class SemanticWorkloadGenerator:
                 if taxonomy.generalization_distance(leaf, subtree_root) is not None
             ]
             if not leaves:
-                raise WorkloadError(
-                    f"no leaves under {subtree_root!r} in domain {spec.domain!r}"
-                )
-            self._leaf_samplers[attribute] = ZipfSampler(
-                leaves, spec.value_skew, rng=self._rng
-            )
+                raise WorkloadError(f"no leaves under {subtree_root!r} in domain {spec.domain!r}")
+            self._leaf_samplers[attribute] = ZipfSampler(leaves, spec.value_skew, rng=self._rng)
             group = [attribute]
             for spelling in sorted(kb.attribute_synonyms_of(attribute)):
                 if spelling != attribute:

@@ -100,7 +100,8 @@ class JobFinderScenario:
         self.spec = spec if spec is not None else JobFinderSpec()
         self._rng = random.Random(self.spec.seed)
         taxonomy = kb.taxonomy("jobs")
-        self._degrees = [t for t in taxonomy.leaves() if t in ("PhD", "MSc", "MASc", "MBA", "MEng", "BSc", "BA", "BEng", "DSc")]
+        wanted = ("PhD", "MSc", "MASc", "MBA", "MEng", "BSc", "BA", "BEng", "DSc")
+        self._degrees = [t for t in taxonomy.leaves() if t in wanted]
         self._universities = [
             t for t in taxonomy.leaves()
             if taxonomy.generalization_distance(t, "university") is not None and t != "university"
@@ -143,8 +144,11 @@ class JobFinderScenario:
             ]
             if rng.random() < 0.5:
                 predicates.append(
-                    Predicate.between("salary", 40000 + 5000 * rng.randint(0, 4),
-                                      90000 + 5000 * rng.randint(0, 6))
+                    Predicate.between(
+                        "salary",
+                        40000 + 5000 * rng.randint(0, 4),
+                        90000 + 5000 * rng.randint(0, 6),
+                    )
                 )
         elif template == 2:
             predicates = [
@@ -163,9 +167,7 @@ class JobFinderScenario:
         stem = _COMPANY_STEMS[index % len(_COMPANY_STEMS)]
         name = f"{stem}-{index}" if index >= len(_COMPANY_STEMS) else stem
         lo, hi = self.spec.subscriptions_per_company
-        subscriptions = tuple(
-            self._company_subscription(index) for _ in range(rng.randint(lo, hi))
-        )
+        subscriptions = tuple(self._company_subscription(index) for _ in range(rng.randint(lo, hi)))
         return Company(name=name, subscriptions=subscriptions)
 
     def _make_candidate(self, index: int) -> Candidate:
@@ -186,9 +188,7 @@ class JobFinderScenario:
         for job_index in range(1, n_jobs + 1):
             if job_start >= self.spec.present_year:
                 break
-            job_end = min(
-                job_start + rng.randint(1, 5), self.spec.present_year
-            )
+            job_end = min(job_start + rng.randint(1, 5), self.spec.present_year)
             is_current = job_index == n_jobs and rng.random() < 0.4
             pairs.append((f"job{job_index}", rng.choice(_EMPLOYERS)))
             pairs.append(

@@ -90,9 +90,7 @@ class Trace:
     # -- persistence --------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(
-            "".join(op.to_json() + "\n" for op in self.ops), encoding="utf-8"
-        )
+        Path(path).write_text("".join(op.to_json() + "\n" for op in self.ops), encoding="utf-8")
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":

@@ -1,8 +1,11 @@
-"""Shared fixtures for the S-ToPSS test suite."""
+"""Shared fixtures and Hypothesis profiles for the S-ToPSS test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.broker.broker import Broker
 from repro.core.config import SemanticConfig
@@ -14,6 +17,22 @@ from repro.ontology.domains import (
     build_vehicles_knowledge_base,
 )
 from repro.ontology.knowledge_base import KnowledgeBase
+
+# Property-test depth is profile-driven so the same suite serves two
+# masters: "ci" keeps the PR critical path fast, "thorough" is the
+# nightly deep-fuzzing run (select with --hypothesis-profile=thorough
+# or HYPOTHESIS_PROFILE=thorough).  Individual tests must NOT pin
+# max_examples, or the profiles cannot scale them.  Registration lives
+# below the imports (lint: E402) — it still runs before any test
+# module is imported, which is all profile loading requires.
+settings.register_profile("ci", max_examples=50, deadline=None)
+settings.register_profile(
+    "thorough",
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

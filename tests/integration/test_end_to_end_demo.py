@@ -4,8 +4,6 @@ driven by the workload generator."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.broker.broker import Broker
 from repro.broker.clients import ClientKind
 from repro.broker.transports import (
@@ -15,7 +13,6 @@ from repro.broker.transports import (
     TransportRegistry,
     UdpTransport,
 )
-from repro.core.config import SemanticConfig
 from repro.ontology.domains import build_jobs_knowledge_base
 from repro.webapp.app import JobFinderWebApp
 from repro.workload.jobfinder import JobFinderScenario, JobFinderSpec
@@ -88,8 +85,11 @@ class TestScenarioThroughWebApp:
         for company in scenario.companies:
             response = web.post(
                 "/clients",
-                {"name": company.name, "role": "subscriber",
-                 "email": f"hr@{company.name.lower()}.example"},
+                {
+                    "name": company.name,
+                    "role": "subscriber",
+                    "email": f"hr@{company.name.lower()}.example",
+                },
                 json=True,
             )
             company_clients[company.name] = response.json()["client_id"]
@@ -127,8 +127,12 @@ class TestScenarioThroughWebApp:
         ).json()["client_id"]
         web.post(
             "/subscriptions",
-            {"client_id": cid,
-             "subscription": "(university = Toronto) and (professional_experience >= 4)"},
+            {
+                "client_id": cid,
+                "subscription": (
+                    "(university = Toronto) and (professional_experience >= 4)"
+                ),
+            },
             json=True,
         )
         pid = web.post(
@@ -136,13 +140,9 @@ class TestScenarioThroughWebApp:
         ).json()["client_id"]
         resume = "(school, Toronto)(graduation_year, 1993)"
 
-        semantic = web.post(
-            "/publications", {"client_id": pid, "event": resume}, json=True
-        ).json()
+        semantic = web.post("/publications", {"client_id": pid, "event": resume}, json=True).json()
         web.post("/mode", {"mode": "syntactic"}, json=True)
-        syntactic = web.post(
-            "/publications", {"client_id": pid, "event": resume}, json=True
-        ).json()
+        syntactic = web.post("/publications", {"client_id": pid, "event": resume}, json=True).json()
         assert len(semantic["matches"]) == 1
         assert syntactic["matches"] == []
         # the semantic match's explanation shows the mapping function
@@ -153,9 +153,7 @@ class TestTransportsUnderLoad:
     def test_udp_drops_recorded_but_not_fatal(self):
         registry = TransportRegistry([UdpTransport(drop_rate=0.3, seed=5)])
         broker = Broker(build_jobs_knowledge_base(), transports=registry)
-        company = broker.register_client(
-            "Lossy", kind=ClientKind.SUBSCRIBER, udp="host:99"
-        )
+        company = broker.register_client("Lossy", kind=ClientKind.SUBSCRIBER, udp="host:99")
         broker.subscribe(company.client_id, "(a = 1)")
         publisher = broker.register_publisher("P")
         for _ in range(30):

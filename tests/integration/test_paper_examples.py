@@ -29,10 +29,7 @@ class TestSection1JobFinder:
         "(university = Toronto) and (degree = PhD) "
         "and (professional experience >= 4)"
     )
-    EVENT = (
-        "(school, Toronto)(degree, PhD)"
-        "(work experience, true)(graduation year, 1990)"
-    )
+    EVENT = ("(school, Toronto)(degree, PhD)" "(work experience, true)(graduation year, 1990)")
 
     def test_headline_semantic_match(self, engine):
         """"Then the pub/sub system running the job-finder application
@@ -103,9 +100,7 @@ class TestSection31SynonymExample:
         assert all(step.stage == "synonym" for step in steps)
 
     def test_synonyms_only_config_suffices(self):
-        engine = SToPSS(
-            build_jobs_knowledge_base(), config=SemanticConfig.synonyms_only()
-        )
+        engine = SToPSS(build_jobs_knowledge_base(), config=SemanticConfig.synonyms_only())
         engine.subscribe(parse_subscription(self.SUBSCRIPTION, sub_id="s"))
         assert len(engine.publish(parse_event(self.EVENT))) == 1
 
@@ -163,9 +158,7 @@ class TestSection31MappingExample:
         """The paper notes the definition "classifies any jobs the
         potential candidate held in other periods as not contributing";
         our expert rule sums the actual periods (3 + 4 years in 2003)."""
-        engine.subscribe(
-            parse_subscription("(employment_years >= 7)", sub_id="periods")
-        )
+        engine.subscribe(parse_subscription("(employment_years >= 7)", sub_id="periods"))
         matches = engine.publish(parse_event(self.EVENT))
         assert [m.subscription.sub_id for m in matches] == ["periods"]
 
@@ -176,9 +169,7 @@ class TestSection1MainframeExample:
     mention 'COBOL programming'."""
 
     def test_cobol_resume_matches_mainframe_query(self, engine):
-        engine.subscribe(
-            parse_subscription("(position = mainframe developer)", sub_id="mf")
-        )
+        engine.subscribe(parse_subscription("(position = mainframe developer)", sub_id="mf"))
         matches = engine.publish(parse_event("(skill, COBOL programming)"))
         assert [m.subscription.sub_id for m in matches] == ["mf"]
         assert matches[0].matched_via.steps[-1].rule == "cobol-implies-mainframe-developer"
@@ -189,9 +180,7 @@ class TestSection32Tolerance:
     company recruiter looking to fill an entry-level position"."""
 
     def test_generality_restriction(self, engine):
-        engine.subscribe(
-            parse_subscription("(degree = degree)", sub_id="entry", max_generality=1)
-        )
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="entry", max_generality=1))
         engine.subscribe(parse_subscription("(degree = degree)", sub_id="open"))
         # PhD is 3 levels below "degree": only the unrestricted sub matches.
         matches = engine.publish(parse_event("(degree, PhD)"))
@@ -201,9 +190,7 @@ class TestSection32Tolerance:
         assert {m.subscription.sub_id for m in matches} == {"entry", "open"}
 
     def test_system_wide_tolerance_prunes_work(self):
-        tight = SToPSS(
-            build_jobs_knowledge_base(), config=SemanticConfig(max_generality=1)
-        )
+        tight = SToPSS(build_jobs_knowledge_base(), config=SemanticConfig(max_generality=1))
         loose = SToPSS(build_jobs_knowledge_base())
         event = parse_event("(degree, PhD)")
         assert len(tight.explain(event).derived) < len(loose.explain(event).derived)

@@ -15,9 +15,7 @@ ATTRIBUTES = [f"attr{i}" for i in range(6)]
 attribute = st.sampled_from(ATTRIBUTES)
 
 int_value = st.integers(min_value=-50, max_value=50)
-float_value = st.floats(
-    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
-)
+float_value = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
 string_value = st.sampled_from(
     ["red", "green", "blue", "redish", "Toronto", "toronto", "value", "x"]
 )
@@ -73,7 +71,5 @@ def subscriptions(draw) -> Subscription:
 @st.composite
 def events(draw) -> Event:
     count = draw(st.integers(min_value=0, max_value=len(ATTRIBUTES)))
-    attrs = draw(
-        st.lists(attribute, min_size=count, max_size=count, unique=True)
-    )
+    attrs = draw(st.lists(attribute, min_size=count, max_size=count, unique=True))
     return Event([(a, draw(scalar_value)) for a in attrs])

@@ -12,7 +12,7 @@ paths see identical subscription state.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.config import SemanticConfig
@@ -67,9 +67,7 @@ def _term_or_scalar(draw):
 @st.composite
 def term_subscriptions(draw) -> Subscription:
     count = draw(st.integers(min_value=1, max_value=2))
-    attrs = draw(
-        st.lists(st.sampled_from(_ATTRS), min_size=count, max_size=count, unique=True)
-    )
+    attrs = draw(st.lists(st.sampled_from(_ATTRS), min_size=count, max_size=count, unique=True))
     predicates = []
     for attr in attrs:
         kind = draw(st.integers(min_value=0, max_value=2))
@@ -91,9 +89,7 @@ _ATTR_SPELLINGS = {"u": ["u", "u_alias"], "v": ["v", "v_alias"], "w": ["w"]}
 @st.composite
 def term_events(draw) -> Event:
     count = draw(st.integers(min_value=1, max_value=3))
-    roots = draw(
-        st.lists(st.sampled_from(_ATTRS), min_size=count, max_size=count, unique=True)
-    )
+    roots = draw(st.lists(st.sampled_from(_ATTRS), min_size=count, max_size=count, unique=True))
     pairs = []
     for root in roots:
         attr = draw(st.sampled_from(_ATTR_SPELLINGS[root]))
@@ -114,7 +110,6 @@ def _serial_best(engine: SToPSS, result) -> dict[str, int]:
 
 
 @pytest.mark.parametrize("matcher_name", sorted(matcher_names()))
-@settings(max_examples=40, deadline=None)
 @given(
     kb=knowledge_bases(),
     subs=st.lists(term_subscriptions(), min_size=0, max_size=6),
@@ -135,9 +130,7 @@ def test_match_batch_equals_serial_match(matcher_name, kb, subs, events, config_
         for sub_id, (generality, derived) in batch.items():
             assert derived.generality == generality
         # and the full publish path agrees after tolerance filtering
-        published = {
-            (m.subscription.sub_id, m.generality) for m in engine.publish(event)
-        }
+        published = {(m.subscription.sub_id, m.generality) for m in engine.publish(event)}
         expected = set()
         originals = {s.sub_id: s for s in engine.subscriptions()}
         for sub_id, generality in serial.items():

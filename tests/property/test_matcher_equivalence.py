@@ -7,7 +7,7 @@ matcher and get identical semantics.
 
 from __future__ import annotations
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.matching import ClusterMatcher, CountingMatcher, NaiveMatcher
@@ -15,7 +15,6 @@ from repro.matching import ClusterMatcher, CountingMatcher, NaiveMatcher
 from .strategies import events, subscriptions
 
 
-@settings(max_examples=120, deadline=None)
 @given(
     subs=st.lists(subscriptions(), min_size=0, max_size=25),
     evts=st.lists(events(), min_size=1, max_size=6),
@@ -32,7 +31,6 @@ def test_counting_and_cluster_match_naive(subs, evts):
             assert matcher.match_ids(event) == reference
 
 
-@settings(max_examples=60, deadline=None)
 @given(
     subs=st.lists(subscriptions(), min_size=2, max_size=20),
     evts=st.lists(events(), min_size=1, max_size=4),
@@ -60,7 +58,6 @@ def test_agreement_survives_removals(subs, evts, removals):
             assert matcher.match_ids(event) == reference
 
 
-@settings(max_examples=120, deadline=None)
 @given(sub=subscriptions(), event=events())
 def test_matchers_agree_with_direct_evaluation(sub, event):
     expected = sub.matches(event)

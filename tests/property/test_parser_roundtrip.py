@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.model.parser import parse_event, parse_subscription
 from repro.model.values import format_value, parse_value_literal
@@ -10,20 +10,17 @@ from repro.model.values import format_value, parse_value_literal
 from .strategies import events, scalar_value, subscriptions
 
 
-@settings(max_examples=200, deadline=None)
 @given(value=scalar_value)
 def test_value_literal_round_trip(value):
     assert parse_value_literal(format_value(value)) == value
 
 
-@settings(max_examples=150, deadline=None)
 @given(sub=subscriptions())
 def test_subscription_round_trip(sub):
     reparsed = parse_subscription(sub.format())
     assert reparsed.signature == sub.signature
 
 
-@settings(max_examples=150, deadline=None)
 @given(event=events())
 def test_event_round_trip(event):
     if len(event) == 0:
@@ -32,7 +29,6 @@ def test_event_round_trip(event):
     assert reparsed.signature == event.signature
 
 
-@settings(max_examples=100, deadline=None)
 @given(sub=subscriptions(), event=events())
 def test_round_trip_preserves_match_semantics(sub, event):
     """Formatting and re-parsing both sides never changes the verdict."""

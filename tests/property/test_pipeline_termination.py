@@ -8,7 +8,7 @@ rule sets, including rule outputs that feed other rules.
 
 from __future__ import annotations
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.config import SemanticConfig
@@ -52,12 +52,10 @@ def knowledge_bases(draw) -> KnowledgeBase:
 @st.composite
 def domain_events(draw) -> Event:
     count = draw(st.integers(min_value=1, max_value=3))
-    attrs = draw(st.lists(st.sampled_from(_ATTRS), min_size=count, max_size=count,
-                          unique=True))
+    attrs = draw(st.lists(st.sampled_from(_ATTRS), min_size=count, max_size=count, unique=True))
     return Event([(attr, draw(st.sampled_from(_TERMS))) for attr in attrs])
 
 
-@settings(max_examples=80, deadline=None)
 @given(kb=knowledge_bases(), event=domain_events())
 def test_pipeline_terminates_and_deduplicates(kb, event):
     pipeline = SemanticPipeline(kb, SemanticConfig())
@@ -67,16 +65,13 @@ def test_pipeline_terminates_and_deduplicates(kb, event):
     assert result.iterations <= SemanticConfig().max_iterations
 
 
-@settings(max_examples=60, deadline=None)
-@given(kb=knowledge_bases(), event=domain_events(),
-       bound=st.integers(min_value=0, max_value=3))
+@given(kb=knowledge_bases(), event=domain_events(), bound=st.integers(min_value=0, max_value=3))
 def test_generality_budget_is_hard(kb, event, bound):
     pipeline = SemanticPipeline(kb, SemanticConfig(max_generality=bound))
     result = pipeline.process_event(event)
     assert all(d.generality <= bound for d in result.derived)
 
 
-@settings(max_examples=60, deadline=None)
 @given(kb=knowledge_bases(), event=domain_events())
 def test_derived_cap_is_hard(kb, event):
     pipeline = SemanticPipeline(kb, SemanticConfig(max_derived_events=5))
@@ -84,7 +79,6 @@ def test_derived_cap_is_hard(kb, event):
     assert len(result.derived) <= 5
 
 
-@settings(max_examples=60, deadline=None)
 @given(kb=knowledge_bases(), event=domain_events())
 def test_root_event_always_first(kb, event):
     pipeline = SemanticPipeline(kb, SemanticConfig())
@@ -92,7 +86,6 @@ def test_root_event_always_first(kb, event):
     assert result.derived[0].event.signature == event.signature
 
 
-@settings(max_examples=40, deadline=None)
 @given(kb=knowledge_bases(), event=domain_events())
 def test_derivation_chains_are_sound(kb, event):
     """Every derived event's chain length matches its step count, and

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.config import SemanticConfig
@@ -58,17 +58,13 @@ def _match_sets(seed: int, n_subs: int, n_events: int) -> list[set]:
     return results
 
 
-@settings(max_examples=12, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10_000))
 def test_stage_ladder_is_monotone(seed):
     sets = _match_sets(seed, n_subs=20, n_events=10)
     for weaker, stronger in zip(sets, sets[1:]):
-        assert weaker <= stronger, (
-            f"enabling a stage lost matches: {weaker - stronger}"
-        )
+        assert weaker <= stronger, (f"enabling a stage lost matches: {weaker - stronger}")
 
 
-@settings(max_examples=12, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10_000))
 def test_tolerance_is_monotone(seed):
     """Raising max_generality only adds matches (claim C4)."""
@@ -92,12 +88,10 @@ def test_tolerance_is_monotone(seed):
             engine.unsubscribe(sub.sub_id)
 
 
-@settings(max_examples=10, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10_000))
 def test_match_generality_respects_bound(seed):
     generator = SemanticWorkloadGenerator(_KB, SemanticSpec.jobs(seed=seed))
-    engine = SToPSS(_KB, config=SemanticConfig(max_generality=1,
-                                               max_derived_events=_UNCAPPED))
+    engine = SToPSS(_KB, config=SemanticConfig(max_generality=1, max_derived_events=_UNCAPPED))
     for sub in generator.subscriptions(15):
         engine.subscribe(sub)
     for event in generator.events(8):

@@ -7,7 +7,7 @@ identical matching behaviour.
 
 from __future__ import annotations
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.engine import SToPSS
@@ -62,7 +62,6 @@ def declarative_kbs(draw) -> KnowledgeBase:
     return kb
 
 
-@settings(max_examples=60, deadline=None)
 @given(kb=declarative_kbs())
 def test_structure_round_trips(kb):
     clone = kb_from_dict(kb_to_dict(kb))
@@ -80,7 +79,6 @@ def test_structure_round_trips(kb):
     )
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     kb=declarative_kbs(),
     data=st.data(),
@@ -89,8 +87,12 @@ def test_matching_behaviour_round_trips(kb, data):
     clone = kb_from_dict(kb_to_dict(kb))
     subs = [
         Subscription(
-            [Predicate.eq(data.draw(st.sampled_from(_ATTRS)),
-                          data.draw(st.sampled_from(_TERMS)))],
+            [
+                Predicate.eq(
+                    data.draw(st.sampled_from(_ATTRS)),
+                    data.draw(st.sampled_from(_TERMS)),
+                )
+            ],
             sub_id=f"s{i}",
         )
         for i in range(data.draw(st.integers(1, 5)))
@@ -107,10 +109,7 @@ def test_matching_behaviour_round_trips(kb, data):
         engine = SToPSS(knowledge)
         for sub in subs:
             engine.subscribe(Subscription(sub.predicates, sub_id=sub.sub_id))
-        outcome = [
-            sorted(m.subscription.sub_id for m in engine.publish(event))
-            for event in events
-        ]
+        outcome = [sorted(m.subscription.sub_id for m in engine.publish(event)) for event in events]
         if knowledge is kb:
             reference = outcome
         else:

@@ -1,0 +1,135 @@
+"""Property: the subscription-side engine's batched publish path is
+observably identical to serial matching.
+
+``SubscriptionExpandingEngine`` routes publish through
+``MatchingAlgorithm.match_batch`` on the delta-encoded derivation
+batches the semantic pipeline emits (mapping-function derivations still
+run event-side there), then applies the unified chain-budget tolerance
+gate.  Forcing the matcher onto the serial per-derived-event fallback
+must not change a single ``(sub_id, generality)`` pair — across random
+knowledge bases (taxonomy shape and value-synonym sets drawn by
+Hypothesis), stage modes, tolerance bounds, and the indexed matchers
+with their cross-publication memos warm.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import SemanticConfig
+from repro.core.subexpand import SubscriptionExpandingEngine
+from repro.matching.base import MatchingAlgorithm
+from repro.matching.cluster import ClusterMatcher
+from repro.matching.counting import CountingMatcher
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+from repro.ontology.mappingdefs import MappingRule
+
+_TERMS = [f"t{i}" for i in range(8)]
+_ATTRS = ["u", "v", "w"]
+
+_MODES = (
+    SemanticConfig(),
+    SemanticConfig(max_generality=0),
+    SemanticConfig(max_generality=1),
+    SemanticConfig(max_generality=2),
+    SemanticConfig.synonyms_only(),
+    SemanticConfig(enable_mappings=False),
+)
+
+
+class _SerialCounting(CountingMatcher):
+    """Counting matcher forced onto the serial match-per-event path."""
+
+    name = "serial-counting"
+    _match_batch = MatchingAlgorithm._match_batch
+
+
+class _SerialCluster(ClusterMatcher):
+    name = "serial-cluster"
+    _match_batch = MatchingAlgorithm._match_batch
+
+
+_MATCHERS = {
+    "counting": (CountingMatcher, _SerialCounting),
+    "cluster": (ClusterMatcher, _SerialCluster),
+}
+
+
+@st.composite
+def knowledge_bases(draw) -> KnowledgeBase:
+    kb = KnowledgeBase()
+    taxonomy = kb.add_domain("d")
+    for term in _TERMS:
+        taxonomy.add_concept(term)
+    for index in range(1, len(_TERMS)):
+        if draw(st.booleans()):
+            parent = draw(st.integers(min_value=0, max_value=index - 1))
+            taxonomy.add_isa(_TERMS[index], _TERMS[parent])
+    if draw(st.booleans()):
+        kb.add_value_synonyms(["t1", "t1-alias"], root="t1")
+    if draw(st.booleans()):
+        # a mapping rule keeps event-side derivation batches non-trivial
+        kb.add_rule(MappingRule.computed("u-mapped", "u_mapped", "1", requires=["u"]))
+    return kb
+
+
+@st.composite
+def term_subscriptions(draw) -> Subscription:
+    count = draw(st.integers(min_value=1, max_value=2))
+    attrs = draw(st.lists(st.sampled_from(_ATTRS), min_size=count, max_size=count, unique=True))
+    predicates = []
+    for attr in attrs:
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            predicates.append(Predicate.eq(attr, draw(st.sampled_from(_TERMS))))
+        elif kind == 1:
+            predicates.append(Predicate.exists(attr))
+        else:
+            predicates.append(Predicate.eq(attr, "t1-alias"))
+    max_generality = draw(st.sampled_from([None, None, 0, 1, 2]))
+    return Subscription(predicates, max_generality=max_generality)
+
+
+@st.composite
+def term_events(draw) -> Event:
+    count = draw(st.integers(min_value=1, max_value=2))
+    attrs = draw(st.lists(st.sampled_from(_ATTRS), min_size=count, max_size=count, unique=True))
+    return Event(
+        [
+            (
+                attr,
+                draw(st.sampled_from(_TERMS + ["t1-alias"])),
+            )
+            for attr in attrs
+        ]
+    )
+
+
+@pytest.mark.parametrize("matcher_name", sorted(_MATCHERS))
+@given(
+    kb=knowledge_bases(),
+    subs=st.lists(term_subscriptions(), min_size=1, max_size=6),
+    evts=st.lists(term_events(), min_size=1, max_size=4),
+    mode_index=st.integers(min_value=0, max_value=len(_MODES) - 1),
+)
+def test_subscription_side_batch_equals_serial(matcher_name, kb, subs, evts, mode_index):
+    config = _MODES[mode_index]
+    batch_cls, serial_cls = _MATCHERS[matcher_name]
+    batched = SubscriptionExpandingEngine(kb, matcher=batch_cls(), config=config)
+    serial = SubscriptionExpandingEngine(kb, matcher=serial_cls(), config=config)
+    for index, sub in enumerate(subs):
+        tagged = Subscription(sub.predicates, sub_id=f"s{index}", max_generality=sub.max_generality)
+        batched.subscribe(tagged)
+        serial.subscribe(tagged)
+    for event in evts:
+        # publish twice so the second pass exercises warm expansion
+        # caches and cross-publication matcher memos.
+        for _ in range(2):
+            a = {(m.subscription.sub_id, m.generality) for m in batched.publish(event)}
+            b = {(m.subscription.sub_id, m.generality) for m in serial.publish(event)}
+            assert a == b, f"batch/serial divergence on {event.format()}: {a ^ b}"

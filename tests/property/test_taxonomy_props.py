@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.errors import TaxonomyCycleError
@@ -25,13 +25,11 @@ def random_taxonomies(draw) -> Taxonomy:
     return taxonomy
 
 
-@settings(max_examples=80, deadline=None)
 @given(taxonomy=random_taxonomies())
 def test_structure_always_validates(taxonomy):
     assert taxonomy.validate() == []
 
 
-@settings(max_examples=80, deadline=None)
 @given(taxonomy=random_taxonomies(), data=st.data())
 def test_ancestor_descendant_duality(taxonomy, data):
     term = data.draw(st.sampled_from(_TERMS))
@@ -41,7 +39,6 @@ def test_ancestor_descendant_duality(taxonomy, data):
         assert descendants[term] == distance
 
 
-@settings(max_examples=80, deadline=None)
 @given(taxonomy=random_taxonomies(), data=st.data())
 def test_generalization_is_a_strict_partial_order(taxonomy, data):
     a = data.draw(st.sampled_from(_TERMS))
@@ -53,7 +50,6 @@ def test_generalization_is_a_strict_partial_order(taxonomy, data):
     assert not taxonomy.is_generalization_of(a, a)
 
 
-@settings(max_examples=60, deadline=None)
 @given(taxonomy=random_taxonomies(), data=st.data())
 def test_transitivity(taxonomy, data):
     a = data.draw(st.sampled_from(_TERMS))
@@ -67,7 +63,6 @@ def test_transitivity(taxonomy, data):
         assert taxonomy.ancestors(a)[c] <= ups[b] + ups_b[c]
 
 
-@settings(max_examples=60, deadline=None)
 @given(taxonomy=random_taxonomies(), data=st.data())
 def test_closing_a_cycle_always_raises(taxonomy, data):
     term = data.draw(st.sampled_from(_TERMS))
@@ -78,7 +73,6 @@ def test_closing_a_cycle_always_raises(taxonomy, data):
         taxonomy.add_isa(ancestor, term)
 
 
-@settings(max_examples=60, deadline=None)
 @given(taxonomy=random_taxonomies())
 def test_depth_bounds_all_distances(taxonomy):
     depth = taxonomy.depth()
@@ -87,7 +81,6 @@ def test_depth_bounds_all_distances(taxonomy):
             assert distance <= depth
 
 
-@settings(max_examples=40, deadline=None)
 @given(taxonomy=random_taxonomies(), data=st.data())
 def test_lca_is_common_ancestor(taxonomy, data):
     a = data.draw(st.sampled_from(_TERMS))

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.model.values import (
@@ -15,19 +15,16 @@ from repro.model.values import (
 from .strategies import scalar_value
 
 
-@settings(max_examples=200, deadline=None)
 @given(a=scalar_value)
 def test_equality_reflexive(a):
     assert values_equal(a, a)
 
 
-@settings(max_examples=200, deadline=None)
 @given(a=scalar_value, b=scalar_value)
 def test_equality_symmetric(a, b):
     assert values_equal(a, b) == values_equal(b, a)
 
 
-@settings(max_examples=200, deadline=None)
 @given(a=scalar_value, b=scalar_value)
 def test_canonical_key_consistent_with_equality(a, b):
     if values_equal(a, b):
@@ -36,13 +33,11 @@ def test_canonical_key_consistent_with_equality(a, b):
         assert canonical_value_key(a) != canonical_value_key(b)
 
 
-@settings(max_examples=200, deadline=None)
 @given(a=scalar_value, b=scalar_value)
 def test_comparability_symmetric(a, b):
     assert values_comparable(a, b) == values_comparable(b, a)
 
 
-@settings(max_examples=200, deadline=None)
 @given(pair=st.one_of(
     st.tuples(st.integers(-50, 50), st.floats(-50, 50, allow_nan=False)),
     st.tuples(st.text(max_size=5), st.text(max_size=5)),
@@ -62,7 +57,6 @@ comparable_triple = st.one_of(
 )
 
 
-@settings(max_examples=200, deadline=None)
 @given(triple=comparable_triple)
 def test_comparison_transitive(triple):
     a, b, c = triple
@@ -70,7 +64,6 @@ def test_comparison_transitive(triple):
         assert compare_values(a, c) <= 0
 
 
-@settings(max_examples=200, deadline=None)
 @given(a=scalar_value, b=scalar_value)
 def test_zero_comparison_matches_equality_for_numbers(a, b):
     assume(values_comparable(a, b))

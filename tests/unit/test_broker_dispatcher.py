@@ -58,18 +58,14 @@ class TestSubscriptionBinding:
         company = broker.register_subscriber("Initech", email="hr@x")
         sub = broker.subscribe(company.client_id, "(degree = PhD)")
         broker.unsubscribe(sub.sub_id)
-        report = broker.publish(
-            broker.register_publisher("Ada").client_id, "(degree, PhD)"
-        )
+        report = broker.publish(broker.register_publisher("Ada").client_id, "(degree, PhD)")
         assert report.match_count == 0
         with pytest.raises(UnknownSubscriptionError):
             broker.unsubscribe(sub.sub_id)
 
     def test_max_generality_pass_through(self, broker):
         company = broker.register_subscriber("Initech", email="hr@x")
-        sub = broker.subscribe(
-            company.client_id, "(degree = degree)", max_generality=1
-        )
+        sub = broker.subscribe(company.client_id, "(degree = degree)", max_generality=1)
         assert sub.max_generality == 1
 
     def test_subscription_object_accepted(self, broker):

@@ -45,9 +45,7 @@ def _engine(**kwargs) -> NotificationEngine:
 class TestDelivery:
     def test_preferred_transport_used(self):
         engine = _engine()
-        outcome = engine.notify(
-            _client(("smtp", "hr@x"), ("sms", "+1")), _match()
-        )
+        outcome = engine.notify(_client(("smtp", "hr@x"), ("sms", "+1")), _match())
         assert outcome.delivered and outcome.transport == "smtp"
         assert outcome.attempts == 1
 
@@ -61,9 +59,7 @@ class TestDelivery:
     def test_fallback_to_next_transport(self):
         engine = _engine()
         engine.transports.get("smtp").fail_next(10)
-        outcome = engine.notify(
-            _client(("smtp", "hr@x"), ("tcp", "host:1")), _match()
-        )
+        outcome = engine.notify(_client(("smtp", "hr@x"), ("tcp", "host:1")), _match())
         assert outcome.delivered and outcome.transport == "tcp"
         assert engine.stats.fallbacks == 1
 
@@ -88,9 +84,7 @@ class TestDelivery:
 
     def test_unknown_transport_skipped(self):
         engine = _engine()
-        outcome = engine.notify(
-            _client(("pigeon", "coop"), ("tcp", "host:1")), _match()
-        )
+        outcome = engine.notify(_client(("pigeon", "coop"), ("tcp", "host:1")), _match())
         assert outcome.delivered and outcome.transport == "tcp"
 
     def test_udp_drop_counts_as_sent(self):

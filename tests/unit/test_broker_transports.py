@@ -20,9 +20,7 @@ from repro.errors import TransportError
 
 
 def _message(transport="tcp", body="hello", address="addr:1") -> OutboundMessage:
-    return OutboundMessage(
-        transport=transport, address=address, subject="subj", body=body
-    )
+    return OutboundMessage(transport=transport, address=address, subject="subj", body=body)
 
 
 class TestBaseBehaviour:

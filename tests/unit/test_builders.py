@@ -46,12 +46,7 @@ class TestBuilder:
         assert kb.has_domain("a") and kb.has_domain("b")
 
     def test_value_synonyms_on_domain_scope(self):
-        kb = (
-            KnowledgeBaseBuilder()
-            .domain("v")
-            .value_synonyms("car", "auto")
-            .build()
-        )
+        kb = (KnowledgeBaseBuilder().domain("v").value_synonyms("car", "auto").build())
         assert kb.value_root("auto") == "car"
 
     def test_rule_object_pass_through(self):

@@ -41,8 +41,11 @@ class TestDemo:
 class TestMatch:
     def test_semantic_match_exit_zero(self, capsys):
         code = main(
-            ["match", "(university = Toronto) and (professional experience >= 4)",
-             "(school, Toronto)(graduation_year, 1990)"]
+            [
+                "match",
+                "(university = Toronto) and (professional experience >= 4)",
+                "(school, Toronto)(graduation_year, 1990)",
+            ]
         )
         assert code == 0
         assert "MATCH" in capsys.readouterr().out
@@ -53,9 +56,7 @@ class TestMatch:
         assert "NO MATCH" in capsys.readouterr().out
 
     def test_syntactic_flag(self, capsys):
-        code = main(
-            ["match", "--syntactic", "(university = Toronto)", "(school, Toronto)"]
-        )
+        code = main(["match", "--syntactic", "(university = Toronto)", "(school, Toronto)"])
         assert code == 1
 
     def test_parse_error_exit_two(self, capsys):

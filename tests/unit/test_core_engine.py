@@ -8,7 +8,6 @@ from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
 from repro.errors import UnknownSubscriptionError
 from repro.matching import CountingMatcher, matcher_names
-from repro.model.events import Event
 from repro.model.parser import parse_event, parse_subscription
 from repro.ontology.knowledge_base import KnowledgeBase
 from repro.ontology.mappingdefs import MappingRule
@@ -93,9 +92,7 @@ class TestPublish:
         assert [m.subscription.sub_id for m in matches] == ["s3", "s1", "s2"]
 
     def test_mapping_match(self, engine):
-        engine.subscribe(
-            parse_subscription("(professional_experience >= 4)", sub_id="exp")
-        )
+        engine.subscribe(parse_subscription("(professional_experience >= 4)", sub_id="exp"))
         matches = engine.publish(parse_event("(graduation_year, 1993)"))
         assert len(matches) == 1
         assert matches[0].matched_via.steps[-1].rule == "exp"
@@ -108,19 +105,13 @@ class TestPublish:
 
 class TestTolerance:
     def test_per_subscription_bound_filters(self, engine):
-        engine.subscribe(
-            parse_subscription("(degree = degree)", sub_id="strict", max_generality=1)
-        )
-        engine.subscribe(
-            parse_subscription("(degree = degree)", sub_id="loose")
-        )
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="strict", max_generality=1))
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="loose"))
         matches = engine.publish(parse_event("(degree, PhD)"))  # distance 2
         assert [m.subscription.sub_id for m in matches] == ["loose"]
 
     def test_bound_equal_to_distance_passes(self, engine):
-        engine.subscribe(
-            parse_subscription("(degree = degree)", sub_id="s", max_generality=2)
-        )
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="s", max_generality=2))
         assert len(engine.publish(parse_event("(degree, PhD)"))) == 1
 
     def test_zero_bound_still_allows_synonym_and_mapping(self, engine):
@@ -132,9 +123,7 @@ class TestTolerance:
                 "(professional_experience >= 4)", sub_id="map", max_generality=0
             )
         )
-        matches = engine.publish(
-            parse_event("(school, Toronto)(graduation_year, 1990)")
-        )
+        matches = engine.publish(parse_event("(school, Toronto)(graduation_year, 1990)"))
         assert {m.subscription.sub_id for m in matches} == {"syn", "map"}
 
 

@@ -87,9 +87,7 @@ class TestAttributeGeneralization:
         assert renamed[0].generality == 1
 
     def test_attribute_generalization_can_be_disabled(self):
-        stage = HierarchyStage(
-            self._kb_with_attribute_concepts(), generalize_attributes=False
-        )
+        stage = HierarchyStage(self._kb_with_attribute_concepts(), generalize_attributes=False)
         derived = _expand(stage, Event({"graduation_year": 1990}))
         assert all("date_info" not in d.event for d in derived)
 

@@ -70,9 +70,7 @@ class TestFixpoint:
         )
         pipeline = SemanticPipeline(kb, SemanticConfig())
         result = pipeline.process_event(Event({"language": "COBOL"}))
-        generalized = [
-            d for d in result.derived if d.event.get("skill") == "software development"
-        ]
+        generalized = [d for d in result.derived if d.event.get("skill") == "software development"]
         assert generalized, "hierarchy must generalize mapping-produced values"
 
     def test_termination_without_new_events(self):

@@ -9,8 +9,7 @@ from repro.model.subscriptions import Subscription
 
 
 def _step(stage="hierarchy", generality=0, rule=""):
-    return DerivationStep(stage=stage, description="test step",
-                          generality=generality, rule=rule)
+    return DerivationStep(stage=stage, description="test step", generality=generality, rule=rule)
 
 
 class TestDerivedEvent:
@@ -58,8 +57,7 @@ class TestSemanticMatch:
             )
         else:
             via = DerivedEvent.original(event)
-        return SemanticMatch(subscription=sub, event=event, matched_via=via,
-                             generality=generality)
+        return SemanticMatch(subscription=sub, event=event, matched_via=via, generality=generality)
 
     def test_syntactic_match_explanation(self):
         match = self._match(semantic=False)

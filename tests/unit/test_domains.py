@@ -67,8 +67,12 @@ class TestJobsDomain:
 
     def test_salary_bands_partition(self, kb):
         bands = [r for r in kb.rules() if r.name.startswith("salary-band")]
-        for salary, expected in ((40000, "junior band"), (80000, "intermediate band"),
-                                 (120000, "senior band")):
+        cases = (
+            (40000, "junior band"),
+            (80000, "intermediate band"),
+            (120000, "senior band"),
+        )
+        for salary, expected in cases:
             fired = [r.apply(Event({"salary": salary}), CTX) for r in bands]
             values = {d["salary_band"] for d in fired if d is not None}
             assert values == {expected}

@@ -113,9 +113,7 @@ class TestWebAppWsgiErrorPath:
 
     def test_success_over_wsgi(self):
         web = JobFinderWebApp(Broker(build_jobs_knowledge_base()))
-        status, body = self._call(
-            web, "POST", "/clients", {"name": "X", "role": "publisher"}
-        )
+        status, body = self._call(web, "POST", "/clients", {"name": "X", "role": "publisher"})
         assert status.startswith("201")
         assert json.loads(body)["name"] == "X"
 

@@ -20,8 +20,9 @@ def kb() -> KnowledgeBase:
     jobs = kb.add_domain("jobs")
     jobs.add_chain("PhD", "graduate degree", "degree")
     kb.add_rule(
-        MappingRule.computed("exp", "professional_experience",
-                             "present_year - graduation_year")
+        MappingRule.computed(
+            "exp", "professional_experience", "present_year - graduation_year"
+        )
     )
     return kb
 
@@ -51,9 +52,7 @@ class TestAttributeSynonyms:
         assert renames == {"school": "university"}
 
     def test_synonyms_of(self, kb):
-        assert kb.attribute_synonyms_of("school") == frozenset(
-            {"university", "school", "college"}
-        )
+        assert kb.attribute_synonyms_of("school") == frozenset({"university", "school", "college"})
         assert kb.attribute_synonyms_of("nothing") == frozenset()
 
     def test_groups(self, kb):
@@ -125,9 +124,7 @@ class TestRules:
         assert kb.candidate_rules(Event({"other": 1})) == []
 
     def test_candidate_requires_all_triggers(self, kb):
-        kb.add_rule(
-            MappingRule.computed("span", "span", "a - b", requires=["a", "b"])
-        )
+        kb.add_rule(MappingRule.computed("span", "span", "a - b", requires=["a", "b"]))
         assert [r.name for r in kb.candidate_rules(Event({"a": 1}))] == []
         assert "span" in [r.name for r in kb.candidate_rules(Event({"a": 1, "b": 2}))]
 

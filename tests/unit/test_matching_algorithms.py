@@ -17,8 +17,7 @@ def _sub(sub_id, *preds, **kwargs):
 class TestCountingMatcher:
     def test_counter_must_reach_size(self):
         matcher = CountingMatcher()
-        matcher.insert(_sub("s", Predicate.eq("a", 1), Predicate.eq("b", 2),
-                            Predicate.eq("c", 3)))
+        matcher.insert(_sub("s", Predicate.eq("a", 1), Predicate.eq("b", 2), Predicate.eq("c", 3)))
         assert matcher.match_ids(Event({"a": 1, "b": 2})) == []
         assert matcher.match_ids(Event({"a": 1, "b": 2, "c": 3})) == ["s"]
 

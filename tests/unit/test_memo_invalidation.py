@@ -1,0 +1,156 @@
+"""Cross-publication memo invalidation: which subscribe/publish
+interleavings must drop cached semantic state, and which may keep it
+warm.
+
+Three caches are in play on the publish hot path:
+
+* the engine's LRU *expansion cache* (pipeline results, keyed by the
+  knowledge-base version + local epoch; churn-exempt unless a stateful
+  extra stage is installed);
+* the counting matcher's *satisfaction memo* (per-pair subscription
+  credits — embeds subscription state, so churn MUST drop it);
+* the cluster matcher's *residual memo* (pure predicate outcomes —
+  churn-stable by construction, dropped only on engine-driven
+  reasons).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.core.interfaces import SemanticStage
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_domain("d").add_chain("PhD", "graduate degree", "degree")
+    return kb
+
+
+def _warm_engine(matcher: str) -> SToPSS:
+    engine = SToPSS(_kb(), matcher=matcher)
+    engine.subscribe(parse_subscription("(degree = degree)", sub_id="s0"))
+    engine.subscribe(parse_subscription("(degree = PhD) and (city = Toronto)", sub_id="s1"))
+    engine.publish(parse_event("(degree, PhD)(city, Toronto)"))
+    return engine
+
+
+def _memo_len(engine: SToPSS) -> int:
+    matcher = engine.matcher
+    if hasattr(matcher, "_memo"):
+        return len(matcher._memo)
+    return len(matcher._residual_memo)
+
+
+class TestCountingMemoChurn:
+    """The counting memo embeds {sub_id: uses} credits: every churn
+    event must invalidate it."""
+
+    def test_publish_warms_the_memo(self):
+        engine = _warm_engine("counting")
+        assert _memo_len(engine) > 0
+
+    def test_repeat_publication_hits_the_memo(self):
+        engine = _warm_engine("counting")
+        before = engine.matcher.stats.memo_hits
+        engine.publish(parse_event("(degree, PhD)(city, Toronto)"))
+        assert engine.matcher.stats.memo_hits > before
+
+    def test_subscribe_invalidates(self):
+        engine = _warm_engine("counting")
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="late"))
+        assert _memo_len(engine) == 0
+        assert engine.matcher.stats.memo_invalidations >= 1
+        # correctness: the late subscription is seen by the next publish
+        matches = engine.publish(parse_event("(degree, PhD)(city, Toronto)"))
+        assert "late" in {m.subscription.sub_id for m in matches}
+
+    def test_unsubscribe_invalidates(self):
+        engine = _warm_engine("counting")
+        engine.unsubscribe("s1")
+        assert _memo_len(engine) == 0
+        matches = engine.publish(parse_event("(degree, PhD)(city, Toronto)"))
+        assert {m.subscription.sub_id for m in matches} == {"s0"}
+
+
+class TestClusterMemoChurn:
+    """The cluster memo keys pure predicate outcomes: churn may keep
+    it warm, and interleaved results must still be exact."""
+
+    def test_churn_keeps_memo_warm(self):
+        engine = _warm_engine("cluster")
+        warm = _memo_len(engine)
+        assert warm > 0
+        engine.subscribe(parse_subscription("(degree = doctorate)", sub_id="late"))
+        engine.unsubscribe("late")
+        assert _memo_len(engine) == warm
+
+    def test_interleaved_results_stay_exact(self):
+        engine = _warm_engine("cluster")
+        engine.unsubscribe("s1")
+        matches = engine.publish(parse_event("(degree, PhD)(city, Toronto)"))
+        assert {m.subscription.sub_id for m in matches} == {"s0"}
+        engine.subscribe(parse_subscription("(degree = PhD) and (city = Toronto)", sub_id="s2"))
+        matches = engine.publish(parse_event("(degree, PhD)(city, Toronto)"))
+        assert {m.subscription.sub_id for m in matches} == {"s0", "s2"}
+
+
+@pytest.mark.parametrize("matcher", ["counting", "cluster"])
+class TestEngineDrivenInvalidation:
+    """Knowledge-base edits and reconfiguration reach every cache."""
+
+    def test_kb_edit_invalidates_memo_and_expansion_cache(self, matcher):
+        engine = _warm_engine(matcher)
+        assert engine.expansion_cache_info()["size"] > 0
+        engine.kb.add_value_synonyms(["PhD", "doctorate"], root="PhD")
+        # the next publish resyncs the semantic version before matching
+        matches = engine.publish(parse_event("(degree, doctorate)(city, Toronto)"))
+        assert "s1" in {m.subscription.sub_id for m in matches}
+        assert engine.matcher.stats.memo_invalidations >= 1
+
+    def test_reconfigure_invalidates(self, matcher):
+        engine = _warm_engine(matcher)
+        engine.reconfigure(SemanticConfig.syntactic())
+        assert _memo_len(engine) == 0
+        assert engine.expansion_cache_info()["size"] == 0
+        assert engine.publish(parse_event("(degree, PhD)(city, Toronto)")) != []
+
+    def test_stateless_extra_stage_keeps_expansion_cache_warm(self, matcher):
+        class StatelessStage(SemanticStage):
+            name = "stateless-extra"
+            stateful = False  # opt in: the default is conservative (True)
+
+        engine = SToPSS(_kb(), matcher=matcher, extra_stages=(StatelessStage(),))
+        engine.publish(parse_event("(degree, PhD)"))
+        assert engine.expansion_cache_info()["size"] == 1
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="s"))
+        assert engine.expansion_cache_info()["size"] == 1
+        assert len(engine.publish(parse_event("(degree, PhD)"))) == 1
+        assert engine.expansion_cache_info()["hits"] == 1
+
+    def test_ducktyped_stage_without_flag_counts_as_stateful(self, matcher):
+        class DuckStage:
+            name = "duck"
+
+            class stats:  # minimal StageStats look-alike
+                @staticmethod
+                def snapshot():
+                    return {}
+
+            @staticmethod
+            def rewrite_event(event):
+                return event, ()
+
+            @staticmethod
+            def expand(derived, *, generality_budget=None):
+                return ()
+
+        engine = SToPSS(_kb(), matcher=matcher, extra_stages=(DuckStage(),))
+        engine.publish(parse_event("(degree, PhD)"))
+        assert engine.expansion_cache_info()["size"] == 1
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="s"))
+        assert engine.expansion_cache_info()["size"] == 0

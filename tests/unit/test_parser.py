@@ -101,7 +101,9 @@ class TestSubscriptionParsing:
         sub = parse_subscription("(a = 1)", sub_id="sx", subscriber_id="c1", max_generality=2)
         assert (sub.sub_id, sub.subscriber_id, sub.max_generality) == ("sx", "c1", 2)
 
-    @pytest.mark.parametrize("text", ["", "   ", "garbage", "(a = 1) or (b = 2)", "(a = 1", "a = 1)"])
+    @pytest.mark.parametrize(
+        "text", ["", "   ", "garbage", "(a = 1) or (b = 2)", "(a = 1", "a = 1)"]
+    )
     def test_rejects(self, text):
         with pytest.raises(ParseError):
             parse_subscription(text)

@@ -113,9 +113,7 @@ class TestSchema:
         assert self._schema().violations_for_event(Event({"age": 1, "extra": "x"})) == []
 
     def test_closed_schema_rejects_unknown(self):
-        violations = self._schema(closed=True).violations_for_event(
-            Event({"age": 1, "extra": "x"})
-        )
+        violations = self._schema(closed=True).violations_for_event(Event({"age": 1, "extra": "x"}))
         assert violations == ["unknown attribute 'extra'"]
 
     def test_subscription_validation(self):
@@ -128,17 +126,11 @@ class TestSchema:
 
     def test_subscription_range_and_in_operands_checked(self):
         schema = self._schema()
-        assert schema.violations_for_subscription(
-            parse_subscription("(age in {1, two})")
-        )
-        assert not schema.violations_for_subscription(
-            parse_subscription("(age range [1, 10])")
-        )
+        assert schema.violations_for_subscription(parse_subscription("(age in {1, two})"))
+        assert not schema.violations_for_subscription(parse_subscription("(age range [1, 10])"))
 
     def test_exists_predicate_always_valid(self):
-        assert not self._schema().violations_for_subscription(
-            parse_subscription("(age exists)")
-        )
+        assert not self._schema().violations_for_subscription(parse_subscription("(age exists)"))
 
 
 class TestSchemaRegistry:

@@ -26,8 +26,9 @@ def _small_kb() -> KnowledgeBase:
     kb.add_value_synonyms(["car", "auto"], root="car")
     kb.add_domain("d").add_chain("sedan", "car", "vehicle")
     kb.add_rule(
-        MappingRule.computed("exp", "professional_experience",
-                             "present_year - graduation_year", domain="d")
+        MappingRule.computed(
+            "exp", "professional_experience", "present_year - graduation_year", domain="d"
+        )
     )
     kb.add_rule(
         MappingRule.equivalence(

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.errors import IncomparableValuesError, InvalidValueError
@@ -175,8 +173,21 @@ class TestLiterals:
 
     @pytest.mark.parametrize(
         "value",
-        [42, -17, 3.5, True, False, "Toronto", "hello world",
-         Period(1994, 1997), Period(1999, None), "1990", "true", "a,b", ""],
+        [
+            42,
+            -17,
+            3.5,
+            True,
+            False,
+            "Toronto",
+            "hello world",
+            Period(1994, 1997),
+            Period(1999, None),
+            "1990",
+            "true",
+            "a,b",
+            "",
+        ],
     )
     def test_format_round_trips(self, value):
         assert parse_value_literal(format_value(value)) == value

@@ -15,9 +15,7 @@ def web() -> JobFinderWebApp:
 
 
 def _register(web, name, role, **extra):
-    response = web.post(
-        "/clients", {"name": name, "role": role, **extra}, json=True
-    )
+    response = web.post("/clients", {"name": name, "role": role, **extra}, json=True)
     assert response.status == 201
     return response.json()["client_id"]
 
@@ -115,9 +113,7 @@ class TestPublications:
             json=True,
         )
         pid = _register(web, "Ada", "publisher")
-        response = web.post(
-            "/publications", {"client_id": pid, "event": "(school, Toronto)"}
-        )
+        response = web.post("/publications", {"client_id": pid, "event": "(school, Toronto)"})
         assert "rewritten to root" in response.body
 
 

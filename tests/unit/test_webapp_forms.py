@@ -27,7 +27,8 @@ class TestRequired:
 
 class TestChoice:
     def test_valid(self):
-        assert required_choice({"role": "Publisher"}, "role", ("publisher", "subscriber")) == "publisher"
+        choice = required_choice({"role": "Publisher"}, "role", ("publisher", "subscriber"))
+        assert choice == "publisher"
 
     def test_invalid(self):
         with pytest.raises(FormValidationError):
@@ -60,8 +61,17 @@ class TestOptionalInt:
 
 
 class TestOptionalBool:
-    @pytest.mark.parametrize("raw,expected", [("true", True), ("on", True), ("1", True),
-                                              ("no", False), ("0", False), ("off", False)])
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("true", True),
+            ("on", True),
+            ("1", True),
+            ("no", False),
+            ("0", False),
+            ("off", False),
+        ],
+    )
     def test_values(self, raw, expected):
         assert optional_bool({"b": raw}, "b") is expected
 

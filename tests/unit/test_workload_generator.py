@@ -92,9 +92,7 @@ class TestSemanticGenerator:
         assert [e.format() for e in a.events(20)] == [e.format() for e in b.events(20)]
 
     def test_event_values_are_domain_terms(self, kb):
-        generator = SemanticWorkloadGenerator(
-            kb, SemanticSpec.jobs(seed=1, value_synonym_prob=0.0)
-        )
+        generator = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=1, value_synonym_prob=0.0))
         taxonomy = kb.taxonomy("jobs")
         for event in generator.events(40):
             for attribute, value in event.items():
@@ -113,31 +111,25 @@ class TestSemanticGenerator:
         for event in generator.events(60):
             for attribute, value in event.items():
                 if attribute in roots and isinstance(value, str):
-                    assert (
-                        taxonomy.generalization_distance(value, roots[attribute])
-                        is not None
-                    )
+                    distance = taxonomy.generalization_distance(value, roots[attribute])
+                    assert distance is not None
 
     def test_synonym_spelling_probability(self, kb):
-        always = SemanticWorkloadGenerator(
-            kb, SemanticSpec.jobs(seed=3, synonym_spelling_prob=1.0)
-        )
-        never = SemanticWorkloadGenerator(
-            kb, SemanticSpec.jobs(seed=3, synonym_spelling_prob=0.0)
-        )
+        always = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=3, synonym_spelling_prob=1.0))
+        never = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=3, synonym_spelling_prob=0.0))
         root_attrs = {"degree", "position", "skill", "university"}
         never_attrs = {a for e in never.events(40) for a in e.attributes()}
         assert {a for a in never_attrs if a in root_attrs} == never_attrs - {
             "graduation_year", "salary"
         }
         always_attrs = {a for e in always.events(40) for a in e.attributes()}
-        assert any(a not in root_attrs and a not in ("graduation_year", "salary")
-                   for a in always_attrs)
+        assert any(
+            a not in root_attrs and a not in ("graduation_year", "salary")
+            for a in always_attrs
+        )
 
     def test_generality_bias_produces_nonleaf_terms(self, kb):
-        generator = SemanticWorkloadGenerator(
-            kb, SemanticSpec.jobs(seed=5, generality_bias=1.0)
-        )
+        generator = SemanticWorkloadGenerator(kb, SemanticSpec.jobs(seed=5, generality_bias=1.0))
         taxonomy = kb.taxonomy("jobs")
         leaves = set(taxonomy.leaves())
         values = {

@@ -17,9 +17,7 @@ def _sample_trace() -> Trace:
     trace = Trace()
     trace.record_register("c1", "Initech", ClientKind.SUBSCRIBER, {"smtp": "hr@x"})
     trace.record_register("c2", "Ada", ClientKind.PUBLISHER, {})
-    trace.record_subscribe(
-        "c1", parse_subscription("(university = Toronto)", sub_id="s1")
-    )
+    trace.record_subscribe("c1", parse_subscription("(university = Toronto)", sub_id="s1"))
     trace.record_publish("c2", parse_event("(school, Toronto)", event_id="e1"))
     return trace
 
