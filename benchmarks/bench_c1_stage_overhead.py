@@ -114,6 +114,7 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
             "evals ratio",
             "probes saved",
             "cache hit%",
+            "events/s",
         ],
     )
     payload: dict[str, object] = {
@@ -138,6 +139,15 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
                 trajectory = []
                 first_pass_evals = 0
                 first_pass_probes_saved = 0
+                first_pass_seconds = 0.0
+                # interval baselines so trajectory samples report true
+                # per-interval rates from the SAME counters the summary
+                # aggregates (previously the samples only covered the
+                # cold first pass and so always showed hit rate 0.0
+                # while the two-pass summary showed 0.5)
+                interval_hits = 0
+                interval_lookups = 0
+                published = 0
                 # replay the trace twice: the second pass repeats every
                 # publication, exercising the expansion cache.
                 for pass_index in range(2):
@@ -147,20 +157,35 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
                             known = batch_best.get(sub_id)
                             if known is None or match.generality < known:
                                 batch_best[sub_id] = match.generality
-                        if pass_index == 0 and index % 20 == 19:
+                        published += 1
+                        if index % 20 == 19:
+                            cache_info = engine.expansion_cache_info()
+                            hits = cache_info["hits"]
+                            lookups = hits + cache_info["misses"]
+                            delta_lookups = lookups - interval_lookups
+                            interval_rate = (
+                                (hits - interval_hits) / delta_lookups
+                                if delta_lookups
+                                else 0.0
+                            )
                             trajectory.append({
-                                "published": index + 1,
+                                "pass": pass_index,
+                                "published": published,
                                 "predicate_evaluations":
                                     engine.matcher.stats.predicate_evaluations - before,
                                 "probes_saved": engine.matcher.stats.probes_saved,
-                                "cache_hit_rate":
-                                    engine.expansion_cache_info()["hit_rate"],
+                                # cumulative, identical counters to the
+                                # summary's expansion_cache block:
+                                "cache_hit_rate": cache_info["hit_rate"],
+                                "interval_cache_hit_rate": interval_rate,
                             })
+                            interval_hits, interval_lookups = hits, lookups
                     if pass_index == 0:
                         # measured directly, in the same window as the
                         # serial baseline (one pass over the trace)
                         first_pass_evals = engine.matcher.stats.predicate_evaluations - before
                         first_pass_probes_saved = engine.matcher.stats.probes_saved
+                        first_pass_seconds = time.perf_counter() - started
                 elapsed = time.perf_counter() - started
                 stats = engine.matcher.stats
                 cache_info = engine.expansion_cache_info()
@@ -178,10 +203,12 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
                 )
 
                 ratio = serial_evals / max(first_pass_evals, 1)
+                total_events = 2 * len(events)
                 table.add(
                     config_name, matcher_name, serial_evals, first_pass_evals,
                     round(ratio, 2), first_pass_probes_saved,
                     round(100 * cache_info["hit_rate"], 1),
+                    round(total_events / elapsed, 1) if elapsed else 0.0,
                 )
                 payload["configurations"].append({
                     "configuration": config_name,
@@ -200,7 +227,15 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
                             engine.derived_histogram().items()
                         )
                     },
+                    # wall-clock throughput (record-only in CI: noisy
+                    # across machines, but the trajectory the ROADMAP's
+                    # "fast as the hardware allows" goal is steered by)
+                    "publish_seconds": first_pass_seconds,
+                    "events_per_second_first_pass":
+                        len(events) / first_pass_seconds if first_pass_seconds else 0.0,
                     "publish_seconds_two_passes": elapsed,
+                    "events_per_second":
+                        total_events / elapsed if elapsed else 0.0,
                     "trajectory": trajectory,
                 })
 

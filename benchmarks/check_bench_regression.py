@@ -15,9 +15,16 @@ baseline, per ``(configuration, matcher)`` row:
 Counters are deterministic and machine-independent, so the tolerance
 only absorbs intentional drift; tighten it if rows start flapping.
 
+Wall-clock throughput (``publish_seconds`` / ``events_per_second`` per
+row) is **recorded, not gated**: it is printed with every run and
+written to the ``--report`` JSON (uploaded as a CI artifact) so the
+throughput trajectory accumulates across PRs, but machine noise never
+fails the gate.
+
 Usage::
 
-    python benchmarks/check_bench_regression.py BASELINE FRESH [--tolerance 0.10]
+    python benchmarks/check_bench_regression.py BASELINE FRESH \
+        [--tolerance 0.10] [--report throughput.json]
 
 Exit status 0 = within tolerance, 1 = regression, 2 = usage/shape error.
 """
@@ -76,11 +83,52 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def throughput_report(baseline: dict, fresh: dict) -> dict:
+    """Record-only wall-clock summary per row: fresh seconds and
+    events/sec next to the committed baseline's, with the speedup
+    ratio.  Never gates — wall-clock is machine-dependent."""
+    base_rows = _rows(baseline)
+    rows = []
+    for key, entry in sorted(_rows(fresh).items()):
+        base = base_rows.get(key, {})
+        base_eps = base.get("events_per_second", 0.0)
+        fresh_eps = entry.get("events_per_second", 0.0)
+        rows.append({
+            "configuration": key[0],
+            "matcher": key[1],
+            "publish_seconds": entry.get("publish_seconds", 0.0),
+            "publish_seconds_two_passes": entry.get("publish_seconds_two_passes", 0.0),
+            "events_per_second": fresh_eps,
+            "events_per_second_first_pass": entry.get("events_per_second_first_pass", 0.0),
+            "baseline_events_per_second": base_eps,
+            "speedup_vs_baseline": (fresh_eps / base_eps) if base_eps else None,
+        })
+    return {"throughput": rows}
+
+
+def _print_throughput(report: dict) -> None:
+    print("publish throughput (record-only, not gated):")
+    for row in report["throughput"]:
+        speedup = row["speedup_vs_baseline"]
+        suffix = f" ({speedup:.2f}x vs baseline)" if speedup else ""
+        print(
+            f"  {row['configuration']}/{row['matcher']}: "
+            f"{row['events_per_second']:.1f} events/s "
+            f"({row['publish_seconds_two_passes']:.3f}s two-pass){suffix}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=pathlib.Path)
     parser.add_argument("fresh", type=pathlib.Path)
     parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument(
+        "--report",
+        type=pathlib.Path,
+        default=None,
+        help="write the record-only throughput summary to this JSON path",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -92,6 +140,12 @@ def main(argv: list[str] | None = None) -> int:
     if not _rows(baseline) or not _rows(fresh):
         print("benchmark payloads carry no configuration rows", file=sys.stderr)
         return 2
+
+    report = throughput_report(baseline, fresh)
+    _print_throughput(report)
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote throughput report to {args.report}")
 
     failures = compare(baseline, fresh, args.tolerance)
     if failures:

@@ -14,6 +14,7 @@ only publishers may publish.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.broker.clients import Client, ClientRegistry
@@ -45,13 +46,32 @@ class PublishReport:
 
 
 class EventDispatcher:
-    """Subscription records + matching + notification fan-out."""
+    """Subscription records + matching + notification fan-out.
+
+    The dispatcher keeps a bounded LRU **result cache**: match sets
+    memoized by ``(event content signature, publisher, engine semantic
+    version, active configuration, subscription epoch)``.  Workload
+    traces repeat publications, and for a repeated event the entire
+    engine pass — expansion *and* matching — is redundant as long as
+    nothing the match set depends on has moved; every input it does
+    depend on is folded into the key, so knowledge-base edits, epoch
+    bumps (refresh), reconfiguration, and any subscribe/unsubscribe all
+    shift the key and strand stale entries (which age out by LRU).
+    Cached hits re-stamp the match set onto the fresh publication's
+    event object, so delivery reports always carry the real event id;
+    the ``matched_via`` derivation chain is reused from the first
+    publication (content-identical, but its intermediate auto ids are
+    the original derivation's — the same reuse the engine's expansion
+    cache performs).  ``result_cache_size=0`` disables the cache.
+    """
 
     def __init__(
         self,
         engine: SToPSS,
         registry: ClientRegistry | None = None,
         notifier: NotificationEngine | None = None,
+        *,
+        result_cache_size: int = 256,
     ) -> None:
         self.engine = engine
         self.registry = registry if registry is not None else ClientRegistry()
@@ -59,6 +79,11 @@ class EventDispatcher:
         #: sub_id -> subscriber client_id
         self._subscriber_of: dict[str, str] = {}
         self.reports: list[PublishReport] = []
+        self.result_cache_size = result_cache_size
+        #: cache key -> tuple[SemanticMatch, ...] in LRU order
+        self._result_cache: OrderedDict[tuple, tuple[SemanticMatch, ...]] = OrderedDict()
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
 
     # -- subscriptions -------------------------------------------------------------
 
@@ -92,13 +117,48 @@ class EventDispatcher:
 
     # -- publications ---------------------------------------------------------------
 
+    def _matches_for(self, stamped: Event, client_id: str) -> list[SemanticMatch]:
+        """The engine's match set for *stamped*, served from the result
+        cache when this content was already matched under the exact
+        same semantic state."""
+        if self.result_cache_size <= 0:
+            return self.engine.publish(stamped)
+        key = (
+            stamped.signature,
+            client_id,
+            self.engine.semantic_version,
+            self.engine.config,
+            self.engine.subscription_epoch,
+        )
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self._result_cache.move_to_end(key)
+            self.result_cache_hits += 1
+            # re-stamp onto this publication's event object so delivery
+            # reports carry the real event id, not the first one's.
+            return [
+                SemanticMatch(
+                    subscription=match.subscription,
+                    event=stamped,
+                    matched_via=match.matched_via,
+                    generality=match.generality,
+                )
+                for match in cached
+            ]
+        self.result_cache_misses += 1
+        matches = self.engine.publish(stamped)
+        self._result_cache[key] = tuple(matches)
+        while len(self._result_cache) > self.result_cache_size:
+            self._result_cache.popitem(last=False)
+        return matches
+
     def publish(self, client_id: str, event: Event) -> PublishReport:
         """Match *event* and notify every matched subscriber."""
         client = self.registry.get(client_id)
         if not client.kind.can_publish:
             raise BrokerError(f"client {client_id!r} is not a publisher")
         stamped = Event(event.items(), event_id=event.event_id, publisher_id=client_id)
-        matches = self.engine.publish(stamped)
+        matches = self._matches_for(stamped, client_id)
         outcomes: list[DeliveryOutcome] = []
         for match in matches:
             subscriber_id = self._subscriber_of.get(match.subscription.sub_id)
@@ -112,10 +172,22 @@ class EventDispatcher:
 
     # -- reporting ---------------------------------------------------------------------
 
+    def result_cache_info(self) -> dict[str, object]:
+        """Hit/miss/size/rate of the dispatcher-level result cache."""
+        lookups = self.result_cache_hits + self.result_cache_misses
+        return {
+            "capacity": self.result_cache_size,
+            "size": len(self._result_cache),
+            "hits": self.result_cache_hits,
+            "misses": self.result_cache_misses,
+            "hit_rate": (self.result_cache_hits / lookups) if lookups else 0.0,
+        }
+
     def stats(self) -> dict[str, object]:
         engine_stats = self.engine.stats()
         matcher_stats = engine_stats.get("matcher_stats", {})
         cache_info = engine_stats.get("expansion_cache", {})
+        result_cache = self.result_cache_info()
         return {
             "clients": len(self.registry),
             "subscriptions": len(self.engine),
@@ -129,6 +201,9 @@ class EventDispatcher:
             "memo_hits": matcher_stats.get("memo_hits", 0),
             "memo_invalidations": matcher_stats.get("memo_invalidations", 0),
             "expansion_cache_hit_rate": cache_info.get("hit_rate", 0.0),
+            "result_cache_hits": result_cache["hits"],
+            "result_cache_hit_rate": result_cache["hit_rate"],
+            "result_cache": result_cache,
             "derived_events": engine_stats.get("derived_events", 0),
             "engine": engine_stats,
             "notifier": self.notifier.snapshot(),

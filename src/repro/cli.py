@@ -73,7 +73,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     publish_table = Table(
         "publish path (batched matching)",
-        ["mode", "batches", "derived", "pred-evals", "probes-saved", "memo-hits", "cache-hit%"],
+        [
+            "mode",
+            "batches",
+            "derived",
+            "pred-evals",
+            "probes-saved",
+            "memo-hits",
+            "cache-hit%",
+            "result-hit%",
+        ],
     )
     for mode, config in (
         ("semantic", SemanticConfig.semantic()),
@@ -93,6 +102,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         engine_stats = broker.engine.stats()
         matcher_stats = engine_stats["matcher_stats"]
         cache = engine_stats["expansion_cache"]
+        result_cache = broker.dispatcher.result_cache_info()
         publish_table.add(
             mode,
             matcher_stats["batches"],
@@ -101,6 +111,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             matcher_stats["probes_saved"],
             matcher_stats["memo_hits"],
             round(100.0 * cache["hit_rate"], 1),
+            round(100.0 * result_cache["hit_rate"], 1),
         )
     table.print()
     print()

@@ -57,6 +57,16 @@ class SemanticConfig:
         Capacity of the engine's LRU cache of semantic expansions,
         keyed by root-event signature (workload traces repeat
         publications).  ``0`` disables the cache.
+    interning:
+        Whether the publish hot path runs on the knowledge base's
+        interned concept-id snapshot (:class:`~repro.ontology.
+        concept_table.ConceptTable`): synonym canonicalization as one
+        id lookup, taxonomy walks as precomputed closure arrays, and
+        matcher equality/memo keys as dense spelling ids.  ``False``
+        forces the reference string path everywhere — same match sets
+        and generalities (the interning equivalence property test is a
+        hard invariant), only slower; it exists as the comparison
+        baseline and an escape hatch.
     """
 
     enable_synonyms: bool = True
@@ -69,6 +79,7 @@ class SemanticConfig:
     max_derived_events: int = 512
     present_year: int = DEFAULT_PRESENT_YEAR
     expansion_cache_size: int = 128
+    interning: bool = True
 
     def __post_init__(self) -> None:
         if self.max_generality is not None and self.max_generality < 0:

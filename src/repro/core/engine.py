@@ -95,6 +95,25 @@ class SToPSS:
         self._epoch = 0
         #: (kb.version, epoch) the cached semantic state was derived under.
         self._semantic_version = (kb.version, self._epoch)
+        #: concept-table snapshot the matcher's keys were built under
+        #: (None = string path); rebinding re-keys indexes and drops
+        #: memos, so it only happens when this snapshot actually moves.
+        self._bound_table = None
+        self._bind_matcher_interner()
+
+    def _bind_matcher_interner(self) -> None:
+        """Hand the matcher the current concept-table value identity
+        (or drop it when interning is off).  Matchers that keep
+        equality indexes re-key them; the default implementation is a
+        no-op, so third-party matchers stay on the string path.
+        Binding is skipped when the effective snapshot is unchanged —
+        ``table.value_key`` is a fresh bound method per access, so the
+        matchers' own identity guards cannot catch the repeat."""
+        table = self.kb.concept_table() if self.config.interning else None
+        if table is self._bound_table:
+            return
+        self._bound_table = table
+        self._matcher.bind_interner(None if table is None else table.value_key)
 
     # -- subscription management ---------------------------------------------------
 
@@ -174,6 +193,9 @@ class SToPSS:
             self._semantic_version = current
             self._invalidate_expansion_cache()
             self._matcher.invalidate_memo("kb-version")
+            # a version move means a fresh concept-table snapshot with
+            # its own id space: re-key the matcher's interned indexes.
+            self._bind_matcher_interner()
 
     def bump_semantic_epoch(self, reason: str = "external") -> None:
         """Force-invalidate all cached semantic state (expansion cache
@@ -302,6 +324,10 @@ class SToPSS:
         # mode switch is an engine-level reason: drop it explicitly.
         matcher.invalidate_memo("reconfigure")
         matcher.clear()
+        # rebind only after the clear: flipping the interning toggle
+        # then re-keys an empty index instead of structures about to be
+        # rebuilt anyway (no-op when the snapshot is unchanged).
+        self._bind_matcher_interner()
         try:
             for root in roots:
                 matcher.insert(root)
@@ -312,6 +338,7 @@ class SToPSS:
             # itself fail if the KB moved since).
             self.config, self.pipeline = old_config, old_pipeline
             matcher.clear()
+            self._bind_matcher_interner()
             for root in old_roots:
                 matcher.insert(root)
             raise
@@ -321,6 +348,22 @@ class SToPSS:
     @property
     def matcher(self) -> MatchingAlgorithm:
         return self._matcher
+
+    @property
+    def semantic_version(self) -> tuple[int, int]:
+        """The live ``(knowledge-base version, engine epoch)`` pair —
+        every semantic cache (expansion, matcher memo, and the
+        dispatcher's result cache) is only valid for one value of it."""
+        return (self.kb.version, self._epoch)
+
+    @property
+    def subscription_epoch(self) -> tuple[int, int]:
+        """A value that changes on every subscribe *and* every
+        unsubscribe: the monotonically increasing insertion sequence
+        detects subscribes (and any subscribe+unsubscribe pair), the
+        table size detects lone unsubscribes.  The dispatcher's result
+        cache keys on it so no cached match set survives churn."""
+        return (self._next_seq, len(self._originals))
 
     def expansion_cache_info(self) -> dict[str, object]:
         """Hit/miss/size/rate of the LRU expansion cache."""

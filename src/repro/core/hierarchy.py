@@ -21,6 +21,17 @@ climb.  Value spellings are canonicalized through value synonyms at
 distance 0, and — because "a concept hierarchy contains all terms
 within a specific domain, which includes both attributes and values" —
 attribute *names* generalize too when the taxonomy knows them.
+
+With ``interned=True`` (the default) the stage runs on the knowledge
+base's :class:`~repro.ontology.concept_table.ConceptTable`: a value
+resolves to a dense term id in one dict probe, its canonicalization is
+one id lookup, and its generalizations come from the precomputed
+ancestor closure array instead of a per-event breadth-first search —
+the paper's "substitute each term with an internal identifier"
+performance design.  Un-interned values (free text, numbers) take the
+same no-expansion exit the string path takes; ``interned=False`` runs
+the original string path end to end (the comparison baseline, pinned
+equivalent by the interning property test).
 """
 
 from __future__ import annotations
@@ -50,11 +61,29 @@ class HierarchyStage(SemanticStage):
         *,
         value_synonyms: bool = True,
         generalize_attributes: bool = True,
+        interned: bool = True,
     ) -> None:
         super().__init__()
         self._kb = kb
         self._value_synonyms = value_synonyms
         self._generalize_attributes = generalize_attributes
+        self._interned = interned
+        #: concept-table snapshot pinned for one publication (set by
+        #: begin_publication); direct expand() callers that never go
+        #: through the pipeline fetch a fresh snapshot per call.
+        self._table = None
+
+    def begin_publication(self) -> None:
+        self._table = self._kb.concept_table() if self._interned else None
+
+    def end_publication(self) -> None:
+        # drop the pin: a later direct expand() (outside the pipeline)
+        # must fetch a fresh snapshot, not this publication's
+        self._table = None
+
+    def _current_table(self):
+        table = self._table
+        return self._kb.concept_table() if table is None else table
 
     def expand(
         self, derived: DerivedEvent, *, generality_budget: int | None = None
@@ -62,14 +91,115 @@ class HierarchyStage(SemanticStage):
         self.stats.events_in += 1
         event = derived.event
         produced = 0
+        expand_value = self._expand_value_interned if self._interned else self._expand_value
+        expand_attribute = (
+            self._expand_attribute_interned if self._interned else self._expand_attribute
+        )
         for attribute, value in event.items():
             if isinstance(value, str):
-                produced += yield from self._expand_value(
+                produced += yield from expand_value(
                     derived, attribute, value, generality_budget
                 )
             if self._generalize_attributes:
-                produced += yield from self._expand_attribute(derived, attribute, generality_budget)
+                produced += yield from expand_attribute(derived, attribute, generality_budget)
         self.stats.events_out += produced
+
+    # -- interned fast path -------------------------------------------------------
+
+    def _expand_value_interned(
+        self,
+        derived: DerivedEvent,
+        attribute: str,
+        value: str,
+        budget: int | None,
+    ) -> Iterator[DerivedEvent]:
+        """Closure-array substitutions of one value term: the term
+        resolves to a dense id once; canonicalization and every
+        generalization are then array/dict reads."""
+        table = self._current_table()
+        count = 0
+        self.stats.lookups += 1
+        tid = table.term_id_of_value(value)
+        if tid is None:
+            return count
+        if self._value_synonyms:
+            canonical = table.canonical_spelling(tid)
+            if canonical is not None and canonical != value:
+                step = DerivationStep(
+                    stage=self.name,
+                    description=(
+                        f"value {value!r} of {attribute!r} canonicalized to "
+                        f"synonym {canonical!r}"
+                    ),
+                    attribute=attribute,
+                    generality=0,
+                )
+                yield derived.extend_delta(
+                    derived.event.with_value(attribute, canonical),
+                    step,
+                    frozenset((attribute,)),
+                )
+                count += 1
+        if budget is not None and budget <= 0:
+            return count
+        for sid, distance in table.ancestors(tid):
+            if budget is not None and distance > budget:
+                continue
+            general = table.spelling(sid)
+            step = DerivationStep(
+                stage=self.name,
+                description=(
+                    f"value {value!r} of {attribute!r} generalized to "
+                    f"{general!r}"
+                ),
+                attribute=attribute,
+                generality=distance,
+            )
+            yield derived.extend_delta(
+                derived.event.with_value(attribute, general),
+                step,
+                frozenset((attribute,)),
+            )
+            count += 1
+        return count
+
+    def _expand_attribute_interned(
+        self, derived: DerivedEvent, attribute: str, budget: int | None
+    ) -> Iterator[DerivedEvent]:
+        """Closure-array substitutions of one attribute *name*."""
+        count = 0
+        if budget is not None and budget <= 0:
+            return count
+        table = self._current_table()
+        self.stats.lookups += 1
+        tid = table.term_id_of_value(attribute)
+        if tid is None:
+            return count
+        for sid, distance in table.ancestors(tid):
+            if budget is not None and distance > budget:
+                continue
+            general_attribute = table.attribute_form(sid)
+            if general_attribute is None:
+                # the string path would raise here; keep that contract
+                normalize_attribute(table.spelling(sid).replace(" ", "_"))
+                continue  # pragma: no cover - normalize_attribute raised
+            if general_attribute == attribute or general_attribute in derived.event:
+                continue
+            step = DerivationStep(
+                stage=self.name,
+                description=(
+                    f"attribute {attribute!r} generalized to "
+                    f"{general_attribute!r}"
+                ),
+                attribute=general_attribute,
+                generality=distance,
+            )
+            renamed = derived.event.with_renamed_attributes({attribute: general_attribute})
+            yield derived.extend(renamed, step)
+            count += 1
+        return count
+
+    # -- string reference path ----------------------------------------------------
 
     def _expand_value(
         self,

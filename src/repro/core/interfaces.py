@@ -77,6 +77,19 @@ class SemanticStage(abc.ABC):
     def __init__(self) -> None:
         self.stats = StageStats()
 
+    def begin_publication(self) -> None:
+        """Hook: called once by the pipeline before each publication's
+        expansion, letting a stage pin per-publication state (the
+        hierarchy stage pins the concept-table snapshot here so the
+        fixpoint loop doesn't re-validate the knowledge-base version
+        per derived event).  The default is a no-op."""
+
+    def end_publication(self) -> None:
+        """Hook: called by the pipeline when a publication's expansion
+        finishes (including on error), releasing any state pinned by
+        :meth:`begin_publication` so later direct ``expand()`` calls
+        never observe a stale snapshot.  The default is a no-op."""
+
     def rewrite_event(self, event: Event) -> tuple[Event, tuple]:
         """Rewrite *event*, returning ``(new_event, derivation_steps)``.
 

@@ -117,11 +117,12 @@ class SemanticPipeline:
     ) -> None:
         self.kb = kb
         self.config = config if config is not None else SemanticConfig()
-        self.synonyms = SynonymStage(kb)
+        self.synonyms = SynonymStage(kb, interned=self.config.interning)
         self.hierarchy = HierarchyStage(
             kb,
             value_synonyms=self.config.value_synonyms,
             generalize_attributes=self.config.generalize_attributes,
+            interned=self.config.interning,
         )
         self.mappings = MappingStage(kb, self.config.mapping_context())
         self.extra_stages = extra_stages
@@ -175,25 +176,35 @@ class SemanticPipeline:
         stages = self._expansion_stages()
         if not stages:
             return result
-
         budget_total = config.max_generality
         frontier: list[DerivedEvent] = [root]
-        for iteration in range(1, config.max_iterations + 1):
-            produced: list[DerivedEvent] = []
-            for derived in frontier:
-                remaining = None if budget_total is None else budget_total - derived.generality
-                for stage in stages:
-                    for candidate in stage.expand(derived, generality_budget=remaining):
-                        if budget_total is not None and candidate.generality > budget_total:
-                            continue
-                        produced.append(candidate)
-            if not produced:
-                break
-            result.iterations = iteration
-            next_frontier = self._integrate(result, produced)
-            if result.truncated or not next_frontier:
-                break
-            frontier = next_frontier
+        try:
+            for stage in stages:
+                # duck-typed third-party stages may predate the hooks
+                begin = getattr(stage, "begin_publication", None)
+                if begin is not None:
+                    begin()
+            for iteration in range(1, config.max_iterations + 1):
+                produced: list[DerivedEvent] = []
+                for derived in frontier:
+                    remaining = None if budget_total is None else budget_total - derived.generality
+                    for stage in stages:
+                        for candidate in stage.expand(derived, generality_budget=remaining):
+                            if budget_total is not None and candidate.generality > budget_total:
+                                continue
+                            produced.append(candidate)
+                if not produced:
+                    break
+                result.iterations = iteration
+                next_frontier = self._integrate(result, produced)
+                if result.truncated or not next_frontier:
+                    break
+                frontier = next_frontier
+        finally:
+            for stage in stages:
+                end = getattr(stage, "end_publication", None)
+                if end is not None:
+                    end()
         return result
 
     def _integrate(

@@ -106,6 +106,18 @@ class DerivedEvent:
         changed = frozenset(name for name, _ in self.event.signature ^ event.signature)
         return DerivedEvent(event, self.steps + (step,), parent=self, delta=changed)
 
+    def extend_delta(
+        self, event: Event, step: DerivationStep, delta: frozenset
+    ) -> "DerivedEvent":
+        """:meth:`extend` for callers that already know which attribute
+        pairs changed (the interned hierarchy stage substitutes exactly
+        one value, so its delta is the substituted attribute) — skips
+        the signature symmetric-difference :meth:`extend` pays to
+        recover the delta after the fact.  *delta* must equal the set
+        of attribute names whose canonical ``(attribute, value)`` pair
+        differs between this event and *event*."""
+        return DerivedEvent(event, self.steps + (step,), parent=self, delta=delta)
+
     def removed_pairs(self) -> list[tuple[str, object]]:
         """The parent's ``(attribute, value)`` pairs this derivation
         dropped or rewrote (empty for the batch root)."""

@@ -67,7 +67,6 @@ under tolerance bounds, as a hard invariant — in
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field, replace
 
 from repro.core.config import SemanticConfig
@@ -77,6 +76,7 @@ from repro.model.events import Event
 from repro.model.predicates import Operator, Predicate
 from repro.model.subscriptions import Subscription
 from repro.model.values import canonical_value_key
+from repro.ontology.concept_table import descent_closure
 from repro.ontology.knowledge_base import KnowledgeBase
 
 __all__ = [
@@ -102,53 +102,15 @@ def _descend(kb: KnowledgeBase, term: str, bound: int | None) -> dict[str, int]:
     """Every spelling an event may carry to reach *term* within
     *bound* generalization levels, with its minimum total ascent depth.
 
-    This is the downward mirror of the event-side pipeline's fixpoint:
-    a breadth-first closure over taxonomy descent composed with
-    distance-0 value-synonym hops, across all domains — so a chain that
-    climbs through domain A, crosses a synonym spelling, and continues
-    in domain B is charged its summed hierarchy distance exactly as the
-    event-side engine charges it.
+    One shared implementation serves both paths — the string path calls
+    :func:`~repro.ontology.concept_table.descent_closure` per predicate
+    with the live bound; the interned path memoizes the unbounded
+    closure per term in the concept table and depth-filters it
+    (:meth:`~repro.ontology.concept_table.ConceptTable.descent_map`) —
+    so the two cannot drift.  The interning equivalence property test
+    still pins the end-to-end results together.
     """
-    taxonomies = [kb.taxonomy(domain) for domain in kb.domains()]
-    depths: dict[str, int] = {}
-    queue: deque[tuple[str, int]] = deque()
-    for spelling in kb.value_equivalents(term):
-        depths[spelling] = 0
-        queue.append((spelling, 0))
-    while queue:
-        spelling, depth = queue.popleft()
-        if depths.get(spelling, depth) < depth:
-            continue  # a cheaper path to this spelling was found later
-        remaining = None if bound is None else bound - depth
-        if remaining is not None and remaining <= 0:
-            continue
-        for taxonomy in taxonomies:
-            if spelling not in taxonomy:
-                continue
-            for descendant, distance in taxonomy.descendants(spelling, remaining).items():
-                total = depth + distance
-                known = depths.get(descendant)
-                if known is None or known > total:
-                    depths[descendant] = total
-                    # this walk already covered the whole same-domain
-                    # subtree below `descendant` at minimum distances;
-                    # re-enqueue only when the closure can continue
-                    # elsewhere — the term also lives in another domain.
-                    if any(
-                        other is not taxonomy and descendant in other
-                        for other in taxonomies
-                    ):
-                        queue.append((descendant, total))
-                for equivalent in kb.value_equivalents(descendant):
-                    if equivalent == descendant:
-                        continue
-                    known = depths.get(equivalent)
-                    if known is None or known > total:
-                        # a synonym bridge: descent may resume from the
-                        # equivalent spelling in any domain that knows it.
-                        depths[equivalent] = total
-                        queue.append((equivalent, total))
-    return depths
+    return descent_closure(kb, term, bound)
 
 
 #: attribute -> canonical value key -> minimum charged descent depth
@@ -180,6 +142,7 @@ def expand_subscription_charged(
     kb: KnowledgeBase,
     *,
     max_generality: int | None = None,
+    interned: bool = True,
 ) -> SubscriptionExpansion:
     """Rewrite equality predicates on taxonomy terms into ``IN``
     predicates over the term's equivalents and descendants, recording
@@ -190,13 +153,22 @@ def expand_subscription_charged(
     Each predicate's descent is expanded to the *whole* budget — a
     single attribute may consume all of it — and the cross-attribute
     sum is enforced per match by the engine's tolerance gate.
+
+    ``interned`` serves each term's descent from the concept table's
+    precomputed closure (rebuilt with the knowledge-base version)
+    instead of a per-predicate BFS; ``False`` is the string reference
+    path.  Both produce identical expansions.
     """
     bound = _effective_bound(subscription.max_generality, max_generality)
+    table = kb.concept_table() if interned else None
     rewritten: list[Predicate] = []
     charges: ChargeMap = {}
     for predicate in subscription.predicates:
         if predicate.operator is Operator.EQ and isinstance(predicate.operand, str):
-            depths = _descend(kb, predicate.operand, bound)
+            if table is not None:
+                depths = table.descent_map(predicate.operand, bound)
+            else:
+                depths = _descend(kb, predicate.operand, bound)
             if set(depths) != {predicate.operand}:
                 rewritten.append(Predicate.isin(predicate.attribute, set(depths)))
                 per_value = charges.setdefault(predicate.attribute, {})
@@ -226,10 +198,13 @@ def expand_subscription(
     kb: KnowledgeBase,
     *,
     max_generality: int | None = None,
+    interned: bool = True,
 ) -> Subscription:
     """The rewritten subscription alone (see
     :func:`expand_subscription_charged` for the charge map)."""
-    return expand_subscription_charged(subscription, kb, max_generality=max_generality).subscription
+    return expand_subscription_charged(
+        subscription, kb, max_generality=max_generality, interned=interned
+    ).subscription
 
 
 class SubscriptionExpandingEngine(SToPSS):
@@ -269,7 +244,10 @@ class SubscriptionExpandingEngine(SToPSS):
 
     def subscribe(self, subscription: Subscription) -> Subscription:
         expansion = expand_subscription_charged(
-            subscription, self.kb, max_generality=self._expansion_bound
+            subscription,
+            self.kb,
+            max_generality=self._expansion_bound,
+            interned=self.config.interning,
         )
         expanded = expansion.subscription
         root = super().subscribe(

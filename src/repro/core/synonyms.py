@@ -24,7 +24,15 @@ __all__ = ["SynonymStage"]
 
 class SynonymStage(SemanticStage):
     """Root-attribute rewriting backed by the knowledge base's
-    attribute thesaurus (hash lookups only)."""
+    attribute thesaurus (hash lookups only).
+
+    With ``interned=True`` (the default) the rewrite map comes from the
+    concept table's precomputed ``attribute_roots`` dictionary — one
+    dict probe per attribute on the already-normalized event names,
+    the paper's "substitute each term with an internal identifier"
+    fast path — instead of re-normalizing every name through
+    :func:`~repro.ontology.concepts.term_key` per event.
+    """
 
     name = STAGE_SYNONYM
 
@@ -32,15 +40,27 @@ class SynonymStage(SemanticStage):
     #: valid across subscription churn (see SemanticStage.stateful).
     stateful = False
 
-    def __init__(self, kb: KnowledgeBase) -> None:
+    def __init__(self, kb: KnowledgeBase, *, interned: bool = True) -> None:
         super().__init__()
         self._kb = kb
+        self._interned = interned
+
+    def _rename_map(self, attributes) -> dict[str, str]:
+        if not self._interned:
+            return self._kb.attribute_rename_map(attributes)
+        roots = self._kb.concept_table().attribute_roots
+        renames: dict[str, str] = {}
+        for name in attributes:
+            root = roots.get(name)
+            if root is not None and root != name:
+                renames[name] = root
+        return renames
 
     def rewrite_event(self, event: Event) -> tuple[Event, tuple]:
         """Rename every attribute to its root; reports one derivation
         step per renamed attribute."""
         self.stats.events_in += 1
-        renames = self._kb.attribute_rename_map(event.attributes())
+        renames = self._rename_map(event.attributes())
         self.stats.lookups += len(event)
         if not renames:
             self.stats.events_out += 1
@@ -61,7 +81,7 @@ class SynonymStage(SemanticStage):
     def rewrite_subscription(self, subscription: Subscription) -> Subscription:
         """Figure 1's "root subscription": predicate attributes are
         rewritten to roots; ids and tolerance are preserved."""
-        renames = self._kb.attribute_rename_map(subscription.attributes())
+        renames = self._rename_map(subscription.attributes())
         self.stats.lookups += len(subscription.attributes())
         if not renames:
             return subscription

@@ -68,6 +68,10 @@ class ClusterMatcher(MatchingAlgorithm):
         #: (predicate key, canonical value key) -> evaluation outcome;
         #: survives across match_batch calls AND subscription churn.
         self._residual_memo: dict[tuple, bool] = {}
+        #: value-identity function for cluster keys and memo keys; an
+        #: interning engine rebinds it to the concept table's
+        #: spelling-id mapping (see bind_interner).
+        self._value_key = canonical_value_key
 
     def invalidate_memo(self, reason: str = "external") -> None:
         """Outcomes are keyed by predicate identity, which churn cannot
@@ -80,15 +84,31 @@ class ClusterMatcher(MatchingAlgorithm):
             self._residual_memo.clear()
             self.stats.memo_invalidations += 1
 
+    def bind_interner(self, value_key) -> None:
+        """Adopt the interned value identity: rebuild every cluster
+        under the new keys (re-inserting in insertion order, so access
+        choices stay deterministic) and drop the residual memo, whose
+        keys embed the previous identity."""
+        new_key = canonical_value_key if value_key is None else value_key
+        if new_key is self._value_key:
+            return
+        self._value_key = new_key
+        self._clusters.clear()
+        self._access_of.clear()
+        self._scan_pool.clear()
+        self._popularity.clear()
+        for subscription in self.subscriptions():
+            self._on_insert(subscription)
+        self.invalidate_memo("interner-rebind")
+
     # -- maintenance -------------------------------------------------------------
 
-    @staticmethod
-    def _equality_keys(subscription: Subscription) -> list[tuple[_ClusterKey, Predicate]]:
+    def _equality_keys(self, subscription: Subscription) -> list[tuple[_ClusterKey, Predicate]]:
         keys = []
+        value_key = self._value_key
         for predicate in subscription.predicates:
             if predicate.operator is Operator.EQ:
-                value_key = canonical_value_key(predicate.operand)  # type: ignore[arg-type]
-                keys.append(((predicate.attribute, value_key), predicate))
+                keys.append(((predicate.attribute, value_key(predicate.operand)), predicate))
         return keys
 
     def _on_insert(self, subscription: Subscription) -> None:
@@ -135,14 +155,19 @@ class ClusterMatcher(MatchingAlgorithm):
 
     def _residual_match(self, event: Event, predicates: tuple[Predicate, ...]) -> bool:
         stats = self.stats
+        # predicate attributes are normalized at construction and event
+        # keys are normalized at construction: probe the pair table
+        # directly instead of re-normalizing per residual check.
+        pairs = event._pairs
         for predicate in predicates:
-            if predicate.attribute not in event:
+            value = pairs.get(predicate.attribute)
+            if value is None:  # None is not a legal value: attribute absent
                 return False
             # counted only for real evaluate() calls (absent-attribute
             # rejections are dict probes), matching the batch path's
             # accounting so serial-vs-batch eval ratios are honest.
             stats.predicate_evaluations += 1
-            if not predicate.evaluate(event[predicate.attribute]):
+            if not predicate.evaluate(value):
                 return False
         return True
 
@@ -152,15 +177,19 @@ class ClusterMatcher(MatchingAlgorithm):
         residual predicate tuple (serial or batch-memoized)."""
         stats = self.stats
         matched_ids: list[str] = []
-        for attribute, value in event.items():
-            cluster = self._clusters.get((attribute, canonical_value_key(value)))
-            stats.index_probes += 1
+        value_key = self._value_key
+        clusters = self._clusters
+        probes = 0
+        for attribute, value in event._pairs.items():
+            cluster = clusters.get((attribute, value_key(value)))
+            probes += 1
             if not cluster:
                 continue
             for sub_id, residual in cluster.items():
                 stats.candidates += 1
                 if residual_check(event, residual):
                     matched_ids.append(sub_id)
+        stats.index_probes += probes
         for sub_id, predicates in self._scan_pool.items():
             stats.candidates += 1
             if residual_check(event, predicates):
@@ -179,11 +208,13 @@ class ClusterMatcher(MatchingAlgorithm):
         each ``(predicate, value)`` outcome is computed once per memo
         lifetime (the memo persists across publications)."""
         stats = self.stats
+        value_key = self._value_key
+        pairs = event._pairs
         for predicate in predicates:
-            value = event.get(predicate.attribute)
+            value = pairs.get(predicate.attribute)
             if value is None:  # None is not a legal value: attribute absent
                 return False
-            key = (predicate.key, canonical_value_key(value))
+            key = (predicate.key, value_key(value))
             outcome = memo.get(key)
             if outcome is None:
                 stats.predicate_evaluations += 1

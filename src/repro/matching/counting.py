@@ -74,6 +74,12 @@ class CountingMatcher(MatchingAlgorithm):
         if self._memo.clear():
             self.stats.memo_invalidations += 1
 
+    def bind_interner(self, value_key) -> None:
+        """Re-key the equality index under the interned identity and
+        drop the memo (its pair keys embed the previous identity)."""
+        self._index.rebind_value_key(value_key)
+        self.invalidate_memo("interner-rebind")
+
     def _on_insert(self, subscription: Subscription) -> None:
         size = len(subscription.predicates)
         self._sizes[subscription.sub_id] = size
@@ -136,33 +142,40 @@ class CountingMatcher(MatchingAlgorithm):
         cache = self._memo
         hits_before, misses_before = cache.hits, cache.misses
         clears_before = cache.invalidations
-        #: event signature -> fully adjusted counters for that content
-        counters_of: dict = {}
+        #: event signature -> (counters, matched ids) for that content;
+        #: the matched list rides along so a derived event only
+        #: re-checks the counter-vs-size threshold for the few
+        #: subscriptions its delta credits touched, instead of sweeping
+        #: every candidate per derived event.
+        state_of: dict = {}
 
-        def counters_for(derived: "DerivedEvent") -> dict[str, int]:
+        def state_for(derived: "DerivedEvent") -> tuple[dict[str, int], list[str]]:
             # Walk up the parent chain to the nearest memoized ancestor
             # (ultimately the parentless batch root), then come back
             # down applying each delta as a counter adjustment.
             chain = []
             node = derived
-            counts = None
+            state = None
             while True:
-                known = counters_of.get(node.event.signature)
+                known = state_of.get(node.event.signature)
                 if known is not None:
-                    counts = known
+                    state = known
                     break
                 chain.append(node)
                 if node.parent is None:
                     break
                 node = node.parent
             for node in reversed(chain):
-                if counts is None:  # batch root: full count from its pairs
-                    counts = {}
+                if state is None:  # batch root: full count from its pairs
+                    counts: dict[str, int] = {}
                     for attribute, value in node.event.items():
                         for sub_id, uses in cache.satisfied(attribute, value):
                             counts[sub_id] = counts.get(sub_id, 0) + uses
+                    matched = [s for s, c in counts.items() if c == sizes[s]]
                 else:
-                    counts = dict(counts)
+                    parent_counts, parent_matched = state
+                    counts = dict(parent_counts)
+                    touched: set[str] = set()
                     for attribute, value in node.removed_pairs():
                         for sub_id, uses in cache.satisfied(attribute, value):
                             remaining = counts.get(sub_id, 0) - uses
@@ -170,24 +183,27 @@ class CountingMatcher(MatchingAlgorithm):
                                 counts[sub_id] = remaining
                             else:
                                 counts.pop(sub_id, None)
+                            touched.add(sub_id)
                     for attribute, value in node.added_pairs():
                         for sub_id, uses in cache.satisfied(attribute, value):
                             counts[sub_id] = counts.get(sub_id, 0) + uses
-                counters_of[node.event.signature] = counts
-            return counts
+                            touched.add(sub_id)
+                    if touched:
+                        matched = [s for s in parent_matched if s not in touched]
+                        matched.extend(s for s in touched if counts.get(s) == sizes[s])
+                    else:
+                        matched = parent_matched
+                state = (counts, matched)
+                state_of[node.event.signature] = state
+            return state
 
         best: dict[str, tuple[int, "DerivedEvent"]] = {}
         for derived in result.derived:
-            counts = counters_for(derived)
+            counts, matched_ids = state_for(derived)
             stats.events += 1
             stats.candidates += len(counts)
             generality = derived.generality
-            matched = self._reduce_batch_matches(
-                best,
-                derived,
-                generality,
-                (sub_id for sub_id, count in counts.items() if count == sizes[sub_id]),
-            )
+            matched = self._reduce_batch_matches(best, derived, generality, matched_ids)
             matched += self._reduce_batch_matches(best, derived, generality, universal)
             stats.matches += matched
         stats.index_probes += index.probes - probes_before

@@ -170,7 +170,9 @@ class _AttributeIndex:
     )
 
     def __init__(self) -> None:
-        self.equalities: dict[tuple, set[PredicateKey]] = {}
+        #: equality identity key (canonical tuple or interned int id)
+        #: -> predicate keys; see PredicateIndex.rebind_value_key.
+        self.equalities: dict[object, set[PredicateKey]] = {}
         self.not_equals: dict[PredicateKey, Value] = {}
         # orderings[type_bucket][operator] -> _BoundaryList
         self.orderings: dict[str, dict[Operator, _BoundaryList]] = {}
@@ -184,13 +186,53 @@ class _AttributeIndex:
 
 
 class PredicateIndex:
-    """Reference-counted index over predicates of many subscriptions."""
+    """Reference-counted index over predicates of many subscriptions.
+
+    ``value_key`` is the equality identity function: the hash key under
+    which EQ operands (and expanded IN members) are stored and probed.
+    It defaults to :func:`~repro.model.values.canonical_value_key`; an
+    interning engine rebinds it to the concept table's
+    :meth:`~repro.ontology.concept_table.ConceptTable.value_key`, which
+    maps known spellings to dense int ids and transparently falls back
+    to the canonical tuple key for everything else.  Keys of the two
+    shapes never collide (int vs tuple), so one equality table serves
+    interned and un-interned values alike — the only invariant is that
+    install and probe go through the same function, which
+    :meth:`rebind_value_key` maintains by re-keying installed entries.
+    """
 
     def __init__(self) -> None:
         self._attributes: dict[str, _AttributeIndex] = {}
         self._refcounts: dict[PredicateKey, int] = {}
         self._predicates: dict[PredicateKey, Predicate] = {}
+        self._value_key: Callable[[Value], object] = canonical_value_key
         self.probes = 0
+
+    def rebind_value_key(self, value_key: Callable[[Value], object] | None) -> None:
+        """Switch the equality identity function (``None`` restores the
+        canonical default) and re-key every installed EQ/IN entry under
+        the new function.  Called by interning matchers when the engine
+        hands them a fresh concept-table snapshot."""
+        new_key = canonical_value_key if value_key is None else value_key
+        if new_key is self._value_key:
+            return
+        self._value_key = new_key
+        for attr_index in self._attributes.values():
+            if not attr_index.equalities:
+                continue
+            # an IN predicate occupies one bucket per member: dedup the
+            # predicate keys first so each is re-expanded exactly once
+            installed: set[PredicateKey] = set()
+            installed.update(*attr_index.equalities.values())
+            rekeyed: dict[object, set[PredicateKey]] = {}
+            for key in installed:
+                predicate = self._predicates[key]
+                if predicate.operator is Operator.EQ:
+                    rekeyed.setdefault(new_key(predicate.operand), set()).add(key)
+                else:  # IN: re-expand every member
+                    for member in predicate.operand:
+                        rekeyed.setdefault(new_key(member), set()).add(key)
+            attr_index.equalities = rekeyed
 
     def __len__(self) -> int:
         """Number of distinct predicates indexed."""
@@ -228,11 +270,11 @@ class PredicateIndex:
     def _install(self, index: _AttributeIndex, predicate: Predicate) -> None:
         op, key = predicate.operator, predicate.key
         if op is Operator.EQ:
-            value_key = canonical_value_key(predicate.operand)  # type: ignore[arg-type]
+            value_key = self._value_key(predicate.operand)  # type: ignore[arg-type]
             index.equalities.setdefault(value_key, set()).add(key)
         elif op is Operator.IN:
             for member in predicate.operand:  # type: ignore[union-attr]
-                index.equalities.setdefault(canonical_value_key(member), set()).add(key)
+                index.equalities.setdefault(self._value_key(member), set()).add(key)
         elif op is Operator.NE:
             index.not_equals[key] = predicate.operand  # type: ignore[assignment]
         elif op.is_ordering:
@@ -259,7 +301,7 @@ class PredicateIndex:
     def _uninstall(self, index: _AttributeIndex, predicate: Predicate) -> None:
         op, key = predicate.operator, predicate.key
         if op is Operator.EQ:
-            value_key = canonical_value_key(predicate.operand)  # type: ignore[arg-type]
+            value_key = self._value_key(predicate.operand)  # type: ignore[arg-type]
             bucket_set = index.equalities.get(value_key)
             if bucket_set is not None:
                 bucket_set.discard(key)
@@ -267,7 +309,7 @@ class PredicateIndex:
                     del index.equalities[value_key]
         elif op is Operator.IN:
             for member in predicate.operand:  # type: ignore[union-attr]
-                member_key = canonical_value_key(member)
+                member_key = self._value_key(member)
                 bucket_set = index.equalities.get(member_key)
                 if bucket_set is not None:
                     bucket_set.discard(key)
@@ -307,7 +349,7 @@ class PredicateIndex:
             return
         self.probes += 1
         yield from index.exists
-        eq_hits = index.equalities.get(canonical_value_key(value))
+        eq_hits = index.equalities.get(self._value_key(value))
         if eq_hits:
             yield from eq_hits
         for key, operand in index.not_equals.items():
@@ -378,7 +420,12 @@ class SatisfactionCache:
     Caching by ``canonical_value_key`` is sound because canonically
     equal values (``4`` vs ``4.0``) behave identically under every
     predicate operator — the same invariant event signatures and
-    predicate keys are already built on.
+    predicate keys are already built on.  The cache keys pairs through
+    the wrapped index's live ``value_key`` function, so when the engine
+    rebinds the index to an interned concept table the memo keys become
+    ``(attribute, spelling id)`` int pairs — and because every rebind
+    follows a memo invalidation, keys from two different id spaces can
+    never coexist in one memo lifetime.
     """
 
     __slots__ = (
@@ -419,7 +466,7 @@ class SatisfactionCache:
 
     def satisfied(self, attribute: str, value: Value):
         """The (transformed) satisfaction set for one pair, memoized."""
-        pair = (attribute, canonical_value_key(value))
+        pair = (attribute, self._index._value_key(value))
         payload = self._cache.get(pair)
         if payload is None:
             self.misses += 1

@@ -91,16 +91,27 @@ class Event:
         return iter(self._pairs)
 
     def __contains__(self, attribute: str) -> bool:
+        # exact probe first: stored keys are always normalized, so a
+        # hit needs no re-normalization (the matching hot path only
+        # ever asks with normalized names)
+        if isinstance(attribute, str) and attribute in self._pairs:
+            return True
         try:
             return normalize_attribute(attribute) in self._pairs
         except InvalidAttributeError:
             return False
 
     def __getitem__(self, attribute: str) -> Value:
-        return self._pairs[normalize_attribute(attribute)]
+        try:
+            return self._pairs[attribute]
+        except KeyError:
+            return self._pairs[normalize_attribute(attribute)]
 
     def get(self, attribute: str, default: Value | None = None) -> Value | None:
-        return self._pairs.get(normalize_attribute(attribute), default)
+        pairs = self._pairs
+        if attribute in pairs:
+            return pairs[attribute]
+        return pairs.get(normalize_attribute(attribute), default)
 
     def attributes(self) -> tuple[str, ...]:
         """Attribute names in insertion order."""
@@ -131,6 +142,22 @@ class Event:
 
     # -- derivation helpers (used by the semantic stages) -------------------
 
+    @classmethod
+    def _derived(
+        cls, pairs: dict[str, Value], signature: EventSignature, publisher_id: str | None
+    ) -> "Event":
+        """Internal constructor for derivation helpers whose pairs are
+        already normalized/validated (they came out of an existing
+        event) and whose signature was maintained incrementally —
+        skipping the per-pair re-normalization ``__init__`` performs,
+        which dominated the semantic expansion's cost."""
+        event = object.__new__(cls)
+        event._pairs = pairs
+        event._signature = signature
+        event.event_id = f"e{next(_event_counter)}"
+        event.publisher_id = publisher_id
+        return event
+
     def with_renamed_attributes(self, renames: Mapping[str, str] | Callable[[str], str]) -> "Event":
         """A copy with attributes renamed — the synonym stage's rewrite to
         "root" attributes.  *renames* is either an explicit mapping
@@ -140,29 +167,62 @@ class Event:
         :class:`~repro.errors.DuplicateAttributeError` is raised.
         """
         if callable(renames):
-            mapper = renames
-        else:
-            table = {normalize_attribute(k): normalize_attribute(v) for k, v in renames.items()}
-            mapper = lambda name: table.get(name, name)  # noqa: E731
-        new_pairs = [(mapper(name), value) for name, value in self._pairs.items()]
-        if all(new == old for (new, _), old in zip(new_pairs, self._pairs)):
+            # arbitrary mapper output: full normalization/validation
+            new_pairs = [(renames(name), value) for name, value in self._pairs.items()]
+            if all(new == old for (new, _), old in zip(new_pairs, self._pairs)):
+                return self
+            return Event(new_pairs, publisher_id=self.publisher_id)
+        table = {normalize_attribute(k): normalize_attribute(v) for k, v in renames.items()}
+        if not any(table.get(name, name) != name for name in self._pairs):
             return self
-        return Event(new_pairs, publisher_id=self.publisher_id)
+        pairs: dict[str, Value] = {}
+        for name, value in self._pairs.items():
+            new = table.get(name, name)
+            if new in pairs and not values_equal(pairs[new], value):
+                raise DuplicateAttributeError(
+                    f"attribute {new!r} given twice with conflicting values "
+                    f"{pairs[new]!r} and {value!r}"
+                )
+            pairs[new] = value
+        signature = frozenset(
+            (name, canonical_value_key(value)) for name, value in pairs.items()
+        )
+        return Event._derived(pairs, signature, self.publisher_id)
 
     def with_value(self, attribute: str, value: Value) -> "Event":
         """A copy with one attribute set (added or replaced)."""
-        pairs = self.to_dict()
-        pairs[normalize_attribute(attribute)] = check_value(value)
-        return Event(pairs, publisher_id=self.publisher_id)
+        # an attribute that is literally one of our keys is already
+        # normalized (keys only ever hold normalized names)
+        name = attribute if attribute in self._pairs else normalize_attribute(attribute)
+        value = check_value(value)
+        pairs = dict(self._pairs)
+        new_pair = (name, canonical_value_key(value))
+        if name in pairs:
+            old_pair = (name, canonical_value_key(pairs[name]))
+            signature = (
+                self._signature
+                if old_pair == new_pair
+                else (self._signature - {old_pair}) | {new_pair}
+            )
+        else:
+            signature = self._signature | {new_pair}
+        pairs[name] = value
+        return Event._derived(pairs, signature, self.publisher_id)
 
     def with_pairs(self, extra: Mapping[str, Value] | Iterable[tuple[str, Value]]) -> "Event":
         """A copy augmented with *extra* pairs (replacing on collision) —
         how mapping functions attach derived pairs to an event."""
-        pairs = self.to_dict()
         items = extra.items() if isinstance(extra, Mapping) else extra
-        for name, value in items:
-            pairs[normalize_attribute(name)] = check_value(value)
-        return Event(pairs, publisher_id=self.publisher_id)
+        pairs = dict(self._pairs)
+        signature = set(self._signature)
+        for raw_name, raw_value in items:
+            name = raw_name if raw_name in pairs else normalize_attribute(raw_name)
+            value = check_value(raw_value)
+            if name in pairs:
+                signature.discard((name, canonical_value_key(pairs[name])))
+            pairs[name] = value
+            signature.add((name, canonical_value_key(value)))
+        return Event._derived(pairs, frozenset(signature), self.publisher_id)
 
     def without(self, attribute: str) -> "Event":
         """A copy lacking *attribute* (no-op if absent)."""
@@ -170,7 +230,8 @@ class Event:
         if name not in self._pairs:
             return self
         pairs = {k: v for k, v in self._pairs.items() if k != name}
-        return Event(pairs, publisher_id=self.publisher_id)
+        signature = self._signature - {(name, canonical_value_key(self._pairs[name]))}
+        return Event._derived(pairs, signature, self.publisher_id)
 
     # -- presentation --------------------------------------------------------
 

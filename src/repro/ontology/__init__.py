@@ -7,6 +7,7 @@ DAML+OIL import/export (the paper's future-work item) in
 """
 
 from repro.ontology.builders import DomainBuilder, KnowledgeBaseBuilder
+from repro.ontology.concept_table import ConceptTable
 from repro.ontology.concepts import Concept, normalize_term, term_key
 from repro.ontology.daml import DamlOntology, export_daml, import_daml, parse_daml
 from repro.ontology.knowledge_base import KnowledgeBase
@@ -27,6 +28,7 @@ __all__ = [
     "save_kb",
     "load_kb",
     "Concept",
+    "ConceptTable",
     "normalize_term",
     "term_key",
     "Taxonomy",

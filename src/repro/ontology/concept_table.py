@@ -1,0 +1,346 @@
+"""Interned concept identifiers: the paper's internal-identifier fast path.
+
+S-ToPSS argues (§3) that semantic matching can approach syntactic speed
+by substituting "each term with an internal identifier" at subscription
+and publication time, so synonym and taxonomy handling become identifier
+lookups instead of string work.  :class:`ConceptTable` is that layer: a
+knowledge-base snapshot that assigns **dense integer IDs** to every
+term (by normalized term key) and every exact display spelling, plus
+lazily memoized ancestor/descendant **closure arrays** of ``(id,
+depth)`` pairs, so the publish hot path never re-runs a per-event BFS
+or re-normalizes a string it has seen before.
+
+Two id spaces, deliberately distinct:
+
+* **term ids** identify concepts up to :func:`~repro.ontology.concepts.
+  term_key` normalization ("PhD" and "phd" share one) — the identity
+  the hierarchy/synonym stages operate on;
+* **spelling ids** identify exact strings ("PhD" and "phd" differ) —
+  the identity predicate equality operates on, used by
+  :meth:`value_key` for matcher-level interning.  Conflating the two
+  would make a subscription on ``"phd"`` match an event carrying
+  ``"PhD"``, which the string path correctly rejects.
+
+A table is an immutable snapshot: it records the knowledge-base
+``version`` it was built from and :meth:`KnowledgeBase.concept_table
+<repro.ontology.knowledge_base.KnowledgeBase.concept_table>` rebuilds
+it whenever that version moves, so holders that re-fetch per operation
+(the engine does, once per publish) can never observe a stale id space.
+Closure arrays are filled lazily on first access — large ontologies
+only pay for the terms their traffic actually touches.
+
+Values that intern to nothing (free text, numbers, spellings added to
+the knowledge base after the snapshot) transparently fall back to the
+string path everywhere: :meth:`term_id_of_value` returns ``None`` and
+:meth:`value_key` returns the plain
+:func:`~repro.model.values.canonical_value_key`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.model.attributes import normalize_attribute
+from repro.model.values import Value, canonical_value_key
+from repro.ontology.concepts import term_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kb imports us)
+    from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = ["ConceptTable", "descent_closure"]
+
+
+def descent_closure(kb: "KnowledgeBase", term: str, bound: int | None) -> dict[str, int]:
+    """Every spelling an event may carry to reach *term* within
+    *bound* generalization levels, with its minimum total ascent depth
+    (``bound=None`` = unbounded).
+
+    This is the downward mirror of the event-side pipeline's fixpoint:
+    a breadth-first closure over taxonomy descent composed with
+    distance-0 value-synonym hops, across all domains — so a chain that
+    climbs through domain A, crosses a synonym spelling, and continues
+    in domain B is charged its summed hierarchy distance exactly as the
+    event-side engine charges it.
+
+    The single implementation behind both paths: the subscription-side
+    string path (``subexpand._descend``) calls it per predicate with
+    the live bound; :meth:`ConceptTable.descent` memoizes the unbounded
+    closure once per term and serves bounded queries by depth-filtering
+    it — equivalent because the recorded depths are minimal, so any
+    spelling within the bound is reachable by a path whose prefix
+    depths also stay within it.
+    """
+    taxonomies = [kb.taxonomy(domain) for domain in kb.domains()]
+    depths: dict[str, int] = {}
+    queue: deque[tuple[str, int]] = deque()
+    for spelling in kb.value_equivalents(term):
+        depths[spelling] = 0
+        queue.append((spelling, 0))
+    while queue:
+        spelling, depth = queue.popleft()
+        if depths.get(spelling, depth) < depth:
+            continue  # a cheaper path to this spelling was found later
+        remaining = None if bound is None else bound - depth
+        if remaining is not None and remaining <= 0:
+            continue
+        for taxonomy in taxonomies:
+            if spelling not in taxonomy:
+                continue
+            for descendant, distance in taxonomy.descendants(spelling, remaining).items():
+                total = depth + distance
+                known = depths.get(descendant)
+                if known is None or known > total:
+                    depths[descendant] = total
+                    # this walk already covered the whole same-domain
+                    # subtree below `descendant` at minimum distances;
+                    # re-enqueue only when the closure can continue
+                    # elsewhere — the term also lives in another domain.
+                    if any(
+                        other is not taxonomy and descendant in other
+                        for other in taxonomies
+                    ):
+                        queue.append((descendant, total))
+                for equivalent in kb.value_equivalents(descendant):
+                    if equivalent == descendant:
+                        continue
+                    known = depths.get(equivalent)
+                    if known is None or known > total:
+                        # a synonym bridge: descent may resume from the
+                        # equivalent spelling in any domain that knows it.
+                        depths[equivalent] = total
+                        queue.append((equivalent, total))
+    return depths
+
+
+class ConceptTable:
+    """Dense-id snapshot of one knowledge base version.
+
+    Construction enumerates every known term and spelling (taxonomy
+    concepts across all domains, value- and attribute-synonym group
+    members) into dense id ranges; the per-term generalization and
+    descent closures are computed on demand and memoized for the life
+    of the snapshot.
+    """
+
+    __slots__ = (
+        "_kb",
+        "version",
+        "_term_display",
+        "_tid_by_key",
+        "_tid_by_spelling",
+        "_spellings",
+        "_sid_by_spelling",
+        "attribute_roots",
+        "_value_terms",
+        "_canonical_sid",
+        "_up_closure",
+        "_down_closure",
+        "_attr_form",
+    )
+
+    def __init__(self, kb: "KnowledgeBase") -> None:
+        self._kb = kb
+        self.version = kb.version
+        #: term id -> first-registered display spelling of the term
+        self._term_display: list[str] = []
+        #: term key -> term id
+        self._tid_by_key: dict[str, int] = {}
+        #: exact spelling -> term id (fast path skipping term_key())
+        self._tid_by_spelling: dict[str, int] = {}
+        #: spelling id -> exact spelling
+        self._spellings: list[str] = []
+        #: exact spelling -> spelling id
+        self._sid_by_spelling: dict[str, int] = {}
+        #: normalized attribute name -> normalized root attribute (only
+        #: synonym-group members; the stage skips identical entries)
+        self.attribute_roots: dict[str, str] = {}
+        #: term ids known to the *value* substrate (taxonomies and
+        #: value-synonym groups).  Attribute-synonym spellings are
+        #: interned too (for the stage-1 rewrite), but the string path
+        #: never unifies value spellings through attribute synonyms —
+        #: descent/subscription expansion must not either.
+        self._value_terms: set[int] = set()
+        #: term id -> canonical display spelling id (-1 = none), lazy
+        self._canonical_sid: dict[int, int] = {}
+        #: term id -> ((spelling id, min distance), ...) ancestors, lazy
+        self._up_closure: dict[int, tuple[tuple[int, int], ...]] = {}
+        #: term id -> ((spelling id, min depth), ...) descent set, lazy
+        self._down_closure: dict[int, tuple[tuple[int, int], ...]] = {}
+        #: spelling id -> attribute-normalized form (None = does not
+        #: normalize; the stage falls back to raising exactly as the
+        #: string path would), lazy
+        self._attr_form: dict[int, str | None] = {}
+        self._populate(kb)
+
+    # -- construction -----------------------------------------------------------
+
+    def _intern_spelling(self, spelling: str) -> int:
+        sid = self._sid_by_spelling.get(spelling)
+        if sid is None:
+            sid = len(self._spellings)
+            self._spellings.append(spelling)
+            self._sid_by_spelling[spelling] = sid
+        return sid
+
+    def _intern_term(self, spelling: str) -> int:
+        key = term_key(spelling)
+        tid = self._tid_by_key.get(key)
+        if tid is None:
+            tid = len(self._term_display)
+            self._term_display.append(spelling)
+            self._tid_by_key[key] = tid
+        self._tid_by_spelling.setdefault(spelling, tid)
+        self._intern_spelling(spelling)
+        return tid
+
+    def _populate(self, kb: "KnowledgeBase") -> None:
+        for domain in kb.domains():
+            for concept in kb.taxonomy(domain):
+                self._value_terms.add(self._intern_term(concept.term))
+        for group in kb.value_synonym_groups():
+            for spelling in sorted(group):
+                self._value_terms.add(self._intern_term(spelling))
+        for group in kb.attribute_synonym_groups():
+            spellings = sorted(group)
+            root = kb.root_attribute(spellings[0])
+            for spelling in spellings:
+                self._intern_term(spelling)
+                self.attribute_roots[normalize_attribute(spelling)] = root
+
+    # -- identity lookups --------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct terms interned."""
+        return len(self._term_display)
+
+    @property
+    def spelling_count(self) -> int:
+        return len(self._spellings)
+
+    def term_id_of_value(self, value: str) -> int | None:
+        """The term id for an event/subscription value, ``None`` for
+        un-interned values (the string-path fallback).  Exact known
+        spellings resolve in one dict probe; variant spellings pay one
+        :func:`~repro.ontology.concepts.term_key` normalization (which
+        raises on malformed terms exactly as the string path does)."""
+        tid = self._tid_by_spelling.get(value)
+        if tid is not None:
+            return tid
+        return self._tid_by_key.get(term_key(value))
+
+    def term_id_of_key(self, key: str) -> int | None:
+        return self._tid_by_key.get(key)
+
+    def spelling(self, sid: int) -> str:
+        return self._spellings[sid]
+
+    def term_display(self, tid: int) -> str:
+        return self._term_display[tid]
+
+    # -- matcher-level value interning --------------------------------------------
+
+    def value_key(self, value: Value):
+        """Matching identity of *value*: the dense spelling id for
+        exactly-known string spellings, the plain
+        :func:`~repro.model.values.canonical_value_key` for everything
+        else.  Int ids and the tuple-shaped canonical keys can never
+        collide, so indexes may mix both key forms in one table as long
+        as every probe goes through the same function."""
+        if type(value) is str:
+            sid = self._sid_by_spelling.get(value)
+            if sid is not None:
+                return sid
+        return canonical_value_key(value)
+
+    # -- closure arrays -----------------------------------------------------------
+
+    def canonical_spelling(self, tid: int) -> str | None:
+        """Canonical display spelling of a term (value-synonym root,
+        else taxonomy spelling) — the interned form of
+        :meth:`KnowledgeBase.canonical_term`."""
+        sid = self._canonical_sid.get(tid)
+        if sid is None:
+            canonical = self._kb.canonical_term(self._term_display[tid])
+            sid = -1 if canonical is None else self._intern_spelling(canonical)
+            self._canonical_sid[tid] = sid
+        return None if sid < 0 else self._spellings[sid]
+
+    def ancestors(self, tid: int) -> tuple[tuple[int, int], ...]:
+        """``(spelling id, min distance)`` pairs for every
+        generalization of the term, in the knowledge base's enumeration
+        order — the full (unbounded) closure; budget-bounded callers
+        filter by distance, which is equivalent because distances are
+        minimal."""
+        closure = self._up_closure.get(tid)
+        if closure is None:
+            closure = tuple(
+                (self._intern_spelling(general), distance)
+                for general, distance in self._kb.generalizations(
+                    self._term_display[tid]
+                ).items()
+            )
+            self._up_closure[tid] = closure
+        return closure
+
+    def attribute_form(self, sid: int) -> str | None:
+        """The spelling as a normalized attribute name (for attribute
+        generalization), ``None`` when it does not normalize."""
+        form = self._attr_form.get(sid, False)
+        if form is False:
+            try:
+                form = normalize_attribute(self._spellings[sid].replace(" ", "_"))
+            except Exception:
+                form = None
+            self._attr_form[sid] = form
+        return form
+
+    def descent(self, tid: int) -> tuple[tuple[int, int], ...]:
+        """``(spelling id, min total depth)`` pairs for every spelling
+        an event may carry to reach the term — the unbounded
+        :func:`descent_closure`, memoized once per term.  Bounded
+        queries filter by depth."""
+        closure = self._down_closure.get(tid)
+        if closure is None:
+            depths = descent_closure(self._kb, self._term_display[tid], None)
+            closure = tuple(
+                (self._intern_spelling(spelling), depth)
+                for spelling, depth in depths.items()
+            )
+            self._down_closure[tid] = closure
+        return closure
+
+    def descent_map(self, term: str, bound: int | None) -> dict[str, int]:
+        """``{spelling: min depth}`` within *bound* for *term* — the
+        interned equivalent of the subscription-side ``_descend`` BFS.
+        Unknown terms report themselves at depth 0 (matching the BFS,
+        whose seed set always contains the literal term).  Terms known
+        *only* as attribute-synonym spellings count as unknown here:
+        the string path's seeds (``value_equivalents``) never consult
+        attribute synonyms, so unifying a spelling variant through one
+        would rewrite predicates the reference path leaves alone."""
+        tid = self.term_id_of_value(term)
+        if tid is None or tid not in self._value_terms:
+            return {term: 0}
+        spellings = self._spellings
+        result = {
+            spellings[sid]: depth
+            for sid, depth in self.descent(tid)
+            if bound is None or depth <= bound
+        }
+        # the BFS seeds from value_equivalents(term) ∪ {term}: the exact
+        # queried spelling is always admissible at depth 0.
+        result.setdefault(term, 0)
+        return result
+
+    # -- reporting ----------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "version": self.version,
+            "terms": len(self._term_display),
+            "spellings": len(self._spellings),
+            "attribute_roots": len(self.attribute_roots),
+            "up_closures": len(self._up_closure),
+            "down_closures": len(self._down_closure),
+        }

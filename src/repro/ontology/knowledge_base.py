@@ -20,6 +20,7 @@ from typing import Iterable, Iterator
 from repro.errors import UnknownDomainError
 from repro.model.attributes import normalize_attribute
 from repro.model.events import Event
+from repro.ontology.concept_table import ConceptTable
 from repro.ontology.concepts import term_key
 from repro.ontology.mappingdefs import MappingRule
 from repro.ontology.taxonomy import Taxonomy
@@ -39,6 +40,7 @@ class KnowledgeBase:
         self._rules: list[MappingRule] = []
         self._rule_names: set[str] = set()
         self._rules_by_attribute: dict[str, list[MappingRule]] = {}
+        self._concept_table: ConceptTable | None = None
 
     # -- versioning ---------------------------------------------------------------
 
@@ -51,6 +53,18 @@ class KnowledgeBase:
             + sum(t.version for t in self._taxonomies.values())
             + len(self._rules)
         )
+
+    def concept_table(self) -> ConceptTable:
+        """The interned-identifier snapshot of this knowledge base (see
+        :class:`~repro.ontology.concept_table.ConceptTable`), rebuilt
+        lazily whenever :attr:`version` moves.  Callers on the publish
+        hot path re-fetch per operation — the fetch is one version
+        compare — so they can never run on a stale id space."""
+        table = self._concept_table
+        if table is None or table.version != self.version:
+            table = ConceptTable(self)
+            self._concept_table = table
+        return table
 
     # -- domains -------------------------------------------------------------------
 

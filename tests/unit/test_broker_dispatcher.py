@@ -143,3 +143,100 @@ class TestStats:
     def test_default_loopback_address(self, broker):
         client = broker.register_subscriber("NoAddress")
         assert client.preferred_transports() == ("tcp",)
+
+
+class TestResultCache:
+    """The dispatcher-level LRU match-set cache (PR 3 satellite)."""
+
+    def _setup(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        broker.subscribe(company.client_id, "(degree = PhD)")
+        return broker.register_publisher("Ada")
+
+    def test_repeat_publication_hits_the_cache(self, broker):
+        candidate = self._setup(broker)
+        first = broker.publish(candidate.client_id, "(degree, PhD)")
+        second = broker.publish(candidate.client_id, "(degree, PhD)")
+        info = broker.dispatcher.result_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == 0.5
+        assert first.match_count == second.match_count == 1
+        # the engine only ran once; the dispatcher served the repeat
+        assert broker.engine.publications == 1
+
+    def test_cached_matches_carry_the_fresh_event(self, broker):
+        candidate = self._setup(broker)
+        broker.publish(candidate.client_id, parse_event("(degree, PhD)", event_id="first"))
+        report = broker.publish(
+            candidate.client_id, parse_event("(degree, PhD)", event_id="second")
+        )
+        assert report.matches[0].event.event_id == "second"
+        assert report.delivered_count == 1
+
+    def test_subscription_churn_invalidates(self, broker):
+        candidate = self._setup(broker)
+        broker.publish(candidate.client_id, "(degree, PhD)")
+        company2 = broker.register_subscriber("Globex", email="jobs@x")
+        broker.subscribe(company2.client_id, "(degree = PhD)")
+        report = broker.publish(candidate.client_id, "(degree, PhD)")
+        assert report.match_count == 2
+        assert broker.dispatcher.result_cache_info()["hits"] == 0
+
+    def test_unsubscribe_invalidates(self, broker):
+        candidate = self._setup(broker)
+        company2 = broker.register_subscriber("Globex", email="jobs@x")
+        sub = broker.subscribe(company2.client_id, "(degree = PhD)")
+        assert broker.publish(candidate.client_id, "(degree, PhD)").match_count == 2
+        broker.unsubscribe(sub.sub_id)
+        assert broker.publish(candidate.client_id, "(degree, PhD)").match_count == 1
+
+    def test_kb_change_invalidates(self, broker):
+        """A knowledge-base edit shifts the cache key: the repeat
+        publication is recomputed under the new semantics instead of
+        served stale (declaring PhD/doctorate synonymous makes the
+        doctorate subscription reachable only via the root spelling, so
+        the match count visibly changes)."""
+        candidate = self._setup(broker)
+        company = broker.register_subscriber("Hooli", email="h@x")
+        broker.subscribe(company.client_id, "(degree = doctorate)")
+        broker.publish(candidate.client_id, "(degree, PhD)")
+        before = broker.publish(candidate.client_id, "(degree, PhD)").match_count
+        assert broker.dispatcher.result_cache_info()["hits"] == 1
+        broker.kb.add_value_synonyms(["PhD", "doctorate"])
+        after = broker.publish(candidate.client_id, "(degree, PhD)").match_count
+        assert (before, after) == (2, 1)
+        assert broker.dispatcher.result_cache_info()["hits"] == 1
+
+    def test_reconfigure_invalidates(self, broker):
+        candidate = self._setup(broker)
+        semantic = broker.publish(candidate.client_id, "(diploma, PhD)").match_count
+        broker.set_syntactic_mode()
+        syntactic = broker.publish(candidate.client_id, "(diploma, PhD)").match_count
+        assert semantic == 1 and syntactic == 0
+
+    def test_capacity_bounds_and_evicts(self):
+        broker = Broker(build_jobs_knowledge_base())
+        broker.dispatcher.result_cache_size = 2
+        candidate = broker.register_publisher("Ada")
+        for year in (1, 2, 3):
+            broker.publish(candidate.client_id, f"(graduation_year, {year})")
+        assert broker.dispatcher.result_cache_info()["size"] == 2
+
+    def test_zero_capacity_disables(self):
+        broker = Broker(build_jobs_knowledge_base())
+        broker.dispatcher.result_cache_size = 0
+        candidate = broker.register_publisher("Ada")
+        broker.publish(candidate.client_id, "(degree, PhD)")
+        broker.publish(candidate.client_id, "(degree, PhD)")
+        info = broker.dispatcher.result_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0
+        assert broker.engine.publications == 2
+
+    def test_stats_surface_result_cache(self, broker):
+        candidate = self._setup(broker)
+        broker.publish(candidate.client_id, "(degree, PhD)")
+        broker.publish(candidate.client_id, "(degree, PhD)")
+        stats = broker.stats()
+        assert stats["result_cache_hits"] == 1
+        assert stats["result_cache_hit_rate"] == 0.5
+        assert stats["result_cache"]["capacity"] == 256
