@@ -79,11 +79,16 @@ def test_c1_overhead_table(benchmark, jobs_kb, semantic_workload, capsys):
 
 def _serial_publish_evals(engine, events) -> tuple[int, dict[str, int]]:
     """Replay the pre-batching publish loop (one ``match`` per derived
-    event) and return its predicate-evaluation total and match minima."""
+    event) and return its predicate-evaluation total and match minima.
+
+    The expansion runs under the engine's *active* interest view — the
+    same demand-driven batch ``publish`` matches — so the serial/batch
+    ratio isolates *batching*, and the two paths see identical
+    truncation behavior under ``max_derived_events``."""
     best: dict[str, int] = {}
     before = engine.matcher.stats.predicate_evaluations
     for event in events:
-        result = engine.pipeline.process_event(event)
+        result = engine.pipeline.process_event(event, interest=engine.active_interest)
         for derived in result.derived:
             generality = derived.generality
             for sub in engine.matcher.match(derived.event):
@@ -113,6 +118,7 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
             "batch evals",
             "evals ratio",
             "probes saved",
+            "pruned",
             "cache hit%",
             "events/s",
         ],
@@ -204,9 +210,11 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
 
                 ratio = serial_evals / max(first_pass_evals, 1)
                 total_events = 2 * len(events)
+                interest = engine.interest_info()
                 table.add(
                     config_name, matcher_name, serial_evals, first_pass_evals,
                     round(ratio, 2), first_pass_probes_saved,
+                    interest["candidates_pruned"],
                     round(100 * cache_info["hit_rate"], 1),
                     round(total_events / elapsed, 1) if elapsed else 0.0,
                 )
@@ -218,6 +226,11 @@ def test_c1_batch_vs_serial_publish(benchmark, jobs_kb, semantic_workload, capsy
                     "batch_predicate_evaluations": first_pass_evals,
                     "evals_ratio": ratio,
                     "probes_saved": first_pass_probes_saved,
+                    # demand-driven expansion (gated like probes_saved)
+                    "candidates_pruned": interest["candidates_pruned"],
+                    "prune_checks": interest["prune_checks"],
+                    "prune_hit_rate": interest["prune_hit_rate"],
+                    "interest_index_size": interest["interest_index_size"],
                     # two-pass fields (trace replayed once more to
                     # exercise the expansion cache):
                     "probes_saved_two_passes": stats.probes_saved,

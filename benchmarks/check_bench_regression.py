@@ -10,7 +10,12 @@ baseline, per ``(configuration, matcher)`` row:
   is the deterministic proxy for publish cost;
 * ``probes_saved`` (and its two-pass variant, which exercises the
   cross-publication memo on a trace replay) must not decrease by more
-  than the tolerance.
+  than the tolerance;
+* ``candidates_pruned`` — the demand-driven expansion's savings
+  counter — must likewise not decrease by more than the tolerance: a
+  drop means the interest index stopped vetoing derivations nobody
+  subscribed to and the publish path slid back toward exhaustive
+  expansion (same 10% policy as the predicate-eval counters).
 
 Counters are deterministic and machine-independent, so the tolerance
 only absorbs intentional drift; tighten it if rows start flapping.
@@ -70,7 +75,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
                 f"(+{100 * (new_evals / max(base_evals, 1) - 1):.1f}%)"
             )
 
-        for field in ("probes_saved", "probes_saved_two_passes"):
+        for field in ("probes_saved", "probes_saved_two_passes", "candidates_pruned"):
             base_saved = base.get(field, 0)
             new_saved = new.get(field, 0)
             if base_saved < MIN_BASELINE:

@@ -187,6 +187,7 @@ class EventDispatcher:
         engine_stats = self.engine.stats()
         matcher_stats = engine_stats.get("matcher_stats", {})
         cache_info = engine_stats.get("expansion_cache", {})
+        interest = engine_stats.get("interest", {})
         result_cache = self.result_cache_info()
         return {
             "clients": len(self.registry),
@@ -205,6 +206,11 @@ class EventDispatcher:
             "result_cache_hit_rate": result_cache["hit_rate"],
             "result_cache": result_cache,
             "derived_events": engine_stats.get("derived_events", 0),
+            # demand-driven expansion: how much of the derived-event
+            # cross-product the live interest index pruned away
+            "candidates_pruned": interest.get("candidates_pruned", 0),
+            "prune_hit_rate": interest.get("prune_hit_rate", 0.0),
+            "interest_index_size": interest.get("interest_index_size", 0),
             "engine": engine_stats,
             "notifier": self.notifier.snapshot(),
         }

@@ -77,6 +77,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             "mode",
             "batches",
             "derived",
+            "pruned",
+            "prune-hit%",
             "pred-evals",
             "probes-saved",
             "memo-hits",
@@ -102,11 +104,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         engine_stats = broker.engine.stats()
         matcher_stats = engine_stats["matcher_stats"]
         cache = engine_stats["expansion_cache"]
+        interest = engine_stats["interest"]
         result_cache = broker.dispatcher.result_cache_info()
         publish_table.add(
             mode,
             matcher_stats["batches"],
             engine_stats["derived_events"],
+            interest["candidates_pruned"],
+            round(100.0 * interest["prune_hit_rate"], 1),
             matcher_stats["predicate_evaluations"],
             matcher_stats["probes_saved"],
             matcher_stats["memo_hits"],

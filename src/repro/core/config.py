@@ -67,6 +67,19 @@ class SemanticConfig:
         and generalities (the interning equivalence property test is a
         hard invariant), only slower; it exists as the comparison
         baseline and an escape hatch.
+    interest_pruning:
+        Whether the semantic expansion is demand-driven: the engine
+        keeps a live :class:`~repro.core.interest.InterestIndex` over
+        the stored root subscriptions and the built-in stages skip
+        constructing derived events whose substituted value cannot
+        reach any live predicate through further
+        synonym/hierarchy/mapping steps within the remaining chain
+        budget.  Pruned and exhaustive expansion produce identical
+        match sets and generalities (a hard property invariant);
+        ``False`` forces today's exhaustive behavior everywhere.
+        Pruning also disables itself automatically when it cannot be
+        proven sound: when a custom extra stage does not declare
+        ``interest_safe``, or a mapping rule's read set is unknown.
     """
 
     enable_synonyms: bool = True
@@ -80,6 +93,7 @@ class SemanticConfig:
     present_year: int = DEFAULT_PRESENT_YEAR
     expansion_cache_size: int = 128
     interning: bool = True
+    interest_pruning: bool = True
 
     def __post_init__(self) -> None:
         if self.max_generality is not None and self.max_generality < 0:

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from typing import Iterator
 
 from repro.core.config import SemanticConfig
+from repro.core.interest import InterestIndex
 from repro.core.pipeline import PipelineResult, SemanticPipeline
 from repro.core.provenance import SemanticMatch
 from repro.errors import UnknownSubscriptionError
@@ -100,6 +101,36 @@ class SToPSS:
         #: memos, so it only happens when this snapshot actually moves.
         self._bound_table = None
         self._bind_matcher_interner()
+        #: live subscription-interest index driving demand-driven
+        #: expansion (None = exhaustive expansion); fed every
+        #: matcher-inserted root form, handed to the pipeline per
+        #: publish, rebuilt by reconfigure.
+        self._interest = self._build_interest()
+
+    def _build_interest(self) -> InterestIndex | None:
+        """A fresh interest index under the active configuration, or
+        ``None`` when pruning is off, pointless (syntactic mode), or
+        unprovable (an extra stage without the interest hook — those
+        keep today's exhaustive behavior)."""
+        if not self.config.interest_pruning or self.config.is_syntactic:
+            return None
+        if not self.pipeline.supports_interest_pruning():
+            return None
+        return InterestIndex(self.kb, self.config)
+
+    def _active_interest(self) -> InterestIndex | None:
+        """The interest index when it can actually prune right now —
+        ``None`` when pruning is configured off, unsound for the stage
+        set, or self-disabled by a mapping rule with an unknown read
+        set.  The expansion handoff and the churn-invalidation rule key
+        off this, so a self-disabled index costs neither per-candidate
+        prune checks nor a cold expansion cache (the index object stays
+        live: removing the offending rule re-enables it through the
+        semantic-version sync)."""
+        interest = self._interest
+        if interest is None or not interest.active:
+            return None
+        return interest
 
     def _bind_matcher_interner(self) -> None:
         """Hand the matcher the current concept-table value identity
@@ -125,12 +156,16 @@ class SToPSS:
         self._matcher.insert(root)
         self._originals[subscription.sub_id] = (self._next_seq, subscription)
         self._next_seq += 1
-        if self.pipeline.has_stateful_stages():
-            # the expansion itself never reads the subscription table,
-            # so churn only matters when a custom stage keeps state;
-            # otherwise the cache stays warm across subscribe/publish
-            # interleavings.  (The matcher's own memo handled churn in
-            # ``insert`` above.)
+        if self._interest is not None:
+            self._interest.add(root)
+        if self.pipeline.has_stateful_stages() or self._active_interest() is not None:
+            # without pruning, the expansion never reads the
+            # subscription table, so churn only matters when a custom
+            # stage keeps state; with pruning active, cached expansions
+            # were pruned against the pre-churn interest set and must
+            # not shadow derivations the new subscription now demands.
+            # (A self-disabled index expands exhaustively, so its cache
+            # stays warm across churn like the pruning-off path.)
             self._invalidate_expansion_cache()
         return root
 
@@ -138,9 +173,15 @@ class SToPSS:
         """Remove a subscription by id, returning the original."""
         if sub_id not in self._originals:
             raise UnknownSubscriptionError(f"no subscription {sub_id!r}")
-        self._matcher.remove(sub_id)
+        removed_root = self._matcher.remove(sub_id)
         _, original = self._originals.pop(sub_id)
-        if self.pipeline.has_stateful_stages():
+        if self._interest is not None:
+            self._interest.remove(removed_root)
+        if self.pipeline.has_stateful_stages() or self._active_interest() is not None:
+            # dropping interest only widens pruning; cached exhaustive
+            # results would stay *correct*, but keeping them would make
+            # pruning stats (and the collapsed histograms they gate)
+            # depend on publish order — invalidate for determinism.
             self._invalidate_expansion_cache()
         return original
 
@@ -180,7 +221,11 @@ class SToPSS:
         return self._collect_matches(event, result)
 
     def explain(self, event: Event) -> PipelineResult:
-        """The full pipeline expansion for *event* (demo inspection)."""
+        """The full pipeline expansion for *event* (demo inspection).
+
+        Deliberately exhaustive — no interest pruning — so the
+        explanation shows every derivation the knowledge base supports,
+        independent of who happens to be subscribed right now."""
         return self.pipeline.process_event(event)
 
     def _sync_semantic_version(self) -> None:
@@ -196,6 +241,8 @@ class SToPSS:
             # a version move means a fresh concept-table snapshot with
             # its own id space: re-key the matcher's interned indexes.
             self._bind_matcher_interner()
+            if self._interest is not None:
+                self._interest.invalidate_semantics()
 
     def bump_semantic_epoch(self, reason: str = "external") -> None:
         """Force-invalidate all cached semantic state (expansion cache
@@ -206,6 +253,8 @@ class SToPSS:
         self._semantic_version = (self.kb.version, self._epoch)
         self._invalidate_expansion_cache()
         self._matcher.invalidate_memo(reason)
+        if self._interest is not None:
+            self._interest.invalidate_semantics()
 
     def _expand(self, event: Event) -> PipelineResult:
         """The semantic expansion for *event*, LRU-cached by content
@@ -213,7 +262,7 @@ class SToPSS:
         the active configuration, never on the event id)."""
         capacity = self.config.expansion_cache_size
         if capacity <= 0:
-            return self.pipeline.process_event(event)
+            return self.pipeline.process_event(event, interest=self._active_interest())
         cache = self._expansion_cache
         # publisher_id is part of the key so a cached derivation chain
         # is never attributed to a different publisher's equal-content
@@ -226,7 +275,7 @@ class SToPSS:
             self.counters.bump("expansion_cache.hits")
             return result
         self.counters.bump("expansion_cache.misses")
-        result = self.pipeline.process_event(event)
+        result = self.pipeline.process_event(event, interest=self._active_interest())
         cache[key] = result
         while len(cache) > capacity:
             cache.popitem(last=False)
@@ -331,6 +380,7 @@ class SToPSS:
         try:
             for root in roots:
                 matcher.insert(root)
+            self._rebuild_interest(roots)
         except BaseException:
             # a matcher that rejects one new root form must not strand
             # the engine half-built: restore the exact proven-good
@@ -341,13 +391,42 @@ class SToPSS:
             self._bind_matcher_interner()
             for root in old_roots:
                 matcher.insert(root)
+            self._rebuild_interest(old_roots)
             raise
+
+    def _rebuild_interest(self, roots) -> None:
+        """Fresh interest index over *roots* under the active
+        configuration (reconfigure path — root forms may have changed
+        wholesale, so incremental churn does not apply)."""
+        self._interest = self._build_interest()
+        if self._interest is not None:
+            for root in roots:
+                self._interest.add(root)
 
     # -- reporting ------------------------------------------------------------------------
 
     @property
     def matcher(self) -> MatchingAlgorithm:
         return self._matcher
+
+    @property
+    def interest(self) -> InterestIndex | None:
+        """The live subscription-interest index object (``None`` when
+        pruning is configured off or unsound for the stage set) —
+        read-only, for inspection.  Note a live index may still be
+        self-disabled (see :attr:`InterestIndex.active
+        <repro.core.interest.InterestIndex.active>`); to reproduce the
+        exact publish-path expansion, hand :attr:`active_interest` to
+        :meth:`SemanticPipeline.process_event
+        <repro.core.pipeline.SemanticPipeline.process_event>`."""
+        return self._interest
+
+    @property
+    def active_interest(self) -> InterestIndex | None:
+        """The interest view the publish path actually expands under:
+        the index when it can prune, ``None`` otherwise (exactly what
+        :meth:`publish` hands the pipeline)."""
+        return self._active_interest()
 
     @property
     def semantic_version(self) -> tuple[int, int]:
@@ -379,6 +458,25 @@ class SToPSS:
             "hit_rate": (hits / lookups) if lookups else 0.0,
         }
 
+    def interest_info(self) -> dict[str, object]:
+        """Demand-driven pruning counters: how many candidate
+        constructions the interest index vetoed, the consultation
+        count, the hit rate, and the live index shape."""
+        pruned = 0
+        checks = 0
+        for snapshot in self.pipeline.stage_stats().values():
+            pruned += snapshot.get("candidates_pruned", 0)
+            checks += snapshot.get("prune_checks", 0)
+        index_stats = self._interest.stats() if self._interest is not None else {}
+        return {
+            "enabled": self._active_interest() is not None,
+            "candidates_pruned": pruned,
+            "prune_checks": checks,
+            "prune_hit_rate": (pruned / checks) if checks else 0.0,
+            "interest_index_size": index_stats.get("size", 0),
+            "index": index_stats,
+        }
+
     def derived_histogram(self) -> dict[int, int]:
         """Per-publication derived-event-count histogram
         (``{derived_count: publications}``)."""
@@ -401,5 +499,6 @@ class SToPSS:
             "derived_events": self.counters.get("publish.derived_events"),
             "derived_histogram": self.derived_histogram(),
             "expansion_cache": self.expansion_cache_info(),
+            "interest": self.interest_info(),
             "semantic_epoch": self._epoch,
         }

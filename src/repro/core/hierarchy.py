@@ -41,19 +41,40 @@ from typing import Iterator
 from repro.core.interfaces import SemanticStage
 from repro.core.provenance import STAGE_HIERARCHY, DerivationStep, DerivedEvent
 from repro.model.attributes import normalize_attribute
+from repro.model.events import Event
+from repro.model.values import canonical_value_key
 from repro.ontology.knowledge_base import KnowledgeBase
 
 __all__ = ["HierarchyStage"]
 
 
 class HierarchyStage(SemanticStage):
-    """Upward single-substitution event expansion."""
+    """Upward single-substitution event expansion.
+
+    With an interest view bound (see
+    :meth:`~repro.core.interfaces.SemanticStage.bind_interest`), every
+    *value* substitution is checked before the derived event is
+    constructed: a candidate value that cannot reach any live predicate
+    within the chain budget remaining after its own climb is counted in
+    ``candidates_pruned`` and skipped.  Because a skipped candidate's
+    only new matching power is its substituted pair — its parent
+    already matched everything else more cheaply — and the interest
+    closure covers every further built-in step, pruning never changes
+    match sets or generalities (the hard interest-pruning property
+    invariant).  Attribute *renames* are exempt: a rename also frees
+    its old attribute name, which can unblock a sibling attribute's
+    rename onto that name later in the fixpoint, so value reachability
+    alone cannot prove a rename candidate worthless.
+    """
 
     name = STAGE_HIERARCHY
 
     #: pure function of the knowledge base: cached expansions stay
     #: valid across subscription churn (see SemanticStage.stateful).
     stateful = False
+
+    #: consults the bound interest view before every construction
+    interest_safe = True
 
     def __init__(
         self,
@@ -72,6 +93,13 @@ class HierarchyStage(SemanticStage):
         #: begin_publication); direct expand() callers that never go
         #: through the pipeline fetch a fresh snapshot per call.
         self._table = None
+        #: (attribute, term id, budget) -> (admitted (distance,
+        #: spelling) pairs, checks, pruned): interest admission is a
+        #: pure function of the interest set and the concept table, so
+        #: it is memoized across publications and keyed to both via
+        #: ``_memo_stamp`` (index generation + snapshot identity)
+        self._admit_memo: dict = {}
+        self._memo_stamp: tuple | None = None
 
     def begin_publication(self) -> None:
         self._table = self._kb.concept_table() if self._interned else None
@@ -117,51 +145,131 @@ class HierarchyStage(SemanticStage):
         resolves to a dense id once; canonicalization and every
         generalization are then array/dict reads."""
         table = self._current_table()
+        interest = self._interest
+        dedup = self._dedup
         count = 0
         self.stats.lookups += 1
         tid = table.term_id_of_value(value)
         if tid is None:
             return count
-        if self._value_synonyms:
-            canonical = table.canonical_spelling(tid)
-            if canonical is not None and canonical != value:
-                step = DerivationStep(
-                    stage=self.name,
-                    description=(
-                        f"value {value!r} of {attribute!r} canonicalized to "
-                        f"synonym {canonical!r}"
-                    ),
-                    attribute=attribute,
-                    generality=0,
+        event = derived.event
+        delta = frozenset((attribute,))
+        generality = derived.generality
+        depth = derived.depth + 1
+        #: the substituted pair is the only one that changes, so every
+        #: candidate's signature is base ∪ {new pair} — computed here
+        #: once and reused both for the dedup probe and the derived
+        #: Event itself (skipping with_value's re-derivation)
+        base_signature = (
+            None
+            if dedup is None
+            else event.signature.difference(((attribute, canonical_value_key(value)),))
+        )
+
+        def construct(new_value: str, distance: int, canonicalized: bool):
+            if base_signature is None:
+                child = event.with_value(attribute, new_value)
+            else:
+                signature = base_signature.union(
+                    ((attribute, canonical_value_key(new_value)),)
                 )
-                yield derived.extend_delta(
-                    derived.event.with_value(attribute, canonical),
-                    step,
-                    frozenset((attribute,)),
+                if dedup.should_skip(signature, generality + distance, depth):
+                    return None
+                pairs = dict(event._pairs)
+                pairs[attribute] = new_value
+                child = Event._derived(pairs, signature, event.publisher_id)
+            if canonicalized:
+                description = (
+                    f"value {value!r} of {attribute!r} canonicalized to "
+                    f"synonym {new_value!r}"
                 )
-                count += 1
-        if budget is not None and budget <= 0:
-            return count
-        for sid, distance in table.ancestors(tid):
-            if budget is not None and distance > budget:
-                continue
-            general = table.spelling(sid)
+            else:
+                description = f"value {value!r} of {attribute!r} generalized to {new_value!r}"
             step = DerivationStep(
                 stage=self.name,
-                description=(
-                    f"value {value!r} of {attribute!r} generalized to "
-                    f"{general!r}"
-                ),
+                description=description,
                 attribute=attribute,
                 generality=distance,
             )
-            yield derived.extend_delta(
-                derived.event.with_value(attribute, general),
-                step,
-                frozenset((attribute,)),
-            )
-            count += 1
+            return derived.extend_delta(child, step, delta)
+
+        if self._value_synonyms:
+            canonical = table.canonical_spelling(tid)
+            if canonical is not None and canonical != value:
+                if interest is None or self._admit(interest, attribute, canonical, budget):
+                    candidate = construct(canonical, 0, True)
+                    if candidate is not None:
+                        yield candidate
+                        count += 1
+        if budget is not None and budget <= 0:
+            return count
+        if interest is None:
+            admitted = [
+                (distance, table.spelling(sid))
+                for sid, distance in table.ancestors(tid)
+                if budget is None or distance <= budget
+            ]
+        else:
+            admitted = self._admitted_ancestors(interest, table, attribute, tid, budget)
+        for distance, general in admitted:
+            candidate = construct(general, distance, False)
+            if candidate is not None:
+                yield candidate
+                count += 1
         return count
+
+    def _admitted_ancestors(
+        self, interest, table, attribute: str, tid: int, budget: int | None
+    ) -> tuple:
+        """Budget-filtered, interest-admitted ``(distance, spelling)``
+        generalizations of one term under one attribute, memoized
+        across publications.
+
+        Admission is a pure function of (interest set, concept table,
+        attribute, term, remaining budget), so each combination is
+        decided once; the memo is dropped whenever the interest index's
+        generation moves (subscription churn, knowledge-base motion) or
+        the concept-table snapshot changes.  Check/prune counters are
+        replayed on every hit so the stats stay exactly what the
+        unmemoized per-candidate consultation would have reported."""
+        stamp = (self._interest, self._interest.generation, table)
+        if stamp != self._memo_stamp:
+            self._memo_stamp = stamp
+            self._admit_memo = {}
+        key = (attribute, tid, budget)
+        entry = self._admit_memo.get(key)
+        if entry is None:
+            admitted = []
+            checks = pruned = 0
+            for sid, distance in table.ancestors(tid):
+                if budget is not None and distance > budget:
+                    continue
+                checks += 1
+                spelling = table.spelling(sid)
+                if interest.value_interesting(
+                    attribute, spelling, None if budget is None else budget - distance
+                ):
+                    admitted.append((distance, spelling))
+                else:
+                    pruned += 1
+            entry = (tuple(admitted), checks, pruned)
+            self._admit_memo[key] = entry
+        admitted, checks, pruned = entry
+        if checks:
+            self.stats.bump("prune_checks", checks)
+        if pruned:
+            self.stats.bump("candidates_pruned", pruned)
+        return admitted
+
+    def _admit(self, interest, attribute: str, value, remaining) -> bool:
+        """One un-memoized interest consultation: whether the candidate
+        pair ``attribute = value`` can still reach a live predicate
+        within *remaining* further levels; counts checks and prunes."""
+        self.stats.bump("prune_checks")
+        if interest.value_interesting(attribute, value, remaining):
+            return True
+        self.stats.bump("candidates_pruned")
+        return False
 
     def _expand_attribute_interned(
         self, derived: DerivedEvent, attribute: str, budget: int | None
@@ -185,6 +293,21 @@ class HierarchyStage(SemanticStage):
                 continue  # pragma: no cover - normalize_attribute raised
             if general_attribute == attribute or general_attribute in derived.event:
                 continue
+            # attribute renames are never interest-pruned: beyond its
+            # carried value, a rename *frees the old name*, which can
+            # unblock a sibling attribute's rename onto it later in the
+            # fixpoint — value reachability alone cannot prove the
+            # candidate worthless
+            value = derived.event[attribute]
+            if self._dedup is not None:
+                value_key = canonical_value_key(value)
+                signature = derived.event.signature.difference(
+                    ((attribute, value_key),)
+                ).union(((general_attribute, value_key),))
+                if self._dedup.should_skip(
+                    signature, derived.generality + distance, derived.depth + 1
+                ):
+                    continue
             step = DerivationStep(
                 stage=self.name,
                 description=(
@@ -210,25 +333,34 @@ class HierarchyStage(SemanticStage):
     ) -> Iterator[DerivedEvent]:
         """Substitutions of one value term; yields and counts."""
         kb = self._kb
+        interest = self._interest
         count = 0
         self.stats.lookups += 1
         if self._value_synonyms:
             canonical = kb.canonical_term(value)
             if canonical is not None and canonical != value:
-                step = DerivationStep(
-                    stage=self.name,
-                    description=(
-                        f"value {value!r} of {attribute!r} canonicalized to "
-                        f"synonym {canonical!r}"
-                    ),
-                    attribute=attribute,
-                    generality=0,
-                )
-                yield derived.extend(derived.event.with_value(attribute, canonical), step)
-                count += 1
+                if interest is None or self._admit(interest, attribute, canonical, budget):
+                    step = DerivationStep(
+                        stage=self.name,
+                        description=(
+                            f"value {value!r} of {attribute!r} canonicalized to "
+                            f"synonym {canonical!r}"
+                        ),
+                        attribute=attribute,
+                        generality=0,
+                    )
+                    yield derived.extend(derived.event.with_value(attribute, canonical), step)
+                    count += 1
         if budget is not None and budget <= 0:
             return count
         for general, distance in kb.generalizations(value, max_levels=budget).items():
+            if interest is not None and not self._admit(
+                interest,
+                attribute,
+                general,
+                None if budget is None else budget - distance,
+            ):
+                continue
             step = DerivationStep(
                 stage=self.name,
                 description=(
@@ -256,6 +388,8 @@ class HierarchyStage(SemanticStage):
             general_attribute = normalize_attribute(general.replace(" ", "_"))
             if general_attribute == attribute or general_attribute in derived.event:
                 continue
+            # never interest-pruned: renaming frees the old attribute
+            # name for later renames (see the interned path)
             step = DerivationStep(
                 stage=self.name,
                 description=(

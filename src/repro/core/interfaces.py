@@ -74,8 +74,26 @@ class SemanticStage(abc.ABC):
     #: stages without this attribute are likewise treated as stateful.
     stateful = True
 
+    #: Whether demand-driven expansion pruning stays sound with this
+    #: stage in the pipeline.  The interest closure only models the
+    #: built-in stage graph (synonym/hierarchy/mapping), so a custom
+    #: stage that derives events the closure cannot predict would make
+    #: pruning drop reachable matches; the engine therefore disables
+    #: pruning entirely unless every extra stage declares
+    #: ``interest_safe = True`` — the safe default for third-party
+    #: stages, which keep today's exhaustive behavior.  Declare ``True``
+    #: only for stages that consult the interest view bound by
+    #: :meth:`bind_interest` (or provably never extend reachability).
+    interest_safe = False
+
     def __init__(self) -> None:
         self.stats = StageStats()
+        #: interest view for the current publication (``None`` =
+        #: exhaustive); see :meth:`bind_interest`
+        self._interest = None
+        #: duplicate probe for the current publication (``None`` =
+        #: always construct); see :meth:`bind_dedup`
+        self._dedup = None
 
     def begin_publication(self) -> None:
         """Hook: called once by the pipeline before each publication's
@@ -89,6 +107,30 @@ class SemanticStage(abc.ABC):
         finishes (including on error), releasing any state pinned by
         :meth:`begin_publication` so later direct ``expand()`` calls
         never observe a stale snapshot.  The default is a no-op."""
+
+    def bind_interest(self, interest) -> None:
+        """Hook: receive the engine's live
+        :class:`~repro.core.interest.InterestIndex` view for the
+        current publication (``None`` = expand exhaustively).  The
+        pipeline binds it before the expansion and unbinds it in the
+        same ``finally`` that releases :meth:`begin_publication` state.
+        The default stores it on ``self._interest``; stages that never
+        consult the view keep today's exhaustive behavior."""
+        self._interest = interest
+
+    def bind_dedup(self, dedup) -> None:
+        """Hook: receive the pipeline's per-publication duplicate probe
+        (``None`` between publications).
+
+        A stage that can compute a candidate's content signature
+        without constructing it may ask ``dedup.should_skip(...)``
+        whether equal content is already integrated at a
+        cheaper-or-equal chain cost, and skip the construction
+        entirely — a pure work-skip with no behavioral effect, since
+        the pipeline's dedup would have discarded the candidate anyway.
+        The default stores it on ``self._dedup``; stages that ignore it
+        simply construct every candidate as before."""
+        self._dedup = dedup
 
     def rewrite_event(self, event: Event) -> tuple[Event, tuple]:
         """Rewrite *event*, returning ``(new_event, derivation_steps)``.

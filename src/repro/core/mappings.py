@@ -21,19 +21,39 @@ from typing import Iterator
 from repro.core.interfaces import SemanticStage
 from repro.core.provenance import STAGE_MAPPING, DerivationStep, DerivedEvent
 from repro.ontology.knowledge_base import KnowledgeBase
-from repro.ontology.mappingdefs import MappingContext
+from repro.ontology.mappingdefs import MappingContext, OutputMode
 
 __all__ = ["MappingStage"]
 
 
 class MappingStage(SemanticStage):
-    """Applies expert-defined mapping rules to derived events."""
+    """Applies expert-defined mapping rules to derived events.
+
+    With an interest view bound (see
+    :meth:`~repro.core.interfaces.SemanticStage.bind_interest`),
+    ``AUGMENT`` rules the view reports irrelevant — no live predicate
+    can be reached from their outputs, directly, through
+    generalization, or by feeding another relevant rule — are skipped
+    before :meth:`MappingRule.apply
+    <repro.ontology.mappingdefs.MappingRule.apply>` runs, so their
+    derived events (and the whole expansion subtrees those would seed)
+    are never constructed.  Relevance skipping is sound for ``AUGMENT``
+    only: such a derivation's sole new matching power is its output
+    pairs (the relevance fixpoint covers every way those can matter).
+    ``REPLACE`` rules always run — dropping their input pairs frees
+    attribute names, which can unblock a later attribute rename onto a
+    freed name regardless of where the outputs reach; see
+    :mod:`repro.core.interest`.
+    """
 
     name = STAGE_MAPPING
 
     #: pure function of the knowledge base: cached expansions stay
     #: valid across subscription churn (see SemanticStage.stateful).
     stateful = False
+
+    #: consults the bound interest view before applying each rule
+    interest_safe = True
 
     def __init__(self, kb: KnowledgeBase, context: MappingContext | None = None) -> None:
         super().__init__()
@@ -49,12 +69,22 @@ class MappingStage(SemanticStage):
     ) -> Iterator[DerivedEvent]:
         self.stats.events_in += 1
         event = derived.event
+        interest = self._interest
         candidates = self._kb.candidate_rules(event)
         self.stats.lookups += 1
         produced = 0
         for rule in candidates:
             if derived.used_rule(rule.name):
                 continue
+            # REPLACE rules are never relevance-skipped: dropping their
+            # input pairs frees attribute names, which can unblock a
+            # later attribute rename even when the rule's own outputs
+            # reach no predicate
+            if interest is not None and rule.mode is not OutputMode.REPLACE:
+                self.stats.bump("prune_checks")
+                if not interest.rule_relevant(rule.name):
+                    self.stats.bump("candidates_pruned")
+                    continue
             new_event = rule.apply(event, self._context)
             self.stats.bump("rule_attempts")
             if new_event is None:

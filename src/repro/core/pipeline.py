@@ -32,7 +32,46 @@ from repro.model.events import Event, EventSignature
 from repro.model.subscriptions import Subscription
 from repro.ontology.knowledge_base import KnowledgeBase
 
-__all__ = ["SemanticPipeline", "PipelineResult"]
+__all__ = ["SemanticPipeline", "PipelineResult", "BatchDedup"]
+
+
+class BatchDedup:
+    """Per-publication duplicate probe handed to stages.
+
+    Stages that can derive a candidate's content signature *without*
+    constructing it (the hierarchy stage substitutes exactly one pair)
+    ask :meth:`should_skip` first: content already integrated at a
+    cheaper-or-equal ``(generality, depth)`` will be discarded by the
+    pipeline's dedup anyway, so the Event/DerivedEvent construction can
+    be skipped outright.  The pipeline integrates candidates as they
+    are produced (not per-iteration batches), so the probe also covers
+    same-iteration siblings — where most of the cross-product
+    duplication lives.  ``suppressed`` counts the skips so the fixpoint
+    loop still sees those iterations as productive (identical
+    ``iterations`` accounting to the construct-then-dedup behavior).
+    """
+
+    __slots__ = ("_result", "suppressed")
+
+    def __init__(self, result: "PipelineResult") -> None:
+        self._result = result
+        self.suppressed = 0
+
+    def should_skip(
+        self, signature: EventSignature, generality: int, depth: int
+    ) -> bool:
+        """Whether candidate content *signature* at chain cost
+        ``(generality, depth)`` is already integrated at
+        cheaper-or-equal cost (skip) or is new/cheaper (construct)."""
+        result = self._result
+        index = result._by_signature.get(signature)
+        if index is None:
+            return False
+        existing = result.derived[index]
+        if (generality, depth) < (existing.generality, existing.depth):
+            return False
+        self.suppressed += 1
+        return True
 
 
 @dataclass
@@ -56,6 +95,11 @@ class PipelineResult:
     truncated: bool = False
     #: signature -> index into ``derived`` (for dedup introspection)
     _by_signature: dict[EventSignature, int] = field(default_factory=dict, repr=False)
+    #: parent signature -> indexes of entries derived from it; kept by
+    #: ``_integrate`` so a keep-cheaper replacement can rewrite its
+    #: descendants' chains onto the new provenance (parent pointers,
+    #: steps, and ``dag_edges`` stay mutually consistent)
+    _children: dict[EventSignature, list[int]] = field(default_factory=dict, repr=False)
 
     @classmethod
     def from_derived(cls, original: Event, derived: list[DerivedEvent]) -> "PipelineResult":
@@ -137,6 +181,19 @@ class SemanticPipeline:
         """
         return any(getattr(stage, "stateful", True) for stage in self.extra_stages)
 
+    def supports_interest_pruning(self) -> bool:
+        """Whether demand-driven pruning is sound for this stage set.
+
+        The interest closure models only the built-in stage graph, so a
+        custom stage that derives events the closure cannot predict
+        would make pruning drop reachable matches.  Every extra stage
+        must declare :attr:`~repro.core.interfaces.SemanticStage.
+        interest_safe` (duck-typed stages without the attribute count
+        as unsafe); otherwise the engine keeps the exhaustive behavior
+        for the whole pipeline.
+        """
+        return all(getattr(stage, "interest_safe", False) for stage in self.extra_stages)
+
     # -- subscription path (Figure 1 left) ----------------------------------------
 
     def process_subscription(self, subscription: Subscription) -> Subscription:
@@ -161,9 +218,22 @@ class SemanticPipeline:
         stages.extend(self.extra_stages)
         return stages
 
-    def process_event(self, event: Event) -> PipelineResult:
-        """Derive the full event set for one publication."""
+    def process_event(self, event: Event, *, interest=None) -> PipelineResult:
+        """Derive the full event set for one publication.
+
+        ``interest`` is the engine's live
+        :class:`~repro.core.interest.InterestIndex` (or ``None`` for
+        the exhaustive expansion): it is bound to every stage exposing
+        :meth:`~repro.core.interfaces.SemanticStage.bind_interest` for
+        the duration of this publication, letting interest-aware stages
+        skip constructing candidates no live predicate can reach.
+        Stages without the hook — and every stage when
+        ``SemanticConfig(interest_pruning=False)`` — keep today's
+        exhaustive behavior.
+        """
         config = self.config
+        if not config.interest_pruning:
+            interest = None
         if config.enable_synonyms:
             root_event, steps = self.synonyms.rewrite_event(event)
             root = DerivedEvent(root_event, steps)
@@ -177,26 +247,50 @@ class SemanticPipeline:
         if not stages:
             return result
         budget_total = config.max_generality
-        frontier: list[DerivedEvent] = [root]
+        frontier: list[int] = [0]
+        dedup = BatchDedup(result)
         try:
             for stage in stages:
                 # duck-typed third-party stages may predate the hooks
+                bind = getattr(stage, "bind_interest", None)
+                if bind is not None:
+                    bind(interest)
+                bind = getattr(stage, "bind_dedup", None)
+                if bind is not None:
+                    bind(dedup)
                 begin = getattr(stage, "begin_publication", None)
                 if begin is not None:
                     begin()
             for iteration in range(1, config.max_iterations + 1):
-                produced: list[DerivedEvent] = []
-                for derived in frontier:
+                # candidates are integrated as they are produced, so
+                # the dedup probe the stages hold always reflects every
+                # earlier discovery — including same-iteration siblings
+                next_frontier: list[int] = []
+                suppressed_before = dedup.suppressed
+                produced_any = False
+                for frontier_index in frontier:
+                    # live lookup at expansion time: a keep-cheaper
+                    # adoption earlier in this same pass may have
+                    # replaced the entry, and expanding the superseded
+                    # object would hand its children a stale (more
+                    # expensive) chain
+                    derived = result.derived[frontier_index]
                     remaining = None if budget_total is None else budget_total - derived.generality
                     for stage in stages:
                         for candidate in stage.expand(derived, generality_budget=remaining):
                             if budget_total is not None and candidate.generality > budget_total:
                                 continue
-                            produced.append(candidate)
-                if not produced:
+                            produced_any = True
+                            self._integrate(result, candidate, next_frontier)
+                            if result.truncated:
+                                break
+                        if result.truncated:
+                            break
+                    if result.truncated:
+                        break
+                if not produced_any and dedup.suppressed == suppressed_before:
                     break
                 result.iterations = iteration
-                next_frontier = self._integrate(result, produced)
                 if result.truncated or not next_frontier:
                     break
                 frontier = next_frontier
@@ -205,37 +299,81 @@ class SemanticPipeline:
                 end = getattr(stage, "end_publication", None)
                 if end is not None:
                     end()
+                for hook in ("bind_interest", "bind_dedup"):
+                    bind = getattr(stage, hook, None)
+                    if bind is not None:
+                        bind(None)
         return result
 
     def _integrate(
-        self, result: PipelineResult, produced: list[DerivedEvent]
-    ) -> list[DerivedEvent]:
-        """Deduplicate *produced* into *result*; returns the genuinely
-        new (or improved) derived events forming the next frontier."""
-        next_frontier: list[DerivedEvent] = []
-        cap = self.config.max_derived_events
-        for candidate in produced:
-            signature = candidate.event.signature
-            existing_index = result._by_signature.get(signature)
-            if existing_index is None:
-                if len(result.derived) >= cap:
-                    result.truncated = True
-                    self.truncation_count += 1
-                    break
-                result._by_signature[signature] = len(result.derived)
-                result.derived.append(candidate)
-                next_frontier.append(candidate)
-                continue
-            existing = result.derived[existing_index]
-            if (candidate.generality, candidate.depth) < (
-                existing.generality,
-                existing.depth,
-            ):
-                # A cheaper derivation of known content: keep the
-                # cheaper provenance but do not re-expand (the content
-                # was already in some frontier).
-                result.derived[existing_index] = candidate
-        return next_frontier
+        self, result: PipelineResult, candidate: DerivedEvent, next_frontier: list[int]
+    ) -> None:
+        """Deduplicate one produced *candidate* into *result*,
+        appending the index of genuinely new content to
+        *next_frontier*."""
+        signature = candidate.event.signature
+        existing_index = result._by_signature.get(signature)
+        if existing_index is None:
+            if len(result.derived) >= self.config.max_derived_events:
+                result.truncated = True
+                self.truncation_count += 1
+                return
+            index = len(result.derived)
+            result._by_signature[signature] = index
+            result.derived.append(candidate)
+            if candidate.parent is not None:
+                result._children.setdefault(
+                    candidate.parent.event.signature, []
+                ).append(index)
+            next_frontier.append(index)
+            return
+        existing = result.derived[existing_index]
+        if (candidate.generality, candidate.depth) < (
+            existing.generality,
+            existing.depth,
+        ):
+            # A cheaper derivation of known content: adopt the
+            # cheaper provenance but do not re-expand (the content
+            # was already in some frontier).
+            self._adopt_cheaper(result, existing_index, candidate)
+
+    def _adopt_cheaper(
+        self, result: PipelineResult, index: int, candidate: DerivedEvent
+    ) -> None:
+        """Replace entry *index* with the cheaper *candidate* and rewrite
+        every recorded descendant onto the new provenance.
+
+        Descendants were derived from the replaced object, so their
+        parent pointers, steps, and generality still reflect the more
+        expensive chain; leaving them would let ``dag_edges``/``explain``
+        disagree with the per-entry chains (and overcharge descendants).
+        Each descendant keeps its own final step and delta — only the
+        inherited prefix changes — so edge deltas stay exact.
+        """
+        old = result.derived[index]
+        if old.parent is not None:
+            siblings = result._children.get(old.parent.event.signature)
+            if siblings is not None:
+                siblings.remove(index)
+        if candidate.parent is not None:
+            result._children.setdefault(
+                candidate.parent.event.signature, []
+            ).append(index)
+        result.derived[index] = candidate
+        stack = [index]
+        while stack:
+            parent_entry = result.derived[stack.pop()]
+            for child_index in result._children.get(parent_entry.event.signature, ()):
+                child = result.derived[child_index]
+                if child.parent is parent_entry:
+                    continue  # already on the live chain
+                result.derived[child_index] = DerivedEvent(
+                    child.event,
+                    parent_entry.steps + (child.steps[-1],),
+                    parent=parent_entry,
+                    delta=child.delta,
+                )
+                stack.append(child_index)
 
     # -- reporting --------------------------------------------------------------------
 

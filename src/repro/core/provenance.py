@@ -78,6 +78,14 @@ class DerivedEvent:
     parent: "DerivedEvent | None" = field(default=None, compare=False, repr=False)
     delta: frozenset = field(default_factory=frozenset, compare=False, repr=False)
 
+    def __post_init__(self) -> None:
+        # computed once: the publish hot path reads it per budget
+        # check, batch reduction, and dedup probe (not a field — stays
+        # out of equality/repr, which remain (event, steps))
+        object.__setattr__(
+            self, "_generality", sum(step.generality for step in self.steps)
+        )
+
     @classmethod
     def original(cls, event: Event) -> "DerivedEvent":
         return cls(event, ())
@@ -89,7 +97,7 @@ class DerivedEvent:
     @property
     def generality(self) -> int:
         """Total hierarchy levels climbed along the derivation."""
-        return sum(step.generality for step in self.steps)
+        return self._generality
 
     @property
     def depth(self) -> int:

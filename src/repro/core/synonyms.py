@@ -40,6 +40,16 @@ class SynonymStage(SemanticStage):
     #: valid across subscription churn (see SemanticStage.stateful).
     stateful = False
 
+    #: The synonym stage accepts the interest view (the pipeline binds
+    #: it like any other stage) but never consults it: the root rewrite
+    #: is a mandatory in-place normalization, not a candidate
+    #: construction — subscriptions are stored in root form, so
+    #: skipping it would *lose* matches, never save work.  Demand-driven
+    #: pruning instead relies on the rewrite having happened: the
+    #: interest index is keyed by root attributes, which is what makes
+    #: one probe per candidate sufficient downstream.
+    interest_safe = True
+
     def __init__(self, kb: KnowledgeBase, *, interned: bool = True) -> None:
         super().__init__()
         self._kb = kb

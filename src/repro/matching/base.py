@@ -141,6 +141,7 @@ class MatchingAlgorithm(abc.ABC):
         the batch's delta-encoded derivations.
         """
         self.stats.batches += 1
+        self.stats.batch_derived += len(result.derived)
         self._batch_score = score
         try:
             best = self._match_batch(result)

@@ -39,6 +39,11 @@ class MatchStats:
     memo_invalidations: times the cross-publication memo was dropped
         (subscription churn for payloads that embed subscription state,
         knowledge-base version changes propagated by the engine).
+    batch_derived: derived events received across all ``match_batch``
+        calls — the matcher-side view of the expansion volume, which
+        is what the engine's demand-driven interest pruning shrinks
+        (``batch_derived / batches`` is the mean batch size the matcher
+        actually had to cover).
     """
 
     events: int = 0
@@ -53,6 +58,7 @@ class MatchStats:
     memo_hits: int = 0
     memo_misses: int = 0
     memo_invalidations: int = 0
+    batch_derived: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     def bump(self, name: str, amount: int = 1) -> None:
@@ -72,6 +78,7 @@ class MatchStats:
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_invalidations = 0
+        self.batch_derived = 0
         self.extra.clear()
 
     def snapshot(self) -> dict[str, int]:
@@ -89,6 +96,7 @@ class MatchStats:
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
             "memo_invalidations": self.memo_invalidations,
+            "batch_derived": self.batch_derived,
         }
         data.update(self.extra)
         return data

@@ -112,7 +112,9 @@ _VALUE_SYNONYMS = (
 
 def _total_employment(event: Event, context: MappingContext):
     """Sum the durations of all ``period``/``periodN`` attributes — the
-    resume in paper §3.1 lists one period per job held."""
+    resume in paper §3.1 lists one period per job held, with no upper
+    bound on the job count (the read set is declared to the interest
+    index as the open ``period*`` prefix family)."""
     total = 0
     seen = False
     for attribute, value in event.items():
@@ -157,6 +159,7 @@ def _mapping_rules() -> tuple[MappingRule, ...]:
             _total_employment,
             domain=DOMAIN,
             description="employment_years = sum of job period durations",
+            reads=("period", "period*"),
         ),
         MappingRule.computed(
             "graduation-age",

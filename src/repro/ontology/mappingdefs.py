@@ -366,6 +366,21 @@ class MappingRule:
 
     Use the classmethod factories (:meth:`computed`,
     :meth:`equivalence`, :meth:`function`) rather than the constructor.
+
+    ``reads`` declares every event attribute whose *value* can influence
+    the rule's output or applicability — the contract the engine's
+    interest index relies on to prune derived events the rule could
+    never make relevant.  For declarative rules it is derived
+    automatically (required attributes plus every attribute an output
+    expression references); function-backed rules may declare it via
+    :meth:`function`'s ``reads`` argument.  An entry ending in ``*``
+    declares an open *prefix family* (``"period*"`` covers ``period``,
+    ``period1``, ``period12``, …, prefix-matched against normalized
+    attribute names) for rules that scan schema-unbounded attribute
+    sets; a bare ``"*"`` is equivalent to ``None``.  ``None`` means
+    "unknown — the rule may read any attribute", which disables
+    demand-driven pruning entirely while that rule is installed (the
+    safe default for arbitrary callables).
     """
 
     name: str
@@ -375,6 +390,7 @@ class MappingRule:
     mode: OutputMode = OutputMode.AUGMENT
     domain: str = ""
     description: str = ""
+    reads: frozenset[str] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -387,6 +403,42 @@ class MappingRule:
             raise MappingRuleError(
                 f"rule {self.name!r} must use either declarative outputs or a function, not both"
             )
+        object.__setattr__(self, "reads", self._resolve_reads())
+
+    def _resolve_reads(self) -> frozenset[str] | None:
+        """The attributes this rule's output can depend on.
+
+        Declarative rules derive it statically: required attributes plus
+        every event attribute an output :class:`Expr` references.  A
+        declared set (function rules) is normalized and unioned with the
+        required attributes.  Rules with arbitrary callables and no
+        declaration stay ``None`` (reads unknown)."""
+        declared = self.reads
+        if declared is None and self.fn is not None:
+            return None
+        read: set[str] = {req.attribute for req in self.requires}
+        if declared is not None:
+            for attribute in declared:
+                if attribute == "*":
+                    return None  # reads anything: same as undeclared
+                if attribute.endswith("*"):
+                    read.add(normalize_attribute(attribute[:-1]) + "*")
+                else:
+                    read.add(normalize_attribute(attribute))
+            return frozenset(read)
+        builtin = {"present_year", "present_date"}
+        for _, producer in self.outputs:
+            if isinstance(producer, Expr):
+                for variable in producer.variables - builtin:
+                    try:
+                        read.add(normalize_attribute(variable))
+                    except Exception:
+                        # not a legal attribute name: the binding can
+                        # only come from context extras, never the event
+                        continue
+            elif callable(producer):
+                return None  # arbitrary callable output: reads unknown
+        return frozenset(read)
 
     # -- factories ---------------------------------------------------------------
 
@@ -468,9 +520,18 @@ class MappingRule:
         domain: str = "",
         mode: OutputMode = OutputMode.AUGMENT,
         description: str = "",
+        reads: Iterable[str] | None = None,
     ) -> "MappingRule":
         """An arbitrary-callable rule; *fn* returns output pairs, or
-        ``None``/empty to decline."""
+        ``None``/empty to decline.
+
+        ``reads`` declares the attributes (beyond ``requires``) whose
+        values *fn* may consult — the contract that keeps demand-driven
+        expansion pruning sound.  A trailing-``*`` entry declares an
+        open prefix family (``"period*"``) for callables that scan
+        schema-unbounded attribute sets.  Omit it (``None``) when the
+        callable's inputs cannot be enumerated at all; pruning is then
+        disabled while the rule is installed."""
         reqs = tuple(r if isinstance(r, Requirement) else Requirement(r) for r in requires)
         if not reqs:
             raise MappingRuleError(f"function rule {name!r} must declare required attributes")
@@ -481,6 +542,7 @@ class MappingRule:
             domain=domain,
             mode=mode,
             description=description,
+            reads=None if reads is None else frozenset(reads),
         )
 
     # -- application ----------------------------------------------------------------

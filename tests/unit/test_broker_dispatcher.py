@@ -144,6 +144,17 @@ class TestStats:
         client = broker.register_subscriber("NoAddress")
         assert client.preferred_transports() == ("tcp",)
 
+    def test_stats_surface_interest_pruning(self, broker):
+        company = broker.register_subscriber("Initech", email="hr@x")
+        broker.subscribe(company.client_id, "(degree = PhD)")
+        candidate = broker.register_publisher("Ada")
+        broker.publish(candidate.client_id, "(degree, PhD)")
+        stats = broker.stats()
+        assert stats["candidates_pruned"] > 0
+        assert stats["interest_index_size"] > 0
+        assert 0.0 < stats["prune_hit_rate"] <= 1.0
+        assert stats["engine"]["interest"]["enabled"]
+
 
 class TestResultCache:
     """The dispatcher-level LRU match-set cache (PR 3 satellite)."""

@@ -30,6 +30,11 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "semantic" in out and "syntactic" in out
 
+    def test_demo_prints_pruning_columns(self, capsys):
+        assert main(["demo", "--companies", "3", "--candidates", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out and "prune-hit%" in out
+
     def test_demo_seed_reproducible(self, capsys):
         main(["demo", "--companies", "3", "--candidates", "6", "--seed", "5"])
         first = capsys.readouterr().out

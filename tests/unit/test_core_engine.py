@@ -175,3 +175,182 @@ class TestReporting:
         assert stats["subscriptions"] == 1
         assert stats["publications"] == 1
         assert "matcher_stats" in stats and "stage_stats" in stats
+
+
+class TestInterestPruning:
+    def test_stats_surface_pruning_counters(self, engine):
+        engine.subscribe(parse_subscription("(degree = graduate_degree)", sub_id="s"))
+        engine.publish(parse_event("(degree, PhD)"))
+        interest = engine.stats()["interest"]
+        assert interest["enabled"]
+        assert interest["prune_checks"] > 0
+        assert interest["candidates_pruned"] > 0
+        assert interest["interest_index_size"] > 0
+        assert 0.0 < interest["prune_hit_rate"] <= 1.0
+        assert interest["index"]["relevant_rules"] == 0  # "exp" output unconstrained
+
+    def test_pruning_collapses_derived_histogram(self):
+        from repro.model.predicates import Predicate
+        from repro.model.subscriptions import Subscription
+
+        pruned = SToPSS(_kb(), config=SemanticConfig(present_year=2003))
+        exhaustive = SToPSS(
+            _kb(), config=SemanticConfig(present_year=2003, interest_pruning=False)
+        )
+        for engine in (pruned, exhaustive):
+            engine.subscribe(
+                Subscription([Predicate.eq("degree", "graduate degree")], sub_id="s")
+            )
+        event = parse_event("(degree, PhD)(graduation_year, 1993)")
+        pruned_ids = [m.subscription.sub_id for m in pruned.publish(event)]
+        exhaustive_ids = [m.subscription.sub_id for m in exhaustive.publish(event)]
+        assert pruned_ids == exhaustive_ids == ["s"]
+        assert pruned.counters.get("publish.derived_events") < exhaustive.counters.get(
+            "publish.derived_events"
+        )
+
+    def test_disabled_config_reports_disabled(self):
+        engine = SToPSS(_kb(), config=SemanticConfig(interest_pruning=False))
+        assert engine.interest is None
+        interest = engine.stats()["interest"]
+        assert not interest["enabled"]
+        assert interest["candidates_pruned"] == 0
+
+    def test_syntactic_mode_has_no_index(self):
+        engine = SToPSS(_kb(), config=SemanticConfig.syntactic())
+        assert engine.interest is None
+
+    def test_unsafe_extra_stage_disables_pruning(self):
+        from repro.core.interfaces import SemanticStage
+
+        class OpaqueStage(SemanticStage):
+            name = "opaque"
+
+        engine = SToPSS(_kb(), extra_stages=(OpaqueStage(),))
+        assert engine.interest is None
+        safe = OpaqueStage()
+        safe.interest_safe = True
+        assert SToPSS(_kb(), extra_stages=(safe,)).interest is not None
+
+    def test_rename_freeing_a_name_is_never_pruned(self):
+        """An attribute rename also frees its old name: av->aw carries a
+        value no predicate wants, but the freed 'av' unblocks au->av —
+        pruning the rename would silently lose the match (review bug,
+        now an explicit exemption in the soundness model)."""
+        from repro.model.events import Event
+        from repro.model.predicates import Predicate
+        from repro.model.subscriptions import Subscription
+
+        kb = KnowledgeBase()
+        kb.add_domain("d").add_chain("au", "av", "aw")
+        event = Event({"au": "t7", "av": "t6"})
+        expected = None
+        for pruning in (True, False):
+            engine = SToPSS(kb, config=SemanticConfig(interest_pruning=pruning))
+            engine.subscribe(Subscription([Predicate.eq("av", "t7")], sub_id="s"))
+            got = {(m.subscription.sub_id, m.generality) for m in engine.publish(event)}
+            expected = got if expected is None else expected
+            assert got == expected == {("s", 2)}
+
+    def test_replace_rule_freeing_a_name_is_never_skipped(self):
+        """A REPLACE rule with an unconstrained output is irrelevant by
+        the rule fixpoint, yet dropping its input pair frees 'av' for
+        the au->av rename — it must always run (review bug)."""
+        from repro.model.events import Event
+        from repro.model.predicates import Predicate
+        from repro.model.subscriptions import Subscription
+        from repro.ontology.mappingdefs import OutputMode
+
+        kb = KnowledgeBase()
+        kb.add_domain("d").add_chain("au", "av")
+        kb.add_rule(
+            MappingRule.equivalence(
+                "r-replace", {"av": "t1"}, {"q": "x"}, mode=OutputMode.REPLACE
+            )
+        )
+        event = Event({"au": "t7", "av": "t1"})
+        for pruning in (True, False):
+            engine = SToPSS(kb, config=SemanticConfig(interest_pruning=pruning))
+            engine.subscribe(Subscription([Predicate.eq("av", "t7")], sub_id="s"))
+            got = {(m.subscription.sub_id, m.generality) for m in engine.publish(event)}
+            assert got == {("s", 1)}
+
+    def test_replace_rule_guard_keeps_value_climb_admitted(self):
+        """A REPLACE rule must be relevant in the rule fixpoint even
+        when its outputs reach nothing, so its enumerable guards feed
+        the accepted sets: here the t2->t1 climb exists only to fire
+        the rule, whose dropped 'av' pair unblocks the au->av rename
+        (review bug: the climb was pruned, losing the match)."""
+        from repro.model.events import Event
+        from repro.model.predicates import Predicate
+        from repro.model.subscriptions import Subscription
+        from repro.ontology.mappingdefs import OutputMode
+
+        kb = KnowledgeBase()
+        domain = kb.add_domain("d")
+        domain.add_chain("au", "av")
+        domain.add_chain("t2", "t1")
+        kb.add_rule(
+            MappingRule.equivalence(
+                "r", {"av": "t1"}, {"q": "x"}, mode=OutputMode.REPLACE
+            )
+        )
+        event = Event({"au": "t7", "av": "t2"})
+        for pruning in (True, False):
+            engine = SToPSS(kb, config=SemanticConfig(interest_pruning=pruning))
+            engine.subscribe(Subscription([Predicate.eq("av", "t7")], sub_id="s"))
+            got = {(m.subscription.sub_id, m.generality) for m in engine.publish(event)}
+            assert got == {("s", 2)}
+
+    def test_self_disabled_index_costs_nothing(self):
+        """A mapping rule with an unknown read set disables pruning —
+        and the engine must then behave like interest_pruning=False:
+        no prune checks on the hot path, a warm expansion cache across
+        subscription churn, and enabled=False in stats (the index
+        object stays, so dropping the rule later re-enables it)."""
+        kb = _kb()
+        kb.add_rule(
+            MappingRule.function(
+                "opaque", ["degree"], lambda event, context: None
+            )
+        )
+        engine = SToPSS(kb, config=SemanticConfig(present_year=2003))
+        assert engine.interest is not None and not engine.interest.active
+        engine.subscribe(parse_subscription("(degree = graduate_degree)", sub_id="s"))
+        event = parse_event("(degree, PhD)")
+        engine.publish(event)
+        assert engine.expansion_cache_info()["size"] == 1
+        # churn must NOT cool the cache: expansion was exhaustive
+        engine.subscribe(parse_subscription("(degree = doctorate)", sub_id="s2"))
+        assert engine.expansion_cache_info()["size"] == 1
+        engine.publish(event)
+        assert engine.expansion_cache_info()["hits"] == 1
+        interest = engine.stats()["interest"]
+        assert not interest["enabled"]
+        assert interest["prune_checks"] == 0
+        assert interest["candidates_pruned"] == 0
+        assert "opaque" in interest["index"]["disabled"]
+
+    def test_reconfigure_rebuilds_index(self, engine):
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="s"))
+        assert engine.interest is not None
+        engine.reconfigure(SemanticConfig.syntactic())
+        assert engine.interest is None
+        engine.reconfigure(SemanticConfig(present_year=2003))
+        assert engine.interest is not None
+        # the rebuilt index knows the re-inserted root subscription
+        assert engine.interest.value_interesting("degree", "PhD", None)
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert [m.subscription.sub_id for m in matches] == ["s"]
+
+    def test_kb_growth_refreshes_index_mid_stream(self, engine):
+        from repro.model.predicates import Predicate
+        from repro.model.subscriptions import Subscription
+
+        engine.subscribe(
+            Subscription([Predicate.eq("degree", "ladder top")], sub_id="s")
+        )
+        assert engine.publish(parse_event("(degree, PhD)")) == []
+        engine.kb.taxonomy("jobs").add_chain("degree", "ladder top")
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert [m.subscription.sub_id for m in matches] == ["s"]

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from repro.core.config import SemanticConfig
+from repro.core.interest import InterestIndex
 from repro.core.pipeline import SemanticPipeline
 from repro.model.events import Event
 from repro.model.parser import parse_subscription
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
 from repro.ontology.knowledge_base import KnowledgeBase
-from repro.ontology.mappingdefs import MappingRule
+from repro.ontology.mappingdefs import MappingRule, OutputMode
 
 
 def _kb() -> KnowledgeBase:
@@ -179,3 +182,168 @@ class TestStageToggles:
         result = pipeline.process_event(Event({"graduation_year": 1993}))
         assert any("professional_experience" in d.event for d in result.derived)
         assert all(d.generality == 0 for d in result.derived)
+
+
+def _assert_provenance_consistent(result) -> None:
+    """Every entry's parent pointer must be the *live* entry for the
+    parent's content, its step chain must extend that entry's chain by
+    exactly its own step, and every DAG edge must resolve — the
+    invariant the keep-cheaper re-parenting maintains."""
+    for derived in result.derived:
+        if derived.parent is None:
+            continue
+        live_parent = result.lookup(derived.parent.event.signature)
+        assert live_parent is derived.parent, (
+            f"stale parent for {derived.event.format()}: chain runs through a "
+            f"replaced provenance"
+        )
+        assert derived.steps[: len(derived.steps) - 1] == live_parent.steps
+    for parent_sig, child_sig, _ in result.dag_edges():
+        assert result.lookup(parent_sig) is not None
+        assert result.lookup(child_sig) is not None
+
+
+class TestKeepCheaperProvenance:
+    """A cheaper derivation replacing an already-expanded entry must
+    rewrite its descendants' chains too (PR 4 satellite: dag_edges /
+    provenance staleness)."""
+
+    @staticmethod
+    def _kb() -> KnowledgeBase:
+        kb = KnowledgeBase()
+        kb.add_domain("d").add_chain("v", "w")
+        # generality-0 two-step route to the same content the hierarchy
+        # reaches at generality 1 — arrives one iteration later, after
+        # the hierarchy's entry has already been expanded by r3
+        kb.add_rule(
+            MappingRule.equivalence(
+                "r1", {"a": "v"}, {"b": "x"}, mode=OutputMode.REPLACE
+            )
+        )
+        kb.add_rule(
+            MappingRule.equivalence(
+                "r2", {"b": "x"}, {"a": "w"}, mode=OutputMode.REPLACE
+            )
+        )
+        kb.add_rule(MappingRule.equivalence("r3", {"a": "w"}, {"c": "z"}))
+        return kb
+
+    def test_descendants_reparented_onto_cheaper_chain(self):
+        pipeline = SemanticPipeline(self._kb(), SemanticConfig())
+        result = pipeline.process_event(Event({"a": "v"}))
+        replaced = result.lookup(Event({"a": "w"}).signature)
+        assert replaced is not None
+        # the mapping route (generality 0) replaced the hierarchy climb
+        assert replaced.generality == 0
+        assert [step.rule for step in replaced.steps] == ["r1", "r2"]
+        child = result.lookup(Event({"a": "w", "c": "z"}).signature)
+        assert child is not None
+        # pre-fix the child kept the replaced hierarchy chain: parent
+        # pointed at an object no longer in the result and its summed
+        # generality stayed 1
+        assert child.parent is replaced
+        assert child.generality == 0
+        assert [step.rule for step in child.steps] == ["r1", "r2", "r3"]
+        _assert_provenance_consistent(result)
+
+    def test_whole_expansion_is_provenance_consistent(self):
+        pipeline = SemanticPipeline(_kb(), SemanticConfig(present_year=2003))
+        result = pipeline.process_event(
+            Event({"degree": "PhD", "graduation_year": 1993})
+        )
+        _assert_provenance_consistent(result)
+
+    def test_same_pass_adoption_seen_by_later_frontier_sibling(self):
+        """An adoption can land *before* the replaced entry's own turn in
+        the same frontier pass (the descendant walk cannot help — the
+        children do not exist yet): the sibling must expand under the
+        live cheaper chain, not the superseded object it was enqueued
+        as.  Pre-fix the child below kept the g=2 hierarchy chain and a
+        dead parent pointer."""
+        kb = KnowledgeBase()
+        kb.add_domain("d").add_chain("v", "w", "u")
+        # canonical variant (g0) integrates before the +2 climb (g2),
+        # so its mapping route can replace the climb mid-pass
+        kb.add_value_synonyms(["car", "automobile"], root="automobile")
+        kb.add_rule(
+            MappingRule.equivalence(
+                "r_cheap",
+                {"p": "automobile", "a": "v"},
+                {"p": "car", "a": "u"},
+                mode=OutputMode.REPLACE,
+            )
+        )
+        kb.add_rule(MappingRule.equivalence("r3", {"a": "u"}, {"c": "z"}))
+        pipeline = SemanticPipeline(kb, SemanticConfig())
+        result = pipeline.process_event(Event({"p": "car", "a": "v"}))
+        adopted = result.lookup(Event({"p": "car", "a": "u"}).signature)
+        assert adopted is not None and adopted.generality == 0
+        assert [step.rule or step.stage for step in adopted.steps] == ["hierarchy", "r_cheap"]
+        child = result.lookup(Event({"p": "car", "a": "u", "c": "z"}).signature)
+        assert child is not None
+        assert child.parent is adopted
+        assert child.generality == 0
+        _assert_provenance_consistent(result)
+
+
+class TestTruncationAndPruning:
+    """The max_derived_events cap, its counter, and the documented
+    interaction with demand-driven pruning (PR 4 satellite)."""
+
+    @staticmethod
+    def _wide_kb() -> KnowledgeBase:
+        kb = KnowledgeBase()
+        taxonomy = kb.add_domain("d")
+        # eight parents nobody subscribes to, enumerated before the
+        # chain that leads to the subscribed term
+        for index in range(8):
+            taxonomy.add_isa("t0", f"u{index}")
+        taxonomy.add_chain("t0", "s1", "s2")
+        return kb
+
+    def _interest(self, kb) -> InterestIndex:
+        index = InterestIndex(kb, SemanticConfig())
+        index.add(Subscription([Predicate.eq("v", "s2")], sub_id="s"))
+        return index
+
+    def test_truncation_count_accumulates(self):
+        pipeline = SemanticPipeline(self._wide_kb(), SemanticConfig(max_derived_events=3))
+        first = pipeline.process_event(Event({"v": "t0"}))
+        second = pipeline.process_event(Event({"v": "t0"}, event_id="again"))
+        assert first.truncated and second.truncated
+        assert len(first.derived) == 3
+        assert pipeline.truncation_count == 2
+
+    def test_cap_is_exact_and_orderly(self):
+        pipeline = SemanticPipeline(self._wide_kb(), SemanticConfig(max_derived_events=5))
+        result = pipeline.process_event(Event({"v": "t0"}))
+        assert result.truncated
+        assert len(result.derived) == 5
+        # discovery order: root, then the first four enumerated parents
+        assert result.derived[0].event["v"] == "t0"
+
+    def test_pruning_dodges_truncation(self):
+        kb = self._wide_kb()
+        config = SemanticConfig(max_derived_events=6)
+        exhaustive = SemanticPipeline(kb, config).process_event(Event({"v": "t0"}))
+        pruned = SemanticPipeline(kb, config).process_event(
+            Event({"v": "t0"}), interest=self._interest(kb)
+        )
+        # the exhaustive run burns the cap on uninteresting parents and
+        # never derives the subscribed form...
+        assert exhaustive.truncated
+        assert all(d.event["v"] != "s2" for d in exhaustive.derived)
+        # ...the pruned run skips them, stays under the cap, and keeps
+        # the subscriber-reachable branch — the one case where pruned
+        # and exhaustive match sets legitimately diverge
+        assert not pruned.truncated
+        assert {d.event["v"] for d in pruned.derived} == {"t0", "s1", "s2"}
+
+    def test_interest_pruning_off_forces_exhaustive(self):
+        kb = self._wide_kb()
+        config = SemanticConfig(max_derived_events=6, interest_pruning=False)
+        result = SemanticPipeline(kb, config).process_event(
+            Event({"v": "t0"}), interest=self._interest(kb)
+        )
+        # the global kill switch wins even when a caller passes an index
+        assert result.truncated

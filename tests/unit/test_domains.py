@@ -65,6 +65,16 @@ class TestJobsDomain:
         derived = rule.apply(event, CTX)
         assert derived["employment_years"] == 3 + 4
 
+    def test_total_employment_is_open_ended(self, kb):
+        """The periodN scan has no upper job count (the read set is the
+        ``period*`` prefix family): a resume listing a tenth-plus job
+        still contributes its duration."""
+        rule = next(r for r in kb.rules() if r.name == "total-employment-from-periods")
+        assert "period*" in rule.reads
+        pairs = {f"period{i}": Period(1990 + i, 1991 + i) for i in range(1, 13)}
+        derived = rule.apply(Event(pairs), CTX)
+        assert derived["employment_years"] == 12
+
     def test_salary_bands_partition(self, kb):
         bands = [r for r in kb.rules() if r.name.startswith("salary-band")]
         cases = (

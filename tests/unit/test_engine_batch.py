@@ -57,9 +57,13 @@ class TestExpansionCache:
         engine.publish(parse_event("(degree, PhD)", event_id="b"))
         assert engine.expansion_cache_info()["hits"] == 1
 
-    def test_subscribe_keeps_cache_warm(self, engine):
-        # the expansion never reads the subscription table, so with no
-        # stateful extra stage churn keeps cached expansions warm...
+    def test_subscribe_keeps_cache_warm_without_pruning(self):
+        # with interest pruning off the expansion never reads the
+        # subscription table, so with no stateful extra stage churn
+        # keeps cached expansions warm...
+        engine = SToPSS(
+            _kb(), config=SemanticConfig(present_year=2003, interest_pruning=False)
+        )
         engine.publish(parse_event("(degree, PhD)"))
         assert engine.expansion_cache_info()["size"] == 1
         engine.subscribe(parse_subscription("(degree exists)", sub_id="late"))
@@ -70,11 +74,31 @@ class TestExpansionCache:
         assert [m.subscription.sub_id for m in matches] == ["late"]
         assert engine.expansion_cache_info()["hits"] == 1
 
-    def test_unsubscribe_keeps_cache_warm(self, engine):
+    def test_subscribe_invalidates_cache_under_pruning(self, engine):
+        # demand-driven expansion prunes against the live interest set,
+        # so a cached expansion must not shadow derivations a late
+        # subscription now demands.
+        engine.publish(parse_event("(degree, PhD)"))
+        assert engine.expansion_cache_info()["size"] == 1
+        engine.subscribe(parse_subscription("(degree = degree)", sub_id="late"))
+        assert engine.expansion_cache_info()["size"] == 0
+        matches = engine.publish(parse_event("(degree, PhD)"))
+        assert [m.subscription.sub_id for m in matches] == ["late"]
+
+    def test_unsubscribe_keeps_cache_warm_without_pruning(self):
+        engine = SToPSS(
+            _kb(), config=SemanticConfig(present_year=2003, interest_pruning=False)
+        )
         engine.subscribe(parse_subscription("(degree exists)", sub_id="s"))
         engine.publish(parse_event("(degree, PhD)"))
         engine.unsubscribe("s")
         assert engine.expansion_cache_info()["size"] == 1
+        assert engine.publish(parse_event("(degree, PhD)")) == []
+
+    def test_unsubscribe_under_pruning_stays_correct(self, engine):
+        engine.subscribe(parse_subscription("(degree exists)", sub_id="s"))
+        engine.publish(parse_event("(degree, PhD)"))
+        engine.unsubscribe("s")
         assert engine.publish(parse_event("(degree, PhD)")) == []
 
     def test_stateful_extra_stage_restores_churn_invalidation(self):

@@ -214,3 +214,53 @@ class TestContext:
         assert bindings["present_year"] == 1999
         assert bindings["present_date"] == 1999
         assert bindings["x"] == 2
+
+
+class TestReads:
+    """The ``reads`` contract: every attribute whose value can influence
+    a rule's output/applicability — what keeps demand-driven expansion
+    pruning sound (PR 4)."""
+
+    def test_computed_rule_derives_reads_statically(self):
+        rule = MappingRule.computed(
+            "exp", "professional_experience", "present_year - graduation_year"
+        )
+        assert rule.reads == frozenset({"graduation_year"})
+
+    def test_equivalence_rule_reads_its_guards(self):
+        rule = MappingRule.equivalence("r", {"skill": "COBOL"}, {"position": "dev"})
+        assert rule.reads == frozenset({"skill"})
+
+    def test_expression_variables_beyond_requires_are_read(self):
+        rule = MappingRule.computed(
+            "r", "out", "a + b", requires=["a", "b", "guard_only"]
+        )
+        assert rule.reads == frozenset({"a", "b", "guard_only"})
+
+    def test_function_rule_without_declaration_reads_unknown(self):
+        rule = MappingRule.function("r", ["a"], lambda e, c: None)
+        assert rule.reads is None
+
+    def test_function_rule_declaration_unions_requires(self):
+        rule = MappingRule.function(
+            "r", ["a"], lambda e, c: None, reads=["Extra Attr"]
+        )
+        assert rule.reads == frozenset({"a", "extra_attr"})
+
+    def test_prefix_family_declaration_is_normalized(self):
+        rule = MappingRule.function(
+            "r", ["period1"], lambda e, c: None, reads=["Period *"]
+        )
+        assert rule.reads == frozenset({"period1", "period*"})
+
+    def test_bare_star_declaration_means_unknown(self):
+        rule = MappingRule.function("r", ["a"], lambda e, c: None, reads=["*"])
+        assert rule.reads is None
+
+    def test_callable_output_producer_reads_unknown(self):
+        rule = MappingRule(
+            name="r",
+            requires=(Requirement("a"),),
+            outputs=(("b", lambda event, context: event.get("anything")),),
+        )
+        assert rule.reads is None
