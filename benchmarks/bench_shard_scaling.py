@@ -1,0 +1,187 @@
+"""Shard-scaling sweep for the sharded broker (PR 5).
+
+Grows the full-semantic jobfinder subscription table 100→5000 and the
+shard count 1→8 (threaded fan-out executor), and records per
+``(subscriptions, shards)`` row:
+
+* ``events_per_second`` — **observed** wall-clock throughput.  Shard
+  publish work is pure Python, so on a stock (GIL) interpreter the
+  threads interleave instead of overlapping and this number cannot
+  beat one shard; on free-threaded builds or multi-process deployments
+  it converges toward the critical-path number below.
+* ``events_per_second_critical_path`` — throughput over the fan-out's
+  **measured critical path**: per publication, the slowest shard's
+  publish CPU (thread time, so GIL interleaving does not inflate it).
+  This is what the threaded executor's wall-clock becomes once shards
+  genuinely overlap (≥ shards cores), measured — not modelled — from
+  per-shard timers.
+* ``speedup_vs_one_shard`` — critical-path throughput relative to the
+  1-shard row of the same table size (the scale-out signal), plus
+  ``observed_speedup_vs_one_shard`` for the honest single-core view.
+* the merged match/derived/pruning counters, and per-shard busy CPU.
+
+Results land in ``BENCH_shards.json`` (``STOPSS_BENCH_SHARDS_OUTPUT``
+redirects a fresh run).  CI runs this as a **record-only artifact** —
+wall-clock is machine-dependent, so no gate reads this file; the only
+assertions below are deterministic: the per-event ``(sub_id,
+generality)`` match lists stay identical to the 1-shard row at every
+size, and every subscription lands on exactly one shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.broker.sharding import ShardedEngine
+from repro.core.config import SemanticConfig
+from repro.metrics import Table
+from repro.model.subscriptions import Subscription
+from repro.workload.generator import SemanticSpec, SemanticWorkloadGenerator
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SHARD_COUNTS = (1, 2, 4, 8)
+SUBSCRIPTION_COUNTS = (100, 1000, 5000)
+EVENTS = 40
+MATCHER = "counting"
+
+
+def _fresh_subscription(subscription: Subscription) -> Subscription:
+    return Subscription(
+        subscription.predicates,
+        sub_id=subscription.sub_id,
+        max_generality=subscription.max_generality,
+    )
+
+
+def test_shard_scaling(benchmark, jobs_kb, capsys):
+    """Full-semantic publish throughput as shards grow, at three
+    subscription-table sizes (threaded executor throughout)."""
+    generator = SemanticWorkloadGenerator(jobs_kb, SemanticSpec.jobs(seed=1703))
+    subscriptions = generator.subscriptions(max(SUBSCRIPTION_COUNTS))
+    events = generator.events(EVENTS)
+
+    table = Table(
+        f"Shard scaling — full-semantic publish ({EVENTS} events, "
+        f"{MATCHER} matcher, threads executor)",
+        [
+            "subs",
+            "shards",
+            "matches",
+            "derived",
+            "pruned",
+            "ev/s",
+            "ev/s crit-path",
+            "speedup",
+        ],
+    )
+    payload: dict[str, object] = {
+        "workload": "jobfinder",
+        "configuration": "full",
+        "matcher": MATCHER,
+        "executor": "threads",
+        "events": EVENTS,
+        "cpu_count": os.cpu_count(),
+        "speedup_model": (
+            "speedup_vs_one_shard compares events_per_second_critical_path "
+            "(per-publication max of per-shard publish CPU, thread time) "
+            "against the 1-shard row; observed wall-clock is recorded "
+            "beside it and is GIL/core-count bound"
+        ),
+        "sweep": [],
+    }
+
+    def sweep():
+        table.rows.clear()
+        payload["sweep"] = []
+        for count in SUBSCRIPTION_COUNTS:
+            base_match_sets: list | None = None
+            base_critical_rate: float | None = None
+            base_observed_rate: float | None = None
+            for shards in SHARD_COUNTS:
+                engine = ShardedEngine(
+                    jobs_kb,
+                    shards=shards,
+                    matcher=MATCHER,
+                    config=SemanticConfig(),
+                    executor="threads",
+                )
+                try:
+                    for subscription in subscriptions[:count]:
+                        engine.subscribe(_fresh_subscription(subscription))
+                    #: per event, the exact (sub_id, generality) list —
+                    #: the full observable surface the 1-shard row must
+                    #: reproduce (totals alone could mask a lost match
+                    #: offset by a double-report)
+                    match_sets: list[list[tuple[str, int]]] = []
+                    started = time.perf_counter()
+                    for event in events:
+                        match_sets.append(
+                            [
+                                (m.subscription.sub_id, m.generality)
+                                for m in engine.publish(event)
+                            ]
+                        )
+                    elapsed = time.perf_counter() - started
+                    stats = engine.stats()
+                    sharding = stats["sharding"]
+                finally:
+                    engine.close()
+                matches = sum(len(per_event) for per_event in match_sets)
+                critical = sharding["critical_path_seconds"]
+                observed_rate = EVENTS / elapsed if elapsed else 0.0
+                critical_rate = EVENTS / critical if critical else 0.0
+                if shards == 1:
+                    base_match_sets = match_sets
+                    base_critical_rate = critical_rate
+                    base_observed_rate = observed_rate
+                assert match_sets == base_match_sets, (
+                    "sharded match sets diverged from the single engine",
+                    count,
+                    shards,
+                )
+                assert sum(sharding["subscriptions_per_shard"]) == count
+                speedup = critical_rate / base_critical_rate if base_critical_rate else 0.0
+                observed_speedup = (
+                    observed_rate / base_observed_rate if base_observed_rate else 0.0
+                )
+                interest = stats.get("interest", {})
+                table.add(
+                    count,
+                    shards,
+                    matches,
+                    stats.get("derived_events", 0),
+                    interest.get("candidates_pruned", 0),
+                    round(observed_rate, 1),
+                    round(critical_rate, 1),
+                    round(speedup, 2),
+                )
+                payload["sweep"].append({
+                    "subscriptions": count,
+                    "shards": shards,
+                    "matches": matches,
+                    "derived_events": stats.get("derived_events", 0),
+                    "candidates_pruned": interest.get("candidates_pruned", 0),
+                    "subscriptions_per_shard": sharding["subscriptions_per_shard"],
+                    "busy_cpu_seconds": sharding["busy_cpu_seconds"],
+                    # wall-clock: record-only, machine-dependent
+                    "publish_seconds": elapsed,
+                    "events_per_second": observed_rate,
+                    "observed_speedup_vs_one_shard": observed_speedup,
+                    "critical_path_seconds": critical,
+                    "events_per_second_critical_path": critical_rate,
+                    "speedup_vs_one_shard": speedup,
+                })
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    out_path = pathlib.Path(
+        os.environ.get("STOPSS_BENCH_SHARDS_OUTPUT", _REPO_ROOT / "BENCH_shards.json")
+    )
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    with capsys.disabled():
+        print()
+        table.print()
+        print(f"wrote {out_path}")

@@ -5,6 +5,13 @@ multi-transport notification engine of the demonstration setup
 from repro.broker.broker import Broker
 from repro.broker.clients import Client, ClientKind, ClientRegistry
 from repro.broker.dispatcher import EventDispatcher, PublishReport
+from repro.broker.sharding import (
+    SerialExecutor,
+    ShardedBroker,
+    ShardedEngine,
+    ThreadedExecutor,
+    default_router,
+)
 from repro.broker.notifications import (
     DeliveryOutcome,
     Notification,
@@ -24,6 +31,11 @@ from repro.broker.transports import (
 
 __all__ = [
     "Broker",
+    "ShardedBroker",
+    "ShardedEngine",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "default_router",
     "Client",
     "ClientKind",
     "ClientRegistry",

@@ -46,9 +46,13 @@ class Broker:
         matcher: str | MatchingAlgorithm = "counting",
         config: SemanticConfig | None = None,
         transports: TransportRegistry | None = None,
+        engine=None,
     ) -> None:
         self.kb = kb
-        self.engine = SToPSS(kb, matcher=matcher, config=config)
+        # an injected engine (any object satisfying the dispatcher's
+        # engine interface — e.g. a ShardedEngine) wins over the
+        # matcher/config construction parameters.
+        self.engine = engine if engine is not None else SToPSS(kb, matcher=matcher, config=config)
         self.registry = ClientRegistry()
         self.notifier = NotificationEngine(
             transports if transports is not None else default_transports()

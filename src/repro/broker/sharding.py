@@ -1,0 +1,499 @@
+"""Sharded broker: subscription-partitioned engine replicas.
+
+S-ToPSS describes one semantic engine; its companion paper frames the
+problem at Internet scale, where later systems (VCube-PS, Topiary)
+partition the *subscription population* across workers.  This module is
+that scale-out axis: :class:`ShardedEngine` hash-partitions stored
+subscriptions across N independent engine replicas that share one
+:class:`~repro.ontology.knowledge_base.KnowledgeBase` (and therefore
+one version-synced :class:`~repro.ontology.concept_table.ConceptTable`
+snapshot — its lazy closure fills are lock-guarded for exactly this
+use), fans each publication out across the shards through a pluggable
+executor, and merges the per-shard match sets back into the global
+subscription insertion order the single-engine design reports.
+
+Why this composes without new invariants: a publication's match set is
+a per-subscription minimum, so partitioning subscriptions partitions
+the match set exactly — the union over shards *is* the single-engine
+result, generality values included (pinned as a hard property test,
+``tests/property/test_sharding_equivalence.py``).  Each replica keeps
+its own matcher, caches, memos, and
+:class:`~repro.core.interest.InterestIndex`, so demand-driven pruning
+gets *sharper* per shard: fewer live subscriptions mean smaller
+accepted sets and a cheaper per-shard expansion.
+
+Concurrency contract: parallelism is *across shards within one
+publication* — the executor maps the shard engines concurrently, and
+every structure a shard touches during publish is either replica-local
+(matcher, caches, counters, interest index) or a lock-guarded shared
+snapshot (the concept table).  The facade itself is not re-entrant:
+one ``publish``/``subscribe``/``reconfigure`` at a time, exactly the
+discipline the :class:`~repro.broker.dispatcher.EventDispatcher`
+already imposes.
+
+Subscription churn routes to the owning shard (the router is a stable
+content hash of the subscription id, so unsubscribe finds the same
+shard without a lookup table); ``reconfigure``, ``refresh``, and
+``bump_semantic_epoch`` route to *every* shard, and knowledge-base
+motion needs no routing at all — each replica's publish path already
+re-syncs against ``kb.version`` through the existing semantic-version/
+epoch plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, Sequence
+
+from repro.broker.broker import Broker
+from repro.broker.transports import TransportRegistry
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.core.pipeline import PipelineResult
+from repro.core.provenance import SemanticMatch
+from repro.errors import ConfigError, UnknownSubscriptionError
+from repro.matching.base import MatchingAlgorithm
+from repro.metrics.aggregate import merge_stats
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = [
+    "ShardedBroker",
+    "ShardedEngine",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "default_router",
+]
+
+
+def default_router(sub_id: str, shards: int) -> int:
+    """Stable hash routing: CRC-32 of the subscription id modulo the
+    shard count.  Deliberately *not* Python's salted ``hash()`` — the
+    assignment must be reproducible across processes and runs so
+    traces, benchmarks, and a restarted broker agree on ownership."""
+    return zlib.crc32(sub_id.encode("utf-8")) % shards
+
+
+class SerialExecutor:
+    """Fan-out executor that runs shard tasks inline, in order.  The
+    zero-dependency baseline: same results as the threaded executor,
+    wall-clock equal to the summed per-shard cost."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ThreadedExecutor:
+    """Fan-out executor backed by a lazily created
+    :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+    Shard publish work is pure Python, so on a stock (GIL) interpreter
+    threads *interleave* rather than overlap — the wall-clock win
+    appears on free-threaded builds or multi-core machines running
+    subinterpreter/worker deployments; on one core the measured
+    per-shard CPU (``critical_path_seconds`` in the sharding stats) is
+    the honest scale-out signal.  See ``docs/PERFORMANCE.md``.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        #: one instance may be borrowed by several engines publishing
+        #: from different threads; the lazy pool creation must not race
+        #: (a lost ThreadPoolExecutor could never be shut down).
+        self._init_lock = threading.Lock()
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        pool = self._pool
+        if pool is None:
+            with self._init_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = ThreadPoolExecutor(
+                        max_workers=self._max_workers, thread_name_prefix="stopss-shard"
+                    )
+        return list(pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "threads": ThreadedExecutor,
+    "threaded": ThreadedExecutor,
+}
+
+
+def _resolve_executor(executor) -> tuple[object, bool]:
+    """``(executor, owned)`` — string specs construct a fresh executor
+    the engine closes on :meth:`ShardedEngine.close`; instances are
+    borrowed and left running."""
+    if isinstance(executor, str):
+        try:
+            return _EXECUTORS[executor](), True
+        except KeyError:
+            raise ConfigError(
+                f"unknown executor {executor!r} (expected one of {sorted(_EXECUTORS)})"
+            ) from None
+    if not callable(getattr(executor, "map", None)):
+        raise ConfigError("executor must provide map(fn, items)")
+    return executor, False
+
+
+class ShardedEngine:
+    """N engine replicas behind the single-engine interface.
+
+    Satisfies everything :class:`~repro.broker.dispatcher.
+    EventDispatcher` (and therefore :class:`~repro.broker.broker.
+    Broker`) needs from an engine — ``subscribe`` / ``unsubscribe`` /
+    ``publish`` / ``reconfigure`` / ``subscriptions`` / ``stats`` and
+    the ``semantic_version`` / ``subscription_epoch`` cache-key
+    properties — so the existing dispatcher, result cache, and
+    notification plumbing work unchanged on top of it.
+
+    Parameters
+    ----------
+    kb:
+        The shared knowledge base.  All replicas read the same object
+        and the same concept-table snapshot.
+    shards:
+        Replica count (>= 1).  One shard degenerates to a thin wrapper
+        around a plain engine: no executor hop, no merge sort.
+    matcher:
+        A *registered* matcher name, instantiated once per shard.  A
+        :class:`MatchingAlgorithm` instance cannot be shared across
+        replicas (its indexes embed one shard's subscriptions), so
+        instances are rejected whenever ``shards > 1``.
+    engine_factory:
+        ``factory(kb, *, matcher=..., config=...) -> engine`` building
+        one replica — defaults to :class:`~repro.core.engine.SToPSS`;
+        pass :class:`~repro.core.subexpand.SubscriptionExpandingEngine`
+        to shard the subscription-side design.
+    executor:
+        ``"serial"`` (default), ``"threads"``, or any object with
+        ``map(fn, items)`` — how the publish fan-out runs.
+    router:
+        ``router(sub_id, shards) -> shard index`` override; defaults to
+        :func:`default_router`.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        *,
+        shards: int = 4,
+        matcher: str | MatchingAlgorithm = "counting",
+        config: SemanticConfig | None = None,
+        engine_factory: Callable | None = None,
+        executor: object | str = "serial",
+        router: Callable[[str, int], int] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if not isinstance(matcher, str) and shards > 1:
+            raise ConfigError(
+                "a matcher instance cannot back multiple shards; pass a "
+                "registered matcher name so each replica gets its own"
+            )
+        self.kb = kb
+        factory = engine_factory if engine_factory is not None else SToPSS
+        self._engines: tuple = tuple(
+            factory(kb, matcher=matcher, config=config) for _ in range(shards)
+        )
+        self._router = router if router is not None else default_router
+        self._executor, self._owns_executor = _resolve_executor(executor)
+        #: sub_id -> global insertion sequence (the merge-sort key that
+        #: restores single-engine reporting order across shards)
+        self._seq_of: dict[str, int] = {}
+        self._next_seq = 0
+        self.publications = 0
+        #: cumulative per-shard publish CPU (thread time, so a GIL
+        #: interpreter's interleaving does not inflate it)
+        self._busy_cpu_seconds = [0.0] * shards
+        #: Σ over publications of the slowest shard's publish CPU —
+        #: the fan-out's critical path: what wall-clock converges to
+        #: when the executor genuinely overlaps shards (>= N cores)
+        self._critical_path_seconds = 0.0
+
+    # -- routing -----------------------------------------------------------------
+
+    @property
+    def engines(self) -> tuple:
+        """The shard replicas, for inspection (index = shard id)."""
+        return self._engines
+
+    @property
+    def shards(self) -> int:
+        return len(self._engines)
+
+    def shard_of(self, sub_id: str) -> int:
+        """The shard owning *sub_id* under the active router."""
+        return self._router(sub_id, len(self._engines))
+
+    # -- subscription management ---------------------------------------------------
+
+    def subscribe(self, subscription: Subscription) -> Subscription:
+        """Route a subscription to its owning shard; returns the root
+        form that shard's engine inserted."""
+        root = self._engines[self.shard_of(subscription.sub_id)].subscribe(subscription)
+        self._seq_of[subscription.sub_id] = self._next_seq
+        self._next_seq += 1
+        return root
+
+    def unsubscribe(self, sub_id: str) -> Subscription:
+        """Remove a subscription from the shard that owns it."""
+        if sub_id not in self._seq_of:
+            raise UnknownSubscriptionError(f"no subscription {sub_id!r}")
+        original = self._engines[self.shard_of(sub_id)].unsubscribe(sub_id)
+        del self._seq_of[sub_id]
+        return original
+
+    def __len__(self) -> int:
+        return sum(len(engine) for engine in self._engines)
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._seq_of
+
+    def subscriptions(self) -> Iterator[Subscription]:
+        """Original subscriptions in global insertion order."""
+        entries = [
+            (self._seq_of[subscription.sub_id], subscription)
+            for engine in self._engines
+            for subscription in engine.subscriptions()
+        ]
+        entries.sort(key=lambda entry: entry[0])
+        for _, subscription in entries:
+            yield subscription
+
+    # -- publishing -------------------------------------------------------------------
+
+    def _publish_shard(self, task: tuple[int, Event]) -> tuple[int, list, float]:
+        index, event = task
+        started = time.thread_time()
+        matches = self._engines[index].publish(event)
+        return index, matches, time.thread_time() - started
+
+    def publish(self, event: Event) -> list[SemanticMatch]:
+        """Fan one publication out across every shard and merge the
+        per-shard match sets back into global insertion order.
+
+        Every shard sees every event (any shard's subscriptions may
+        match), but each works against its own interest index — an
+        empty or uninterested shard prunes the expansion to nearly
+        nothing.  Per-shard CPU is measured with thread time so the
+        recorded critical path stays meaningful on GIL interpreters.
+        """
+        self.publications += 1
+        if len(self._engines) == 1:
+            # degenerate single-shard path: no executor hop, no merge —
+            # shard-local insertion order is already the global order.
+            started = time.thread_time()
+            matches = self._engines[0].publish(event)
+            span = time.thread_time() - started
+            self._busy_cpu_seconds[0] += span
+            self._critical_path_seconds += span
+            return matches
+        tasks = [(index, event) for index in range(len(self._engines))]
+        merged: list[SemanticMatch] = []
+        slowest = 0.0
+        for index, matches, span in self._executor.map(self._publish_shard, tasks):
+            merged.extend(matches)
+            self._busy_cpu_seconds[index] += span
+            slowest = max(slowest, span)
+        self._critical_path_seconds += slowest
+        seq = self._seq_of
+        merged.sort(key=lambda match: seq[match.subscription.sub_id])
+        return merged
+
+    def explain(self, event: Event) -> PipelineResult:
+        """The full (deliberately exhaustive) expansion — identical on
+        every replica, so shard 0 answers for all."""
+        return self._engines[0].explain(event)
+
+    # -- mode control / semantic plumbing -------------------------------------------
+
+    @property
+    def config(self) -> SemanticConfig:
+        return self._engines[0].config
+
+    @property
+    def mode(self) -> str:
+        return self._engines[0].mode
+
+    def reconfigure(self, config: SemanticConfig) -> None:
+        """Switch every shard to *config*.  Each replica's own
+        ``reconfigure`` is transactional; if one shard rejects the new
+        configuration the already-switched shards are rolled back so
+        the fleet never runs split-brain."""
+        previous = self._engines[0].config
+        switched = []
+        try:
+            for engine in self._engines:
+                engine.reconfigure(config)
+                switched.append(engine)
+        except BaseException:
+            for engine in switched:
+                engine.reconfigure(previous)
+            raise
+
+    def bump_semantic_epoch(self, reason: str = "external") -> None:
+        """Force-invalidate cached semantic state on every shard."""
+        for engine in self._engines:
+            engine.bump_semantic_epoch(reason)
+
+    def refresh(self) -> int:
+        """Re-expand stale subscriptions on every shard that supports
+        it (the subscription-side design); returns the total count.
+
+        The single engine's ``refresh`` re-subscribes each stale
+        subscription, moving it to the *end* of the insertion order; to
+        keep sharded reporting order identical, the refreshed ids are
+        re-sequenced here in the same global order the single engine
+        would process them (its stale list follows subscribe order)."""
+        stale = set(self.stale_subscriptions())
+        refreshed = sum(
+            engine.refresh()
+            for engine in self._engines
+            if hasattr(engine, "refresh")
+        )
+        if stale:
+            for sub_id, _ in sorted(self._seq_of.items(), key=lambda item: item[1]):
+                if sub_id in stale:
+                    self._seq_of[sub_id] = self._next_seq
+                    self._next_seq += 1
+        return refreshed
+
+    def stale_subscriptions(self) -> list[str]:
+        return [
+            sub_id
+            for engine in self._engines
+            if hasattr(engine, "stale_subscriptions")
+            for sub_id in engine.stale_subscriptions()
+        ]
+
+    @property
+    def semantic_version(self) -> tuple:
+        """Per-shard semantic versions as one hashable cache key: any
+        shard's knowledge-base sync or epoch bump shifts it, so the
+        dispatcher's result cache can never serve a match set computed
+        under a stale shard."""
+        return tuple(engine.semantic_version for engine in self._engines)
+
+    @property
+    def subscription_epoch(self) -> tuple:
+        """Per-shard churn epochs — any subscribe/unsubscribe anywhere
+        shifts the dispatcher's result-cache key."""
+        return tuple(engine.subscription_epoch for engine in self._engines)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def sharding_info(self) -> dict[str, object]:
+        """Fan-out shape and measured shard-parallel cost."""
+        return {
+            "shards": len(self._engines),
+            "executor": getattr(self._executor, "name", type(self._executor).__name__),
+            "subscriptions_per_shard": [len(engine) for engine in self._engines],
+            "publications": self.publications,
+            "busy_cpu_seconds": list(self._busy_cpu_seconds),
+            "critical_path_seconds": self._critical_path_seconds,
+        }
+
+    def stats(self) -> dict[str, object]:
+        """Aggregate stats in the single-engine shape (counters summed
+        across shards via :func:`~repro.metrics.aggregate.merge_stats`)
+        plus a ``sharding`` section with the fan-out shape and the
+        per-shard snapshots under ``sharding.shard_stats``."""
+        per_shard = [engine.stats() for engine in self._engines]
+        merged = merge_stats(per_shard)
+        sharding = self.sharding_info()
+        sharding["shard_stats"] = per_shard
+        merged["sharding"] = sharding
+        return merged
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor (owned executors only — instances the
+        caller passed in are theirs to close)."""
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedBroker(Broker):
+    """A :class:`~repro.broker.broker.Broker` whose engine is a
+    :class:`ShardedEngine` — same registration/subscribe/publish API,
+    same dispatcher, result cache, and notification fan-out, with the
+    matching work partitioned across N replicas.
+
+    >>> from repro.ontology.domains import build_jobs_knowledge_base
+    >>> broker = ShardedBroker(build_jobs_knowledge_base(), shards=4)
+    >>> company = broker.register_subscriber("Initech", email="hr@initech.example")
+    >>> sub = broker.subscribe(company.client_id,
+    ...     "(university = Toronto) and (degree = PhD)")
+    >>> candidate = broker.register_publisher("Ada")
+    >>> report = broker.publish(candidate.client_id,
+    ...     "(school, Toronto)(degree, PhD)")
+    >>> report.match_count
+    1
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        *,
+        shards: int = 4,
+        matcher: str | MatchingAlgorithm = "counting",
+        config: SemanticConfig | None = None,
+        transports: TransportRegistry | None = None,
+        engine_factory: Callable | None = None,
+        executor: object | str = "serial",
+        router: Callable[[str, int], int] | None = None,
+    ) -> None:
+        super().__init__(
+            kb,
+            matcher=matcher,
+            config=config,
+            transports=transports,
+            engine=ShardedEngine(
+                kb,
+                shards=shards,
+                matcher=matcher,
+                config=config,
+                engine_factory=engine_factory,
+                executor=executor,
+                router=router,
+            ),
+        )
+
+    @property
+    def engines(self) -> tuple:
+        return self.engine.engines
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "ShardedBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -21,9 +21,11 @@ import argparse
 import sys
 
 from repro.broker.broker import Broker
+from repro.broker.sharding import ShardedBroker
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
 from repro.errors import ReproError
+from repro.metrics.aggregate import publish_path_summary
 from repro.metrics.report import Table
 from repro.model.parser import parse_event, parse_subscription
 from repro.ontology.domains import build_demo_knowledge_base, build_jobs_knowledge_base
@@ -44,6 +46,18 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--companies", type=int, default=10)
     demo.add_argument("--candidates", type=int, default=30)
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="engine replicas behind the broker (1 = the plain single engine)",
+    )
+    demo.add_argument(
+        "--executor",
+        choices=("serial", "threads"),
+        default="threads",
+        help="publish fan-out executor when --shards > 1",
+    )
 
     match = sub.add_parser("match", help="match one event against one subscription")
     match.add_argument("subscription", help='e.g. "(university = Toronto) and (degree = PhD)"')
@@ -86,12 +100,27 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             "result-hit%",
         ],
     )
+    shard_table = Table(
+        f"per-shard view ({args.shards} shards, {args.executor} executor)",
+        ["mode", "shard", "subs", "derived", "pruned", "pred-evals", "busy-cpu-ms"],
+    )
     for mode, config in (
         ("semantic", SemanticConfig.semantic()),
         ("syntactic", SemanticConfig.syntactic()),
     ):
         scenario = JobFinderScenario(build_jobs_knowledge_base(), spec)
-        broker = Broker(build_jobs_knowledge_base(), config=config)
+        if args.shards == 1:
+            broker = Broker(build_jobs_knowledge_base(), config=config)
+        else:
+            # any other value routes through the sharded broker, whose
+            # own validation rejects shards < 1 (exit 2, not a silent
+            # fall-back to the single engine)
+            broker = ShardedBroker(
+                build_jobs_knowledge_base(),
+                config=config,
+                shards=args.shards,
+                executor=args.executor,
+            )
         report = scenario.run(broker)
         table.add(
             mode,
@@ -101,26 +130,44 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             report.semantic_matches,
             report.deliveries,
         )
+        # one defensive extraction path for every engine shape — the
+        # plain engine, the sharded aggregate, and any variant that
+        # lacks a counter renders as 0 instead of a KeyError.
         engine_stats = broker.engine.stats()
-        matcher_stats = engine_stats["matcher_stats"]
-        cache = engine_stats["expansion_cache"]
-        interest = engine_stats["interest"]
-        result_cache = broker.dispatcher.result_cache_info()
+        summary = publish_path_summary(engine_stats, broker.dispatcher.result_cache_info())
         publish_table.add(
             mode,
-            matcher_stats["batches"],
-            engine_stats["derived_events"],
-            interest["candidates_pruned"],
-            round(100.0 * interest["prune_hit_rate"], 1),
-            matcher_stats["predicate_evaluations"],
-            matcher_stats["probes_saved"],
-            matcher_stats["memo_hits"],
-            round(100.0 * cache["hit_rate"], 1),
-            round(100.0 * result_cache["hit_rate"], 1),
+            summary["batches"],
+            summary["derived"],
+            summary["pruned"],
+            round(100.0 * summary["prune_hit_rate"], 1),
+            summary["predicate_evaluations"],
+            summary["probes_saved"],
+            summary["memo_hits"],
+            round(100.0 * summary["expansion_cache_hit_rate"], 1),
+            round(100.0 * summary["result_cache_hit_rate"], 1),
         )
+        sharding = engine_stats.get("sharding")
+        if isinstance(sharding, dict):
+            for index, shard_stats in enumerate(sharding.get("shard_stats", ())):
+                shard_summary = publish_path_summary(shard_stats)
+                shard_table.add(
+                    mode,
+                    index,
+                    shard_stats.get("subscriptions", 0),
+                    shard_summary["derived"],
+                    shard_summary["pruned"],
+                    shard_summary["predicate_evaluations"],
+                    round(1000.0 * sharding["busy_cpu_seconds"][index], 1),
+                )
+        if hasattr(broker, "close"):
+            broker.close()
     table.print()
     print()
     publish_table.print()
+    if shard_table.rows:
+        print()
+        shard_table.print()
     return 0
 
 

@@ -25,6 +25,17 @@ stage combination enabled) or *syntactic* (no stage runs; the engine
 degenerates to the bare matching algorithm).  Modes can be switched at
 runtime with :meth:`SToPSS.reconfigure`, which re-derives every stored
 subscription's root form and rebuilds the matcher in place.
+
+Shard-safe construction: N engine replicas may be built on one shared
+:class:`~repro.ontology.knowledge_base.KnowledgeBase` and publish
+concurrently (one thread per replica — the sharded broker's fan-out,
+:mod:`repro.broker.sharding`).  Everything an engine *mutates* during
+publish is replica-local — matcher, pipeline stages, expansion cache,
+interest index, counters, epoch — while the shared state it reads is
+either immutable for the duration (the knowledge base between
+mutations) or a lock-guarded snapshot (``kb.concept_table()`` and its
+lazy closure fills).  A single engine instance is **not** re-entrant;
+concurrency lives between replicas, never inside one.
 """
 
 from __future__ import annotations

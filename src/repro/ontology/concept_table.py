@@ -29,6 +29,16 @@ it whenever that version moves, so holders that re-fetch per operation
 Closure arrays are filled lazily on first access — large ontologies
 only pay for the terms their traffic actually touches.
 
+One snapshot may be shared by many engine replicas publishing
+concurrently (the sharded broker's thread fan-out), so the lazy fills
+are guarded by a lock: without it, two threads missing on the same
+spelling could intern it twice under *different* dense ids, and a
+closure built against the first id would disagree with
+:meth:`value_key` returning the second — silently breaking matcher
+equality and interest-index probes.  Reads of already-memoized entries
+stay lock-free (dict/list access is atomic under the interpreter
+lock, and memoized values are immutable tuples).
+
 Values that intern to nothing (free text, numbers, spellings added to
 the knowledge base after the snapshot) transparently fall back to the
 string path everywhere: :meth:`term_id_of_value` returns ``None`` and
@@ -38,6 +48,7 @@ string path everywhere: :meth:`term_id_of_value` returns ``None`` and
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import TYPE_CHECKING
 
@@ -137,6 +148,7 @@ class ConceptTable:
         "_up_closure",
         "_down_closure",
         "_attr_form",
+        "_fill_lock",
     )
 
     def __init__(self, kb: "KnowledgeBase") -> None:
@@ -171,6 +183,10 @@ class ConceptTable:
         #: normalize; the stage falls back to raising exactly as the
         #: string path would), lazy
         self._attr_form: dict[int, str | None] = {}
+        #: guards every lazy fill (interning is append-only and id
+        #: assignment must be race-free when shard replicas share the
+        #: snapshot); the memoized-hit path never takes it.
+        self._fill_lock = threading.Lock()
         self._populate(kb)
 
     # -- construction -----------------------------------------------------------
@@ -261,9 +277,12 @@ class ConceptTable:
         :meth:`KnowledgeBase.canonical_term`."""
         sid = self._canonical_sid.get(tid)
         if sid is None:
-            canonical = self._kb.canonical_term(self._term_display[tid])
-            sid = -1 if canonical is None else self._intern_spelling(canonical)
-            self._canonical_sid[tid] = sid
+            with self._fill_lock:
+                sid = self._canonical_sid.get(tid)
+                if sid is None:
+                    canonical = self._kb.canonical_term(self._term_display[tid])
+                    sid = -1 if canonical is None else self._intern_spelling(canonical)
+                    self._canonical_sid[tid] = sid
         return None if sid < 0 else self._spellings[sid]
 
     def ancestors(self, tid: int) -> tuple[tuple[int, int], ...]:
@@ -274,13 +293,16 @@ class ConceptTable:
         minimal."""
         closure = self._up_closure.get(tid)
         if closure is None:
-            closure = tuple(
-                (self._intern_spelling(general), distance)
-                for general, distance in self._kb.generalizations(
-                    self._term_display[tid]
-                ).items()
-            )
-            self._up_closure[tid] = closure
+            with self._fill_lock:
+                closure = self._up_closure.get(tid)
+                if closure is None:
+                    closure = tuple(
+                        (self._intern_spelling(general), distance)
+                        for general, distance in self._kb.generalizations(
+                            self._term_display[tid]
+                        ).items()
+                    )
+                    self._up_closure[tid] = closure
         return closure
 
     def attribute_form(self, sid: int) -> str | None:
@@ -288,11 +310,14 @@ class ConceptTable:
         generalization), ``None`` when it does not normalize."""
         form = self._attr_form.get(sid, False)
         if form is False:
-            try:
-                form = normalize_attribute(self._spellings[sid].replace(" ", "_"))
-            except Exception:
-                form = None
-            self._attr_form[sid] = form
+            with self._fill_lock:
+                form = self._attr_form.get(sid, False)
+                if form is False:
+                    try:
+                        form = normalize_attribute(self._spellings[sid].replace(" ", "_"))
+                    except Exception:
+                        form = None
+                    self._attr_form[sid] = form
         return form
 
     def descent(self, tid: int) -> tuple[tuple[int, int], ...]:
@@ -302,12 +327,15 @@ class ConceptTable:
         queries filter by depth."""
         closure = self._down_closure.get(tid)
         if closure is None:
-            depths = descent_closure(self._kb, self._term_display[tid], None)
-            closure = tuple(
-                (self._intern_spelling(spelling), depth)
-                for spelling, depth in depths.items()
-            )
-            self._down_closure[tid] = closure
+            with self._fill_lock:
+                closure = self._down_closure.get(tid)
+                if closure is None:
+                    depths = descent_closure(self._kb, self._term_display[tid], None)
+                    closure = tuple(
+                        (self._intern_spelling(spelling), depth)
+                        for spelling, depth in depths.items()
+                    )
+                    self._down_closure[tid] = closure
         return closure
 
     def descent_map(self, term: str, bound: int | None) -> dict[str, int]:

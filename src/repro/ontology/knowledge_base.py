@@ -15,6 +15,7 @@ performance design.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator
 
 from repro.errors import UnknownDomainError
@@ -41,6 +42,11 @@ class KnowledgeBase:
         self._rule_names: set[str] = set()
         self._rules_by_attribute: dict[str, list[MappingRule]] = {}
         self._concept_table: ConceptTable | None = None
+        #: guards the snapshot rebuild: engine replicas sharing one
+        #: knowledge base (the sharded broker) must all observe the
+        #: same :class:`ConceptTable` object per version, or their
+        #: matchers would intern equal spellings under different ids.
+        self._concept_table_lock = threading.Lock()
 
     # -- versioning ---------------------------------------------------------------
 
@@ -62,8 +68,11 @@ class KnowledgeBase:
         compare — so they can never run on a stale id space."""
         table = self._concept_table
         if table is None or table.version != self.version:
-            table = ConceptTable(self)
-            self._concept_table = table
+            with self._concept_table_lock:
+                table = self._concept_table
+                if table is None or table.version != self.version:
+                    table = ConceptTable(self)
+                    self._concept_table = table
         return table
 
     # -- domains -------------------------------------------------------------------

@@ -1,0 +1,150 @@
+"""Property: sharded broker ≡ single engine (the PR 5 hard invariant).
+
+:class:`~repro.broker.sharding.ShardedEngine` hash-partitions stored
+subscriptions across N engine replicas sharing one knowledge base and
+fans every publication out across the shards.  Because a match set is
+a per-subscription reduction, partitioning subscriptions must partition
+the match set *exactly* — so the merged result has to equal the single
+engine's match set AND its reported generalities, in the same global
+insertion order.
+
+This suite pins that down across random knowledge bases (the same
+generator the interest-pruning invariant uses: taxonomies, value and
+attribute synonyms, equivalence/REPLACE/computed mapping rules), shard
+counts N ∈ {1, 2, 4}, both fan-out executors, both indexed matchers,
+both engine designs, interning and pruning toggles, and subscription
+churn mid-stream.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.sharding import ShardedEngine, ThreadedExecutor
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.core.subexpand import SubscriptionExpandingEngine
+from repro.model.subscriptions import Subscription
+
+from tests.property.test_interest_pruning_equivalence import (
+    knowledge_bases,
+    term_events,
+    term_subscriptions,
+)
+
+_DESIGNS = {"event-side": SToPSS, "subscription-side": SubscriptionExpandingEngine}
+
+
+def _match_list(engine, event) -> list[tuple[str, int]]:
+    """(sub_id, generality) pairs in reported order — the full
+    observable surface: membership, generality, and ordering."""
+    return [(m.subscription.sub_id, m.generality) for m in engine.publish(event)]
+
+
+def _build_pair(kb, design, matcher, config, shards, executor):
+    factory = _DESIGNS[design]
+    single = factory(kb, matcher=matcher, config=config)
+    sharded = ShardedEngine(
+        kb,
+        shards=shards,
+        matcher=matcher,
+        config=config,
+        engine_factory=factory,
+        executor=executor,
+    )
+    return single, sharded
+
+
+@given(
+    kb=knowledge_bases(),
+    subs=st.lists(term_subscriptions(), min_size=1, max_size=6),
+    evts=st.lists(term_events(), min_size=1, max_size=4),
+    shards=st.sampled_from([1, 2, 4]),
+    design=st.sampled_from(sorted(_DESIGNS)),
+    matcher=st.sampled_from(["counting", "cluster"]),
+    bound=st.sampled_from([None, 0, 1, 2]),
+    interning=st.booleans(),
+    pruning=st.booleans(),
+)
+def test_sharded_equals_single_engine(
+    kb, subs, evts, shards, design, matcher, bound, interning, pruning
+):
+    config = SemanticConfig(
+        max_generality=bound, interning=interning, interest_pruning=pruning
+    )
+    single, sharded = _build_pair(kb, design, matcher, config, shards, "serial")
+    for index, sub in enumerate(subs):
+        bound_sub = Subscription(
+            sub.predicates, sub_id=f"s{index}", max_generality=sub.max_generality
+        )
+        for engine in (single, sharded):
+            engine.subscribe(bound_sub)
+    for event in evts:
+        expected = _match_list(single, event)
+        actual = _match_list(sharded, event)
+        assert actual == expected, (
+            f"shard divergence (N={shards}, {design}, {matcher}) on "
+            f"{event.format()}: {actual} != {expected}"
+        )
+
+
+@given(
+    kb=knowledge_bases(),
+    subs=st.lists(term_subscriptions(), min_size=2, max_size=6),
+    evts=st.lists(term_events(), min_size=2, max_size=4),
+    shards=st.sampled_from([2, 4]),
+    design=st.sampled_from(sorted(_DESIGNS)),
+    matcher=st.sampled_from(["counting", "cluster"]),
+)
+def test_sharded_tracks_churn(kb, subs, evts, shards, design, matcher):
+    """Subscribe → publish → unsubscribe half → publish → re-subscribe
+    under fresh ids → publish: churn must land on the owning shard and
+    every per-shard cache/interest index must track it, with the merged
+    order still matching the single engine's insertion order."""
+    config = SemanticConfig()
+    single, sharded = _build_pair(kb, design, matcher, config, shards, "serial")
+    engines = (single, sharded)
+    for index, sub in enumerate(subs):
+        for engine in engines:
+            engine.subscribe(Subscription(sub.predicates, sub_id=f"s{index}"))
+    for event in evts:
+        assert _match_list(sharded, event) == _match_list(single, event)
+    for index in range(0, len(subs), 2):
+        for engine in engines:
+            engine.unsubscribe(f"s{index}")
+    for event in evts:
+        assert _match_list(sharded, event) == _match_list(single, event)
+    for index in range(0, len(subs), 2):
+        for engine in engines:
+            engine.subscribe(Subscription(subs[index].predicates, sub_id=f"r{index}"))
+    for event in evts:
+        assert _match_list(sharded, event) == _match_list(single, event)
+
+
+@settings(deadline=None)
+@given(
+    kb=knowledge_bases(),
+    subs=st.lists(term_subscriptions(), min_size=1, max_size=5),
+    evts=st.lists(term_events(), min_size=1, max_size=3),
+    design=st.sampled_from(sorted(_DESIGNS)),
+    matcher=st.sampled_from(["counting", "cluster"]),
+)
+def test_threaded_executor_equals_serial(kb, subs, evts, design, matcher):
+    """The threaded fan-out must agree with the serial one: per-shard
+    publishes run concurrently against the shared knowledge base and
+    concept table, so this doubles as a race check on the snapshot's
+    lock-guarded lazy closures (a torn intern would shift dense ids
+    and diverge the match sets)."""
+    executor = ThreadedExecutor(max_workers=4)
+    try:
+        single, sharded = _build_pair(
+            kb, design, matcher, SemanticConfig(), 4, executor
+        )
+        for index, sub in enumerate(subs):
+            for engine in (single, sharded):
+                engine.subscribe(Subscription(sub.predicates, sub_id=f"s{index}"))
+        for event in evts:
+            assert _match_list(sharded, event) == _match_list(single, event)
+    finally:
+        executor.close()

@@ -42,6 +42,37 @@ class TestDemo:
         second = capsys.readouterr().out
         assert first == second
 
+    def test_demo_sharded_prints_per_shard_view(self, capsys):
+        assert (
+            main(["demo", "--companies", "3", "--candidates", "6", "--shards", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "per-shard view (4 shards" in out
+        assert "busy-cpu-ms" in out
+
+    def test_demo_sharded_matches_equal_single_engine(self, capsys):
+        """Same scenario, same match/delivery table rows, any shard
+        count — the CLI-level view of the sharding invariant."""
+        argv = ["demo", "--companies", "3", "--candidates", "8", "--seed", "3"]
+        main(argv)
+        single = capsys.readouterr().out
+        main(argv + ["--shards", "3", "--executor", "serial"])
+        sharded = capsys.readouterr().out
+
+        def demo_table(text: str) -> str:
+            return text.split("publish path")[0]
+
+        assert demo_table(single) == demo_table(sharded)
+
+    def test_demo_single_shard_has_no_shard_table(self, capsys):
+        main(["demo", "--companies", "3", "--candidates", "6"])
+        assert "per-shard view" not in capsys.readouterr().out
+
+    def test_demo_invalid_shard_count_exits_two(self, capsys):
+        """--shards 0 must fail loudly, not silently run single-engine."""
+        assert main(["demo", "--companies", "2", "--candidates", "2", "--shards", "0"]) == 2
+        assert "shards must be >= 1" in capsys.readouterr().err
+
 
 class TestMatch:
     def test_semantic_match_exit_zero(self, capsys):

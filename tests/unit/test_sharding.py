@@ -1,0 +1,392 @@
+"""Unit coverage for the sharded broker layer (PR 5).
+
+The equivalence property suite pins sharded ≡ single-engine behavior
+wholesale; these tests pin the routing and plumbing edges individually:
+unsubscribe landing on the owning shard, per-subscription tolerance
+bounds surviving the merge, empty-shard publishes, the single-shard
+degenerate path, reconfigure rollback, refresh fan-out, and the merged
+stats shape the CLI prints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.sharding import (
+    SerialExecutor,
+    ShardedBroker,
+    ShardedEngine,
+    ThreadedExecutor,
+    default_router,
+)
+from repro.core.config import SemanticConfig
+from repro.core.engine import SToPSS
+from repro.core.subexpand import SubscriptionExpandingEngine
+from repro.errors import (
+    ConfigError,
+    DuplicateSubscriptionError,
+    UnknownSubscriptionError,
+)
+from repro.matching.base import create_matcher
+from repro.metrics.aggregate import merge_stats, publish_path_summary
+from repro.model.parser import parse_event, parse_subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+
+def chain_kb() -> KnowledgeBase:
+    """One three-level chain: leaf -> mid -> top."""
+    kb = KnowledgeBase()
+    kb.add_domain("d").add_chain("leaf", "mid", "top")
+    return kb
+
+
+def digit_router(sub_id: str, shards: int) -> int:
+    """Deterministic test router: trailing digit of the sub id."""
+    return int(sub_id[-1]) % shards
+
+
+class ForbiddenExecutor:
+    """Fails the test if the fan-out path consults the executor."""
+
+    name = "forbidden"
+
+    def map(self, fn, items):  # pragma: no cover - the failure branch
+        raise AssertionError("single-shard publish must not use the executor")
+
+    def close(self) -> None:
+        pass
+
+
+class TestRouting:
+    def test_default_router_is_stable_and_in_range(self):
+        for shards in (1, 2, 4, 7):
+            for sub_id in ("a", "sub-123", "company0-s4242", ""):
+                index = default_router(sub_id, shards)
+                assert 0 <= index < shards
+                assert index == default_router(sub_id, shards)
+
+    def test_subscribe_lands_on_owning_shard(self):
+        engine = ShardedEngine(chain_kb(), shards=4, router=digit_router)
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s2"))
+        assert engine.shard_of("s2") == 2
+        assert "s2" in engine.engines[2]
+        assert all("s2" not in engine.engines[i] for i in (0, 1, 3))
+
+    def test_unsubscribe_removes_from_owning_shard_only(self):
+        engine = ShardedEngine(chain_kb(), shards=4, router=digit_router)
+        for index in range(4):
+            engine.subscribe(parse_subscription("(x = top)", sub_id=f"s{index}"))
+        original = engine.unsubscribe("s1")
+        assert original.sub_id == "s1"
+        assert len(engine.engines[1]) == 0
+        assert len(engine) == 3
+        assert "s1" not in engine
+        # the freed shard no longer matches; the others still do
+        matched = {m.subscription.sub_id for m in engine.publish(parse_event("(x, leaf)"))}
+        assert matched == {"s0", "s2", "s3"}
+
+    def test_unsubscribe_unknown_id_raises_without_touching_shards(self):
+        engine = ShardedEngine(chain_kb(), shards=2)
+        with pytest.raises(UnknownSubscriptionError):
+            engine.unsubscribe("ghost")
+
+    def test_duplicate_live_id_raises_like_single_engine(self):
+        engine = ShardedEngine(chain_kb(), shards=2, router=digit_router)
+        engine.subscribe(parse_subscription("(x = top)", sub_id="a0"))
+        engine.subscribe(parse_subscription("(x = top)", sub_id="a1"))
+        with pytest.raises(DuplicateSubscriptionError):
+            engine.subscribe(parse_subscription("(x = leaf)", sub_id="a0"))
+        # ...and the failed subscribe must not disturb the global order
+        assert [sub.sub_id for sub in engine.subscriptions()] == ["a0", "a1"]
+        # unsubscribe + fresh subscribe takes a fresh sequence slot
+        engine.unsubscribe("a0")
+        engine.subscribe(parse_subscription("(x = leaf)", sub_id="a0"))
+        assert [sub.sub_id for sub in engine.subscriptions()] == ["a1", "a0"]
+
+
+class TestMergeSemantics:
+    def test_per_subscription_bound_survives_merge(self):
+        """A tight personal max_generality must gate its own match and
+        only its own match, whichever shard it lives on."""
+        engine = ShardedEngine(chain_kb(), shards=2, router=digit_router)
+        engine.subscribe(
+            parse_subscription("(x = top)", sub_id="loose0", max_generality=2)
+        )
+        engine.subscribe(
+            parse_subscription("(x = top)", sub_id="tight1", max_generality=1)
+        )
+        matches = {
+            m.subscription.sub_id: m.generality
+            for m in engine.publish(parse_event("(x, leaf)"))
+        }
+        assert matches == {"loose0": 2}
+
+    def test_merged_order_is_global_insertion_order(self):
+        engine = ShardedEngine(chain_kb(), shards=3, router=digit_router)
+        # interleave shards so per-shard order disagrees with global order
+        for sub_id in ("s2", "s0", "s1", "t2", "t0"):
+            engine.subscribe(parse_subscription("(x = top)", sub_id=sub_id))
+        ordered = [m.subscription.sub_id for m in engine.publish(parse_event("(x, mid)"))]
+        assert ordered == ["s2", "s0", "s1", "t2", "t0"]
+
+    def test_empty_shard_publish(self):
+        """Shards with no subscriptions must neither fail nor match."""
+        engine = ShardedEngine(chain_kb(), shards=4, router=digit_router)
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        matches = engine.publish(parse_event("(x, leaf)"))
+        assert [m.subscription.sub_id for m in matches] == ["s0"]
+        # a fully empty fleet publishes cleanly too
+        empty = ShardedEngine(chain_kb(), shards=4)
+        assert empty.publish(parse_event("(x, leaf)")) == []
+
+
+class TestDegenerateAndConstruction:
+    def test_single_shard_skips_the_executor(self):
+        engine = ShardedEngine(chain_kb(), shards=1, executor=ForbiddenExecutor())
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+        matches = engine.publish(parse_event("(x, leaf)"))
+        assert [m.subscription.sub_id for m in matches] == ["s1"]
+
+    def test_single_shard_matches_plain_engine(self):
+        kb = chain_kb()
+        plain = SToPSS(kb)
+        sharded = ShardedEngine(kb, shards=1)
+        for engine in (plain, sharded):
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+        event = parse_event("(x, leaf)")
+        assert [(m.subscription.sub_id, m.generality) for m in plain.publish(event)] == [
+            (m.subscription.sub_id, m.generality) for m in sharded.publish(event)
+        ]
+
+    def test_matcher_instance_rejected_for_multiple_shards(self):
+        with pytest.raises(ConfigError):
+            ShardedEngine(chain_kb(), shards=2, matcher=create_matcher("counting"))
+        # one shard is fine — there is exactly one replica to own it
+        engine = ShardedEngine(chain_kb(), shards=1, matcher=create_matcher("counting"))
+        assert engine.shards == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            ShardedEngine(chain_kb(), shards=0)
+        with pytest.raises(ConfigError):
+            ShardedEngine(chain_kb(), executor="fibers")
+        with pytest.raises(ConfigError):
+            ShardedEngine(chain_kb(), executor=object())
+
+    def test_context_manager_closes_owned_executor(self):
+        with ShardedEngine(chain_kb(), shards=2, executor="threads") as engine:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            engine.publish(parse_event("(x, leaf)"))
+            pool = engine._executor._pool
+            assert pool is not None
+        assert engine._executor._pool is None
+
+    def test_serial_executor_maps_in_order(self):
+        executor = SerialExecutor()
+        assert executor.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+        executor.close()  # no-op, must not raise
+
+    def test_borrowed_executor_left_running(self):
+        executor = ThreadedExecutor(max_workers=2)
+        try:
+            engine = ShardedEngine(chain_kb(), shards=2, executor=executor)
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            engine.publish(parse_event("(x, leaf)"))
+            engine.close()
+            assert executor._pool is not None  # still usable by the caller
+            assert executor.map(len, [[1, 2]]) == [2]
+        finally:
+            executor.close()
+
+
+class TestFleetPlumbing:
+    def test_reconfigure_routes_to_every_shard(self):
+        engine = ShardedEngine(chain_kb(), shards=3)
+        engine.reconfigure(SemanticConfig.syntactic())
+        assert engine.mode == "syntactic"
+        assert all(e.mode == "syntactic" for e in engine.engines)
+        engine.reconfigure(SemanticConfig.semantic())
+        assert all(e.mode == "semantic" for e in engine.engines)
+
+    def test_reconfigure_rolls_back_switched_shards_on_failure(self):
+        engine = ShardedEngine(chain_kb(), shards=3)
+        boom = RuntimeError("shard 2 refuses")
+        original_reconfigure = engine.engines[2].reconfigure
+
+        def failing(config):
+            raise boom
+
+        engine.engines[2].reconfigure = failing
+        with pytest.raises(RuntimeError):
+            engine.reconfigure(SemanticConfig.syntactic())
+        engine.engines[2].reconfigure = original_reconfigure
+        # shards 0 and 1 were switched and must have been rolled back
+        assert [e.mode for e in engine.engines] == ["semantic"] * 3
+
+    def test_bump_semantic_epoch_routes_to_every_shard(self):
+        engine = ShardedEngine(chain_kb(), shards=2)
+        before = engine.semantic_version
+        engine.bump_semantic_epoch("test")
+        after = engine.semantic_version
+        assert before != after
+        assert all(b != a for b, a in zip(before, after))
+
+    def test_refresh_fans_out_on_subscription_side_shards(self):
+        kb = chain_kb()
+        engine = ShardedEngine(
+            kb,
+            shards=2,
+            engine_factory=SubscriptionExpandingEngine,
+            router=digit_router,
+        )
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+        assert engine.refresh() == 0
+        kb.taxonomy("d").add_isa("deeper", "leaf")
+        assert sorted(engine.stale_subscriptions()) == ["s0", "s1"]
+        assert engine.refresh() == 2
+        matched = {m.subscription.sub_id for m in engine.publish(parse_event("(x, deeper)"))}
+        assert matched == {"s0", "s1"}
+
+    def test_refresh_reorders_like_the_single_engine(self):
+        """The single engine's refresh re-subscribes each stale
+        subscription, moving it to the end of the insertion order; the
+        sharded facade must report the same post-refresh order."""
+        kb_single, kb_sharded = chain_kb(), chain_kb()
+        single = SubscriptionExpandingEngine(kb_single)
+        sharded = ShardedEngine(
+            kb_sharded,
+            shards=2,
+            engine_factory=SubscriptionExpandingEngine,
+            router=digit_router,
+        )
+        pairs = ((single, kb_single), (sharded, kb_sharded))
+        for engine, _ in pairs:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        for _, kb in pairs:
+            kb.taxonomy("d").add_isa("deeper", "leaf")
+        for engine, _ in pairs:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+        assert single.refresh() == 1 and sharded.refresh() == 1  # only s0 is stale
+        event = parse_event("(x, deeper)")
+        expected = [m.subscription.sub_id for m in single.publish(event)]
+        assert expected == ["s1", "s0"]  # s0 moved to the end
+        assert [m.subscription.sub_id for m in sharded.publish(event)] == expected
+        assert [sub.sub_id for sub in sharded.subscriptions()] == ["s1", "s0"]
+
+    def test_refresh_is_zero_for_event_side_shards(self):
+        engine = ShardedEngine(chain_kb(), shards=2)
+        assert engine.refresh() == 0
+        assert engine.stale_subscriptions() == []
+
+    def test_subscription_epoch_moves_on_any_shard_churn(self):
+        engine = ShardedEngine(chain_kb(), shards=2, router=digit_router)
+        epochs = {engine.subscription_epoch}
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        epochs.add(engine.subscription_epoch)
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+        epochs.add(engine.subscription_epoch)
+        engine.unsubscribe("s0")
+        epochs.add(engine.subscription_epoch)
+        assert len(epochs) == 4
+
+
+class TestStats:
+    def test_merged_stats_sum_counters_and_keep_single_engine_shape(self):
+        engine = ShardedEngine(chain_kb(), shards=2, router=digit_router)
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+        engine.publish(parse_event("(x, leaf)"))
+        stats = engine.stats()
+        per_shard = stats["sharding"]["shard_stats"]
+        assert stats["subscriptions"] == 2
+        assert stats["publications"] == 1  # logical count, not shards x publishes
+        assert stats["derived_events"] == sum(s["derived_events"] for s in per_shard)
+        assert stats["matcher_stats"]["batches"] == sum(
+            s["matcher_stats"]["batches"] for s in per_shard
+        )
+        assert stats["mode"] == "semantic"
+        assert stats["sharding"]["subscriptions_per_shard"] == [1, 1]
+        assert stats["sharding"]["publications"] == 1
+        assert len(stats["sharding"]["busy_cpu_seconds"]) == 2
+        assert stats["sharding"]["critical_path_seconds"] >= 0.0
+
+    def test_merge_stats_recomputes_rates_from_sums(self):
+        merged = merge_stats(
+            [
+                {"expansion_cache": {"hits": 9, "misses": 1, "hit_rate": 0.9}},
+                {"expansion_cache": {"hits": 0, "misses": 10, "hit_rate": 0.0}},
+            ]
+        )
+        assert merged["expansion_cache"]["hits"] == 9
+        assert merged["expansion_cache"]["hit_rate"] == pytest.approx(0.45)
+        merged = merge_stats(
+            [
+                {"interest": {"candidates_pruned": 3, "prune_checks": 4, "prune_hit_rate": 0.75}},
+                {"interest": {"candidates_pruned": 0, "prune_checks": 0, "prune_hit_rate": 0.0}},
+            ]
+        )
+        assert merged["interest"]["prune_hit_rate"] == pytest.approx(0.75)
+
+    def test_merge_stats_never_sums_unknown_rates(self):
+        merged = merge_stats(
+            [{"memo_hit_rate": 0.9}, {"memo_hit_rate": 0.5}, {"memo_hit_rate": 0.1}]
+        )
+        assert merged["memo_hit_rate"] == pytest.approx(0.5)  # mean, not 1.5
+
+    def test_merge_stats_string_and_bool_policy(self):
+        merged = merge_stats(
+            [
+                {"mode": "semantic", "interest": {"enabled": False}},
+                {"mode": "syntactic", "interest": {"enabled": True}},
+            ]
+        )
+        assert merged["mode"] == "mixed"
+        assert merged["interest"]["enabled"] is True
+
+    def test_publish_path_summary_never_raises_on_sparse_stats(self):
+        for stats in ({}, {"matcher_stats": {}}, {"interest": None}, {"derived_events": 7}):
+            summary = publish_path_summary(stats)
+            assert summary["batches"] == 0
+            assert summary["prune_hit_rate"] == 0.0
+        assert publish_path_summary({"derived_events": 7})["derived"] == 7
+
+
+class TestShardedBroker:
+    def test_full_broker_path_delivers_notifications(self):
+        kb = chain_kb()
+        with ShardedBroker(kb, shards=3, executor="threads") as broker:
+            subscriber = broker.register_subscriber("Initech", email="hr@initech.example")
+            broker.subscribe(subscriber.client_id, "(x = top)")
+            publisher = broker.register_publisher("Ada")
+            report = broker.publish(publisher.client_id, "(x, leaf)")
+            assert report.match_count == 1
+            assert report.delivered_count == 1
+            assert broker.stats()["engine"]["sharding"]["shards"] == 3
+
+    def test_result_cache_never_survives_cross_shard_churn(self):
+        kb = chain_kb()
+        with ShardedBroker(kb, shards=2, router=digit_router) as broker:
+            subscriber = broker.register_subscriber("Initech", email="hr@initech.example")
+            sub0 = broker.subscribe(
+                subscriber.client_id, parse_subscription("(x = top)", sub_id="s0")
+            )
+            publisher = broker.register_publisher("Ada")
+            assert broker.publish(publisher.client_id, "(x, leaf)").match_count == 1
+            # a repeat is served from the dispatcher result cache
+            assert broker.publish(publisher.client_id, "(x, leaf)").match_count == 1
+            assert broker.dispatcher.result_cache_hits == 1
+            # churn on the *other* shard must shift the cache key too
+            broker.subscribe(subscriber.client_id, parse_subscription("(x = top)", sub_id="s1"))
+            assert broker.publish(publisher.client_id, "(x, leaf)").match_count == 2
+            broker.unsubscribe(sub0.sub_id)
+            assert broker.publish(publisher.client_id, "(x, leaf)").match_count == 1
+
+    def test_mode_switch_via_broker_facade(self):
+        kb = chain_kb()
+        with ShardedBroker(kb, shards=2) as broker:
+            assert broker.mode == "semantic"
+            broker.set_syntactic_mode()
+            assert all(e.mode == "syntactic" for e in broker.engines)
+            broker.set_semantic_mode()
+            assert broker.mode == "semantic"
