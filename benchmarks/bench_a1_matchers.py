@@ -16,12 +16,19 @@ import pytest
 
 from repro.core.pipeline import PipelineResult
 from repro.core.provenance import DerivationStep, DerivedEvent
-from repro.matching import create_matcher
+from repro.matching import HAVE_NUMPY, create_matcher
 from repro.metrics import Table
 from repro.model.subscriptions import Subscription
 
 SIZES = (1_000, 5_000, 20_000)
 MATCHERS = ("naive", "counting", "cluster")
+#: batch-capable matchers across kernels; without an engine-bound
+#: interner the numpy rows measure the scalar-fallback path plus the
+#: batch-plan cache (the interned kernel is measured by the C1 kernel
+#: benchmark, which runs a full engine)
+BATCH_MATCHERS = ("counting", "cluster") + (
+    ("counting-numpy", "cluster-numpy") if HAVE_NUMPY else ()
+)
 
 
 def _load(matcher, subscriptions):
@@ -132,7 +139,7 @@ def _synthetic_batches(events, width=_BATCH_WIDTH):
 
 
 @pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s}subs")
-@pytest.mark.parametrize("name", ("counting", "cluster"))
+@pytest.mark.parametrize("name", BATCH_MATCHERS)
 def test_a1_batch_throughput(benchmark, synthetic_workload, name, size):
     subscriptions, events = synthetic_workload
     matcher = create_matcher(name)
@@ -144,6 +151,30 @@ def test_a1_batch_throughput(benchmark, synthetic_workload, name, size):
 
     matches = benchmark(run)
     assert matches >= 0
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_a1_backend_batch_equivalence(synthetic_workload):
+    """The numpy variants reproduce the scalar batch results exactly on
+    the synthetic workload — including here, where no interner is bound
+    and every pair resolves through the scalar-fallback path."""
+    subscriptions, events = synthetic_workload
+    batches = _synthetic_batches(events[:20])
+    for scalar_name in ("counting", "cluster"):
+        scalar = create_matcher(scalar_name)
+        vectorized = create_matcher(f"{scalar_name}-numpy")
+        _load(scalar, subscriptions[:5_000])
+        _load(vectorized, subscriptions[:5_000])
+        for batch in batches:
+            expected = {
+                sub_id: generality
+                for sub_id, (generality, _) in scalar.match_batch(batch).items()
+            }
+            observed = {
+                sub_id: generality
+                for sub_id, (generality, _) in vectorized.match_batch(batch).items()
+            }
+            assert observed == expected, f"{scalar_name} backend divergence"
 
 
 def test_a1_batch_vs_serial_table(benchmark, synthetic_workload, capsys):

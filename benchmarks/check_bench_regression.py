@@ -17,6 +17,13 @@ baseline, per ``(configuration, matcher)`` row:
   subscribed to and the publish path slid back toward exhaustive
   expansion (same 10% policy as the predicate-eval counters).
 
+The same gate serves ``BENCH_kernel.json`` (written by
+``test_c1_kernel_backends``): its rows add the vectorized kernel's
+deterministic counters — ``rows_evaluated`` / ``scalar_fallbacks``
+bound above, ``vectorized_batches`` bound below — and every field is
+``.get``-checked against the baseline row, so scalar rows (which
+legitimately lack kernel counters) and old baselines never KeyError.
+
 Counters are deterministic and machine-independent, so the tolerance
 only absorbs intentional drift; tighten it if rows start flapping.
 
@@ -46,6 +53,26 @@ import sys
 #: regression signal, it is noise around an irrelevant code path.
 MIN_BASELINE = 20
 
+#: cost counters: must not *increase* past tolerance.  Fields are
+#: looked up with ``.get`` and skipped when absent from the baseline
+#: row, so one gate serves both payload families — ``BENCH_publish``
+#: rows carry the predicate-evaluation counter, ``BENCH_kernel`` rows
+#: add the vectorized kernel's deterministic work counters (scalar
+#: rows legitimately lack them).
+UPPER_FIELDS = (
+    "batch_predicate_evaluations",
+    "rows_evaluated",
+    "scalar_fallbacks",
+)
+
+#: savings counters: must not *decrease* past tolerance.
+LOWER_FIELDS = (
+    "probes_saved",
+    "probes_saved_two_passes",
+    "candidates_pruned",
+    "vectorized_batches",
+)
+
 
 def _rows(payload: dict) -> dict[tuple[str, str], dict]:
     return {
@@ -66,16 +93,18 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
         base, new = base_rows[key], fresh_rows[key]
         label = "/".join(key)
 
-        base_evals = base["batch_predicate_evaluations"]
-        new_evals = new["batch_predicate_evaluations"]
-        if new_evals > base_evals * (1 + tolerance):
-            failures.append(
-                f"{label}: batch predicate evaluations regressed "
-                f"{base_evals} -> {new_evals} "
-                f"(+{100 * (new_evals / max(base_evals, 1) - 1):.1f}%)"
-            )
+        for field in UPPER_FIELDS:
+            if field not in base:
+                continue
+            base_cost = base[field]
+            new_cost = new.get(field, 0)
+            if new_cost > base_cost * (1 + tolerance):
+                failures.append(
+                    f"{label}: {field} regressed {base_cost} -> {new_cost} "
+                    f"(+{100 * (new_cost / max(base_cost, 1) - 1):.1f}%)"
+                )
 
-        for field in ("probes_saved", "probes_saved_two_passes", "candidates_pruned"):
+        for field in LOWER_FIELDS:
             base_saved = base.get(field, 0)
             new_saved = new.get(field, 0)
             if base_saved < MIN_BASELINE:

@@ -406,6 +406,14 @@ class ShardedEngine:
         return {
             "shards": len(self._engines),
             "executor": getattr(self._executor, "name", type(self._executor).__name__),
+            # resolved per-shard matcher registry names: each replica
+            # resolves its own backend from its config, so a numpy
+            # preference surfaces here as e.g. "counting-numpy" (or the
+            # scalar name where the preference degraded).
+            "matchers": [
+                getattr(getattr(engine, "matcher", None), "name", "?")
+                for engine in self._engines
+            ],
             "subscriptions_per_shard": [len(engine) for engine in self._engines],
             "publications": self.publications,
             "busy_cpu_seconds": list(self._busy_cpu_seconds),

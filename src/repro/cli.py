@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="threads",
         help="publish fan-out executor when --shards > 1",
     )
+    demo.add_argument(
+        "--backend",
+        choices=("python", "numpy"),
+        default="python",
+        help="matching kernel preference (numpy degrades to the scalar "
+        "backend when numpy is not installed)",
+    )
 
     match = sub.add_parser("match", help="match one event against one subscription")
     match.add_argument("subscription", help='e.g. "(university = Toronto) and (degree = PhD)"')
@@ -96,6 +103,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             "pred-evals",
             "probes-saved",
             "memo-hits",
+            "vec-batch%",
+            "scalar-fb",
             "cache-hit%",
             "result-hit%",
         ],
@@ -105,8 +114,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         ["mode", "shard", "subs", "derived", "pruned", "pred-evals", "busy-cpu-ms"],
     )
     for mode, config in (
-        ("semantic", SemanticConfig.semantic()),
-        ("syntactic", SemanticConfig.syntactic()),
+        ("semantic", SemanticConfig.semantic(matching_backend=args.backend)),
+        ("syntactic", SemanticConfig.syntactic(matching_backend=args.backend)),
     ):
         scenario = JobFinderScenario(build_jobs_knowledge_base(), spec)
         if args.shards == 1:
@@ -144,6 +153,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             summary["predicate_evaluations"],
             summary["probes_saved"],
             summary["memo_hits"],
+            round(100.0 * summary["vectorized_batch_rate"], 1),
+            summary["scalar_fallbacks"],
             round(100.0 * summary["expansion_cache_hit_rate"], 1),
             round(100.0 * summary["result_cache_hit_rate"], 1),
         )

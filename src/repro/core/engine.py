@@ -48,7 +48,7 @@ from repro.core.interest import InterestIndex
 from repro.core.pipeline import PipelineResult, SemanticPipeline
 from repro.core.provenance import SemanticMatch
 from repro.errors import UnknownSubscriptionError
-from repro.matching.base import MatchingAlgorithm, create_matcher
+from repro.matching.base import MatchingAlgorithm, create_matcher, resolve_backend
 from repro.metrics.counters import CounterRegistry
 from repro.model.events import Event
 from repro.model.subscriptions import Subscription
@@ -85,9 +85,14 @@ class SToPSS:
         self.kb = kb
         self.config = config if config is not None else SemanticConfig()
         if isinstance(matcher, str):
-            self._matcher_name = matcher
-            self._matcher = create_matcher(matcher)
+            #: registry request kept verbatim so reconfigure can
+            #: re-resolve the backend under a new config; ``None`` for
+            #: instance-provided matchers, which are never swapped.
+            self._requested_matcher = matcher
+            self._matcher_name = self._resolve_matcher(matcher, self.config)
+            self._matcher = create_matcher(self._matcher_name)
         else:
+            self._requested_matcher = None
             self._matcher_name = matcher.name
             self._matcher = matcher
         self._extra_stages = tuple(extra_stages)
@@ -117,6 +122,19 @@ class SToPSS:
         #: matcher-inserted root form, handed to the pipeline per
         #: publish, rebuilt by reconfigure.
         self._interest = self._build_interest()
+
+    @staticmethod
+    def _resolve_matcher(name: str, config: SemanticConfig) -> str:
+        """The registry name a matcher request resolves to under
+        *config*: the configured ``matching_backend`` variant when one
+        is registered, degrading to the scalar name when it is not
+        (numpy absent, or no vectorized variant for this matcher).
+        ``interning=False`` forces the scalar backend — the vectorized
+        kernels key on interned concept ids.  Explicit backend-specific
+        names (``"counting-numpy"``) pass through unchanged, so asking
+        for one without its dependency stays a hard error."""
+        backend = config.matching_backend if config.interning else "python"
+        return resolve_backend(name, backend)
 
     def _build_interest(self) -> InterestIndex | None:
         """A fresh interest index under the active configuration, or
@@ -367,7 +385,20 @@ class SToPSS:
         ``engine.matcher`` identity stable across mode switches.
         Cached expansions are dropped: they were derived under the old
         configuration.
+
+        When the engine was built from a registry name and the new
+        configuration resolves it to a *different* registry entry (the
+        ``matching_backend`` or ``interning`` toggle moved), the
+        matcher is replaced rather than reset — the replacement is
+        built and filled completely before anything is committed, so a
+        failure leaves the engine running on the old matcher untouched.
+        Instance-provided matchers are never swapped.
         """
+        if self._requested_matcher is not None:
+            resolved = self._resolve_matcher(self._requested_matcher, config)
+            if resolved != self._matcher_name:
+                self._reconfigure_with_matcher(config, resolved)
+                return
         new_pipeline = SemanticPipeline(self.kb, config, extra_stages=self._extra_stages)
         ordered = list(self.subscriptions())
         # Derive every new root form *before* touching the matcher, so
@@ -403,6 +434,47 @@ class SToPSS:
             for root in old_roots:
                 matcher.insert(root)
             self._rebuild_interest(old_roots)
+            raise
+
+    def _reconfigure_with_matcher(self, config: SemanticConfig, name: str) -> None:
+        """Reconfigure onto a different registry matcher (the resolved
+        backend changed).  The replacement is constructed, bound to the
+        effective concept-table identity, and filled with the new root
+        forms *before* any engine state moves, so any failure raises
+        with the engine still fully functional on the old matcher."""
+        new_pipeline = SemanticPipeline(self.kb, config, extra_stages=self._extra_stages)
+        roots = [new_pipeline.process_subscription(sub) for sub in self.subscriptions()]
+        matcher = create_matcher(name)
+        table = self.kb.concept_table() if config.interning else None
+        if table is not None:
+            matcher.bind_interner(table.value_key)
+        for root in roots:
+            matcher.insert(root)
+        saved = (
+            self.config,
+            self.pipeline,
+            self._matcher,
+            self._matcher_name,
+            self._bound_table,
+            self._interest,
+        )
+        self.config = config
+        self.pipeline = new_pipeline
+        self._matcher = matcher
+        self._matcher_name = name
+        self._bound_table = table
+        self._invalidate_expansion_cache()
+        try:
+            self._rebuild_interest(roots)
+        except BaseException:
+            (
+                self.config,
+                self.pipeline,
+                self._matcher,
+                self._matcher_name,
+                self._bound_table,
+                self._interest,
+            ) = saved
             raise
 
     def _rebuild_interest(self, roots) -> None:

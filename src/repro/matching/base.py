@@ -23,7 +23,13 @@ if TYPE_CHECKING:  # avoid a runtime matching <-> core import cycle
     from repro.core.pipeline import PipelineResult
     from repro.core.provenance import DerivedEvent
 
-__all__ = ["MatchingAlgorithm", "register_matcher", "create_matcher", "matcher_names"]
+__all__ = [
+    "MatchingAlgorithm",
+    "register_matcher",
+    "create_matcher",
+    "matcher_names",
+    "resolve_backend",
+]
 
 
 class MatchingAlgorithm(abc.ABC):
@@ -266,3 +272,21 @@ def create_matcher(name: str) -> MatchingAlgorithm:
 
 def matcher_names() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(name: str, backend: str | None = "python") -> str:
+    """The registry name for matcher *name* under *backend*.
+
+    ``"python"`` (or ``None``) is the scalar default and returns *name*
+    unchanged.  Any other backend tries ``"{name}-{backend}"`` and
+    degrades to the plain scalar name when no such registration exists —
+    either because the backend's dependency is absent (numpy not
+    installed) or because the matcher has no variant for it (naive).
+    Explicitly requesting an unregistered name through
+    :func:`create_matcher` still raises; degradation is reserved for
+    backend *preferences* expressed through configuration.
+    """
+    if backend in (None, "python"):
+        return name
+    candidate = f"{name}-{backend}"
+    return candidate if candidate in _REGISTRY else name

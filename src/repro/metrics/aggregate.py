@@ -108,14 +108,23 @@ def publish_path_summary(
     cache = section("expansion_cache")
     interest = section("interest")
     cached = result_cache if result_cache is not None else {}
+    batches = matcher.get("batches", 0)
+    vectorized = matcher.get("vectorized_batches", 0)
     return {
-        "batches": matcher.get("batches", 0),
+        "batches": batches,
         "derived": engine_stats.get("derived_events", 0),
         "pruned": interest.get("candidates_pruned", 0),
         "prune_hit_rate": interest.get("prune_hit_rate", 0.0),
         "predicate_evaluations": matcher.get("predicate_evaluations", 0),
         "probes_saved": matcher.get("probes_saved", 0),
         "memo_hits": matcher.get("memo_hits", 0),
+        # kernel counters: only the vectorized backends bump these, so
+        # scalar (and mixed-shard) snapshots render as zeros, never
+        # KeyError — exactly the defensive contract of this layer.
+        "vectorized_batches": vectorized,
+        "vectorized_batch_rate": (vectorized / batches) if batches else 0.0,
+        "rows_evaluated": matcher.get("rows_evaluated", 0),
+        "scalar_fallbacks": matcher.get("scalar_fallbacks", 0),
         "expansion_cache_hit_rate": cache.get("hit_rate", 0.0),
         "result_cache_hit_rate": cached.get("hit_rate", 0.0),
     }

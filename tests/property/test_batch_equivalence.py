@@ -17,7 +17,9 @@ from hypothesis import strategies as st
 
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
+from repro.core.subexpand import SubscriptionExpandingEngine
 from repro.matching import matcher_names
+from repro.matching.vectorized import HAVE_NUMPY
 from repro.model.events import Event
 from repro.model.predicates import Predicate
 from repro.model.subscriptions import Subscription
@@ -139,3 +141,61 @@ def test_match_batch_equals_serial_match(matcher_name, kb, subs, events, config_
                 continue
             expected.add((sub_id, generality))
         assert published == expected
+
+
+# ---------------------------------------------------------------------------
+# Vectorized backend ≡ scalar backend (the PR 6 invariant)
+# ---------------------------------------------------------------------------
+
+
+def _published(engine, event) -> dict[str, int]:
+    return {m.subscription.sub_id: m.generality for m in engine.publish(event)}
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+@pytest.mark.parametrize("engine_factory", [SToPSS, SubscriptionExpandingEngine])
+@pytest.mark.parametrize("matcher", ["counting", "cluster"])
+@given(
+    kb=knowledge_bases(),
+    subs=st.lists(term_subscriptions(), min_size=1, max_size=6),
+    events=st.lists(term_events(), min_size=2, max_size=4),
+    interning=st.booleans(),
+    pruning=st.booleans(),
+    bound=st.sampled_from([None, 0, 1, 2]),
+)
+def test_vectorized_backend_equals_scalar(
+    engine_factory, matcher, kb, subs, events, interning, pruning, bound
+):
+    """``matching_backend="numpy"`` must publish the exact match sets
+    *and* generalities of the scalar backend — both engine designs,
+    interning/pruning toggles (with ``interning=False`` the preference
+    degrades to scalar, which must also agree), and subscription churn
+    between publications (plans, layouts, and eq tables invalidate)."""
+    engines = []
+    for backend in ("python", "numpy"):
+        config = SemanticConfig(
+            interning=interning,
+            interest_pruning=pruning,
+            max_generality=bound,
+            matching_backend=backend,
+        )
+        engine = engine_factory(kb, matcher=matcher, config=config)
+        for index, sub in enumerate(subs):
+            engine.subscribe(
+                Subscription(
+                    sub.predicates, sub_id=f"s{index}", max_generality=sub.max_generality
+                )
+            )
+        engines.append(engine)
+    scalar, vectorized = engines
+    half = len(events) // 2
+    for event in events[:half]:
+        assert _published(scalar, event) == _published(vectorized, event)
+    # churn mid-stream: drop one subscription, add a fresh one
+    scalar.unsubscribe("s0")
+    vectorized.unsubscribe("s0")
+    fresh = Subscription(subs[0].predicates, sub_id="fresh")
+    scalar.subscribe(fresh)
+    vectorized.subscribe(Subscription(subs[0].predicates, sub_id="fresh"))
+    for event in events[half:]:
+        assert _published(scalar, event) == _published(vectorized, event)

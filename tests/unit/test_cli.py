@@ -73,6 +73,31 @@ class TestDemo:
         assert main(["demo", "--companies", "2", "--candidates", "2", "--shards", "0"]) == 2
         assert "shards must be >= 1" in capsys.readouterr().err
 
+    def test_demo_prints_kernel_columns(self, capsys):
+        assert main(["demo", "--companies", "3", "--candidates", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "vec-batch%" in out and "scalar-fb" in out
+
+    def test_demo_backend_flag_matches_scalar(self, capsys):
+        """Same scenario, same match/delivery table rows under either
+        kernel — the CLI-level view of the backend-equivalence
+        invariant (with numpy absent, --backend numpy degrades and the
+        comparison is trivially equal, which is also the contract)."""
+        argv = ["demo", "--companies", "3", "--candidates", "8", "--seed", "3"]
+        main(argv + ["--backend", "python"])
+        scalar = capsys.readouterr().out
+        main(argv + ["--backend", "numpy"])
+        vectorized = capsys.readouterr().out
+
+        def demo_table(text: str) -> str:
+            return text.split("publish path")[0]
+
+        assert demo_table(scalar) == demo_table(vectorized)
+
+    def test_demo_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--backend", "fortran"])
+
 
 class TestMatch:
     def test_semantic_match_exit_zero(self, capsys):
