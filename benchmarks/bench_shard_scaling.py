@@ -1,31 +1,41 @@
-"""Shard-scaling sweep for the sharded broker (PR 5).
+"""Shard-scaling sweep for the sharded broker (PR 5, executors PR 7).
 
-Grows the full-semantic jobfinder subscription table 100→5000 and the
-shard count 1→8 (threaded fan-out executor), and records per
-``(subscriptions, shards)`` row:
+Grows the full-semantic jobfinder subscription table 100→5000 across an
+executor × shard-count grid — the threaded fan-out at 2/4/8 shards and
+the worker-process data plane at 2/4 — against a 1-shard baseline row,
+and records per ``(subscriptions, executor, shards)`` row:
 
-* ``events_per_second`` — **observed** wall-clock throughput.  Shard
-  publish work is pure Python, so on a stock (GIL) interpreter the
-  threads interleave instead of overlapping and this number cannot
-  beat one shard; on free-threaded builds or multi-process deployments
-  it converges toward the critical-path number below.
+* ``events_per_second`` — **observed** wall-clock throughput.  Threaded
+  shard publish work is pure Python, so on a stock (GIL) interpreter
+  the threads interleave instead of overlapping and that executor's
+  observed number cannot beat one shard; the process executor runs each
+  shard on its own interpreter, so with ≥ shards cores its observed
+  number is the one expected to clear 1.0× (on a single-core runner it
+  honestly will not — IPC overhead with no overlap to pay for it).
 * ``events_per_second_critical_path`` — throughput over the fan-out's
   **measured critical path**: per publication, the slowest shard's
   publish CPU (thread time, so GIL interleaving does not inflate it).
-  This is what the threaded executor's wall-clock becomes once shards
-  genuinely overlap (≥ shards cores), measured — not modelled — from
-  per-shard timers.
-* ``speedup_vs_one_shard`` — critical-path throughput relative to the
-  1-shard row of the same table size (the scale-out signal), plus
-  ``observed_speedup_vs_one_shard`` for the honest single-core view.
-* the merged match/derived/pruning counters, and per-shard busy CPU.
+  This is what wall-clock converges to once shards genuinely overlap.
+* ``speedup_vs_one_shard`` / ``observed_speedup_vs_one_shard`` —
+  critical-path and wall-clock throughput relative to the 1-shard row
+  of the same table size.
+* the merged match/derived/pruning counters, per-shard busy CPU, and
+  (process rows) the one-time worker-fleet startup cost, kept out of
+  the timed publish window the way a long-running broker amortizes it.
+
+The top-level ``observed_speedup`` summary distills the scale-out
+acceptance signal: the best wall-clock speedup among 4-shard process
+rows.  ``benchmarks/check_shard_speedup.py`` gates on it in CI's
+multicore job (> 1.0 required when the runner has ≥ 4 cores; smaller
+runners record without gating).
 
 Results land in ``BENCH_shards.json`` (``STOPSS_BENCH_SHARDS_OUTPUT``
-redirects a fresh run).  CI runs this as a **record-only artifact** —
-wall-clock is machine-dependent, so no gate reads this file; the only
-assertions below are deterministic: the per-event ``(sub_id,
-generality)`` match lists stay identical to the 1-shard row at every
-size, and every subscription lands on exactly one shard.
+redirects a fresh run).  Wall-clock numbers are machine-dependent and
+never gate by themselves; the in-test assertions are deterministic:
+every executor leg — including the full wire-codec/shared-memory
+process path — reproduces the 1-shard row's exact per-event
+``(sub_id, generality)`` match lists, and every subscription lands on
+exactly one shard.
 """
 
 from __future__ import annotations
@@ -43,7 +53,16 @@ from repro.workload.generator import SemanticSpec, SemanticWorkloadGenerator
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-SHARD_COUNTS = (1, 2, 4, 8)
+#: (executor spec, shard count) legs; the 1-shard serial row is the
+#: speedup baseline for every other leg at the same table size.
+EXECUTOR_LEGS = (
+    ("serial", 1),
+    ("threads", 2),
+    ("threads", 4),
+    ("threads", 8),
+    ("process", 2),
+    ("process", 4),
+)
 SUBSCRIPTION_COUNTS = (100, 1000, 5000)
 EVENTS = 40
 MATCHER = "counting"
@@ -58,17 +77,18 @@ def _fresh_subscription(subscription: Subscription) -> Subscription:
 
 
 def test_shard_scaling(benchmark, jobs_kb, capsys):
-    """Full-semantic publish throughput as shards grow, at three
-    subscription-table sizes (threaded executor throughout)."""
+    """Full-semantic publish throughput across the executor × shard
+    grid, at three subscription-table sizes."""
     generator = SemanticWorkloadGenerator(jobs_kb, SemanticSpec.jobs(seed=1703))
     subscriptions = generator.subscriptions(max(SUBSCRIPTION_COUNTS))
     events = generator.events(EVENTS)
 
     table = Table(
         f"Shard scaling — full-semantic publish ({EVENTS} events, "
-        f"{MATCHER} matcher, threads executor)",
+        f"{MATCHER} matcher, executor sweep)",
         [
             "subs",
+            "exec",
             "shards",
             "matches",
             "derived",
@@ -76,20 +96,21 @@ def test_shard_scaling(benchmark, jobs_kb, capsys):
             "ev/s",
             "ev/s crit-path",
             "speedup",
+            "observed",
         ],
     )
     payload: dict[str, object] = {
         "workload": "jobfinder",
         "configuration": "full",
         "matcher": MATCHER,
-        "executor": "threads",
         "events": EVENTS,
         "cpu_count": os.cpu_count(),
         "speedup_model": (
             "speedup_vs_one_shard compares events_per_second_critical_path "
             "(per-publication max of per-shard publish CPU, thread time) "
-            "against the 1-shard row; observed wall-clock is recorded "
-            "beside it and is GIL/core-count bound"
+            "against the 1-shard row; observed_speedup_vs_one_shard is the "
+            "wall-clock ratio — GIL-bound for threads, real multicore for "
+            "the process executor given >= shards cores"
         ),
         "sweep": [],
     }
@@ -97,21 +118,29 @@ def test_shard_scaling(benchmark, jobs_kb, capsys):
     def sweep():
         table.rows.clear()
         payload["sweep"] = []
+        best_process_speedup: dict[int, float] = {}
         for count in SUBSCRIPTION_COUNTS:
             base_match_sets: list | None = None
             base_critical_rate: float | None = None
             base_observed_rate: float | None = None
-            for shards in SHARD_COUNTS:
+            for executor, shards in EXECUTOR_LEGS:
                 engine = ShardedEngine(
                     jobs_kb,
                     shards=shards,
                     matcher=MATCHER,
                     config=SemanticConfig(),
-                    executor="threads",
+                    executor=executor,
                 )
                 try:
                     for subscription in subscriptions[:count]:
                         engine.subscribe(_fresh_subscription(subscription))
+                    # fork the worker fleet outside the timed window: a
+                    # long-running broker pays it once, not per publish
+                    startup = 0.0
+                    if executor == "process":
+                        started = time.perf_counter()
+                        engine._ensure_plane()
+                        startup = time.perf_counter() - started
                     #: per event, the exact (sub_id, generality) list —
                     #: the full observable surface the 1-shard row must
                     #: reproduce (totals alone could mask a lost match
@@ -141,6 +170,7 @@ def test_shard_scaling(benchmark, jobs_kb, capsys):
                 assert match_sets == base_match_sets, (
                     "sharded match sets diverged from the single engine",
                     count,
+                    executor,
                     shards,
                 )
                 assert sum(sharding["subscriptions_per_shard"]) == count
@@ -148,9 +178,12 @@ def test_shard_scaling(benchmark, jobs_kb, capsys):
                 observed_speedup = (
                     observed_rate / base_observed_rate if base_observed_rate else 0.0
                 )
+                if executor == "process" and shards == 4:
+                    best_process_speedup[count] = observed_speedup
                 interest = stats.get("interest", {})
                 table.add(
                     count,
+                    executor,
                     shards,
                     matches,
                     stats.get("derived_events", 0),
@@ -158,15 +191,19 @@ def test_shard_scaling(benchmark, jobs_kb, capsys):
                     round(observed_rate, 1),
                     round(critical_rate, 1),
                     round(speedup, 2),
+                    round(observed_speedup, 2),
                 )
                 payload["sweep"].append({
                     "subscriptions": count,
+                    "executor": executor,
                     "shards": shards,
                     "matches": matches,
                     "derived_events": stats.get("derived_events", 0),
                     "candidates_pruned": interest.get("candidates_pruned", 0),
                     "subscriptions_per_shard": sharding["subscriptions_per_shard"],
                     "busy_cpu_seconds": sharding["busy_cpu_seconds"],
+                    "wire_fallbacks": sharding["wire_fallbacks"],
+                    "plane_startup_seconds": startup,
                     # wall-clock: record-only, machine-dependent
                     "publish_seconds": elapsed,
                     "events_per_second": observed_rate,
@@ -175,6 +212,17 @@ def test_shard_scaling(benchmark, jobs_kb, capsys):
                     "events_per_second_critical_path": critical_rate,
                     "speedup_vs_one_shard": speedup,
                 })
+        payload["observed_speedup"] = {
+            "executor": "process",
+            "shards": 4,
+            "by_subscriptions": {
+                str(count): round(value, 3)
+                for count, value in sorted(best_process_speedup.items())
+            },
+            "best": round(max(best_process_speedup.values()), 3)
+            if best_process_speedup
+            else 0.0,
+        }
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
     out_path = pathlib.Path(
@@ -184,4 +232,5 @@ def test_shard_scaling(benchmark, jobs_kb, capsys):
     with capsys.disabled():
         print()
         table.print()
+        print(f"observed_speedup (process, 4 shards): {payload['observed_speedup']}")
         print(f"wrote {out_path}")

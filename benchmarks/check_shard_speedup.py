@@ -1,0 +1,90 @@
+"""CI multicore gate for the process-executor shard scaling sweep.
+
+Reads a ``BENCH_shards.json`` payload (written by
+``bench_shard_scaling.py``) and enforces the PR 7 acceptance bar: on a
+runner with at least 4 CPU cores, the best **observed wall-clock**
+speedup among 4-shard process-executor rows must exceed 1.0× the
+1-shard baseline — the worker processes genuinely overlapped, GIL and
+IPC overhead included.
+
+The gate is deliberately conditional on the *recorded* core count
+(``cpu_count`` in the payload, captured where the sweep actually ran):
+on smaller machines a process fleet has no cores to overlap on, so the
+honest sub-1.0 number is recorded and reported but never fails the
+job.  Everything deterministic about the sweep (match-set equality
+across every executor leg) already gated inside the benchmark itself.
+
+Usage::
+
+    python benchmarks/check_shard_speedup.py BENCH_shards.json \
+        [--min-cores 4] [--threshold 1.0]
+
+Exit status 0 = pass (or recorded-only on a small runner),
+1 = speedup bar missed, 2 = usage/shape error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("payload", type=pathlib.Path)
+    parser.add_argument(
+        "--min-cores",
+        type=int,
+        default=4,
+        help="gate only when the sweep ran on at least this many cores",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.0,
+        help="required best observed 4-shard process speedup (exclusive)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(args.payload.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.payload}: {exc}", file=sys.stderr)
+        return 2
+    summary = payload.get("observed_speedup")
+    if not isinstance(summary, dict) or "best" not in summary:
+        print(
+            "error: payload has no observed_speedup summary — regenerate "
+            "with the current bench_shard_scaling.py",
+            file=sys.stderr,
+        )
+        return 2
+
+    cpu_count = payload.get("cpu_count") or 0
+    best = summary["best"]
+    per_size = summary.get("by_subscriptions", {})
+    print(
+        f"observed 4-shard process speedup: best {best}x "
+        f"(per table size: {per_size}), sweep ran on {cpu_count} core(s)"
+    )
+    if cpu_count < args.min_cores:
+        print(
+            f"recorded only: {cpu_count} core(s) < {args.min_cores} — no room "
+            "for worker processes to overlap, gate skipped"
+        )
+        return 0
+    if best > args.threshold:
+        print(f"PASS: {best}x > {args.threshold}x with {cpu_count} cores")
+        return 0
+    print(
+        f"FAIL: best observed speedup {best}x did not clear "
+        f"{args.threshold}x on a {cpu_count}-core runner",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

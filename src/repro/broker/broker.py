@@ -168,3 +168,21 @@ class Broker:
 
     def stats(self) -> dict[str, object]:
         return self.dispatcher.stats()
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release engine-held resources (executor pools, worker
+        processes, shared-memory segments).  A plain single-engine
+        broker holds none, so this is a no-op there — having it on the
+        base class means ``with Broker(...)``-style cleanup code works
+        unchanged when the engine is swapped for a sharded one."""
+        closer = getattr(self.engine, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

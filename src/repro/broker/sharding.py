@@ -38,10 +38,30 @@ shard without a lookup table); ``reconfigure``, ``refresh``, and
 motion needs no routing at all — each replica's publish path already
 re-syncs against ``kb.version`` through the existing semantic-version/
 epoch plumbing.
+
+Three executors ship, one per concurrency regime
+(``docs/CONCURRENCY.md`` is the full contract):
+:class:`SerialExecutor` runs shards inline;
+:class:`ThreadedExecutor` overlaps them on threads (GIL-bound for this
+pure-Python work — wall-clock on one interpreter does not improve);
+:class:`ProcessExecutor` gives each shard its own worker *process*,
+which is where the 4-shard critical-path gain becomes real wall-clock.
+Processes cannot share the in-memory replicas, so the distributed path
+trades the ``map``-a-closure seam for a data plane: publications cross
+as compact interned-id wire tuples
+(:meth:`Event.to_wire <repro.model.events.Event.to_wire>`), the
+concept table's closure arrays cross *once* as a read-only
+shared-memory snapshot (:class:`~repro.ontology.concept_table.
+SharedClosureSnapshot`), and match results come back as wire tuples
+the parent decodes against its own table.  The parent keeps its local
+replicas as the control plane — the routing/ordering source of truth
+that also lets the fleet be rebuilt from scratch whenever the
+knowledge base moves (forked workers never see parent KB mutations).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
 import zlib
@@ -53,12 +73,13 @@ from repro.broker.transports import TransportRegistry
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
 from repro.core.pipeline import PipelineResult
-from repro.core.provenance import SemanticMatch
-from repro.errors import ConfigError, UnknownSubscriptionError
+from repro.core.provenance import DerivedEvent, SemanticMatch
+from repro.errors import BrokerError, ConfigError, UnknownSubscriptionError
 from repro.matching.base import MatchingAlgorithm
-from repro.metrics.aggregate import merge_stats
-from repro.model.events import Event
+from repro.metrics.aggregate import merge_stats, stats_from_wire
+from repro.model.events import Event, wire_fallback_count
 from repro.model.subscriptions import Subscription
+from repro.ontology.concept_table import SharedClosureSnapshot
 from repro.ontology.knowledge_base import KnowledgeBase
 
 __all__ = [
@@ -66,6 +87,7 @@ __all__ = [
     "ShardedEngine",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "default_router",
 ]
 
@@ -131,10 +153,305 @@ class ThreadedExecutor:
             self._pool = None
 
 
+class ProcessExecutor:
+    """Fan-out executor that runs each shard replica in its own worker
+    *process* — the executor that actually breaks the GIL, turning the
+    measured per-shard critical path into wall-clock on >= N cores.
+
+    Worker processes cannot call the engine's bound ``_publish_shard``
+    closure, so :class:`ShardedEngine` detects the ``distributed``
+    marker and routes its traffic through a wire-codec data plane
+    (:class:`_ProcessDataPlane`) instead of ``map``; ``map`` itself
+    only serves third-party callers and runs inline.  The engine owns
+    the worker fleet and tears it down on ``close()`` whether or not it
+    owns this executor object.
+
+    ``start_method`` defaults to ``"fork"`` where available (workers
+    inherit the knowledge base without pickling, so KBs carrying
+    arbitrary mapping functions work); ``"spawn"`` requires the KB,
+    engine factory, and matcher spec to be picklable.  One instance
+    configures one engine's fleet at a time.
+    """
+
+    name = "process"
+    #: tells ShardedEngine to run its cross-process data plane
+    distributed = True
+
+    def __init__(
+        self, start_method: str | None = None, request_timeout: float = 120.0
+    ) -> None:
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else None
+        self.start_method = start_method
+        self.request_timeout = request_timeout
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        """Nothing to release here — worker processes belong to the
+        engine's data plane, which the engine closes."""
+
+
+def _send_error(conn, exc: BaseException) -> None:
+    """Ship a worker-side failure to the parent, preserving the original
+    exception when it pickles (so the parent re-raises the same type the
+    single-engine path would) and degrading to a string otherwise."""
+    try:
+        conn.send(("err", exc))
+    except Exception:
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # parent is gone; nothing left to report to
+            pass
+
+
+def _worker_publish(engine, kb, wire) -> tuple:
+    """One publication inside a shard worker: decode, publish, encode.
+
+    The reply deduplicates derived events — many matches share one
+    ``matched_via`` — as ``(derived wire tuples, (sub_id, generality,
+    derived index) rows, publish thread-CPU span)``."""
+    table = kb.concept_table() if engine.config.interning else None
+    event = Event.from_wire(wire, table)
+    started = time.thread_time()
+    matches = engine.publish(event)
+    span = time.thread_time() - started
+    derived_wires: list = []
+    index_of: dict[int, int] = {}
+    rows = []
+    for match in matches:
+        key = id(match.matched_via)
+        via_index = index_of.get(key)
+        if via_index is None:
+            via_index = index_of[key] = len(derived_wires)
+            derived_wires.append(match.matched_via.to_wire(table))
+        rows.append((match.subscription.sub_id, match.generality, via_index))
+    return tuple(derived_wires), rows, span
+
+
+def _shard_worker_main(
+    conn, kb, factory, matcher, config, subscriptions, snapshot_descriptor
+) -> None:
+    """Entry point of one shard worker process.
+
+    Builds the replica engine (adopting the parent's shared-memory
+    closure snapshot when it still matches this KB version), subscribes
+    the shard's originals in global insertion order, acknowledges
+    readiness, then serves the request/reply loop until ``stop`` or a
+    closed pipe.  Every request is answered with ``("ok", payload)`` or
+    ``("err", exception-or-text)`` — the worker never dies on an
+    engine error, only on a broken parent."""
+    snapshot = None
+    try:
+        if snapshot_descriptor is not None:
+            try:
+                snapshot = SharedClosureSnapshot.attach(snapshot_descriptor)
+                kb.concept_table().adopt_snapshot(snapshot)
+            except Exception:
+                # the snapshot is an optimization, never a correctness
+                # dependency: on any mismatch fall back to local fills.
+                if snapshot is not None:
+                    snapshot.close()
+                snapshot = None
+        engine = factory(kb, matcher=matcher, config=config)
+        for subscription in subscriptions:
+            engine.subscribe(subscription)
+    except BaseException as exc:
+        _send_error(conn, exc)
+        conn.close()
+        return
+    conn.send(("ok", None))
+    try:
+        while True:
+            try:
+                op, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if op == "stop":
+                conn.send(("ok", None))
+                break
+            try:
+                if op == "publish":
+                    conn.send(("ok", _worker_publish(engine, kb, payload)))
+                elif op == "subscribe":
+                    engine.subscribe(payload)
+                    conn.send(("ok", None))
+                elif op == "unsubscribe":
+                    engine.unsubscribe(payload)
+                    conn.send(("ok", None))
+                elif op == "reconfigure":
+                    engine.reconfigure(payload)
+                    conn.send(("ok", None))
+                elif op == "epoch":
+                    engine.bump_semantic_epoch(payload)
+                    conn.send(("ok", None))
+                elif op == "refresh":
+                    refreshed = engine.refresh() if hasattr(engine, "refresh") else 0
+                    conn.send(("ok", refreshed))
+                elif op == "stats":
+                    conn.send(("ok", engine.stats()))
+                else:
+                    conn.send(("err", f"unknown op {op!r}"))
+            except BaseException as exc:
+                _send_error(conn, exc)
+    finally:
+        if snapshot is not None:
+            snapshot.close()
+        conn.close()
+
+
+class _ProcessDataPlane:
+    """The worker-process fleet behind a distributed executor: one
+    daemon process per shard, a duplex pipe each, and one shared-memory
+    closure snapshot (see the module docstring for the design).
+
+    The plane is a disposable cache of the parent's control plane: the
+    parent rebuilds it from its local replicas whenever the knowledge
+    base version drifts (forked workers cannot observe parent KB
+    mutations), so every operation here may assume a version-stable
+    world."""
+
+    def __init__(
+        self,
+        kb,
+        factory,
+        matcher,
+        config,
+        shard_subscriptions,
+        *,
+        start_method=None,
+        request_timeout: float = 120.0,
+    ) -> None:
+        self.kb_version = kb.version
+        self.request_timeout = request_timeout
+        self._snapshot = None
+        descriptor = None
+        if config.interning:
+            try:
+                table = kb.concept_table()
+                # the parent never publishes locally under this plane, so
+                # its ancestor closures would stay cold; warm them once
+                # here so the snapshot carries the whole value-term space
+                # (descent closures were already warmed by subscribe-time
+                # expansion wherever the engine design uses them).
+                table.warm_closures(up=True)
+                self._snapshot = table.export_shared()
+                descriptor = self._snapshot.descriptor()
+            except Exception:
+                # no shared memory on this platform: workers re-derive.
+                if self._snapshot is not None:
+                    self._snapshot.close()
+                    self._snapshot.unlink()
+                self._snapshot = None
+                descriptor = None
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._workers: list = []
+        try:
+            for index, subscriptions in enumerate(shard_subscriptions):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        child_conn,
+                        kb,
+                        factory,
+                        matcher,
+                        config,
+                        list(subscriptions),
+                        descriptor,
+                    ),
+                    daemon=True,
+                    name=f"stopss-shard-{index}",
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append((process, parent_conn))
+            for process, conn in self._workers:
+                self._expect(process, conn)  # readiness ack
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    def _expect(self, process, conn):
+        deadline = time.monotonic() + self.request_timeout
+        while not conn.poll(0.05):
+            if not process.is_alive():
+                raise BrokerError(
+                    f"shard worker {process.name} died (exit code {process.exitcode})"
+                )
+            if time.monotonic() >= deadline:
+                raise BrokerError(
+                    f"shard worker {process.name} did not answer within "
+                    f"{self.request_timeout:.0f}s"
+                )
+        status, payload = conn.recv()
+        if status == "err":
+            if isinstance(payload, BaseException):
+                raise payload
+            raise BrokerError(f"shard worker {process.name} failed: {payload}")
+        return payload
+
+    def request(self, index: int, op: str, payload=None):
+        """One request/reply round-trip with a single shard worker."""
+        process, conn = self._workers[index]
+        conn.send((op, payload))
+        return self._expect(process, conn)
+
+    def broadcast(self, op: str, payload=None) -> list:
+        """Send to every worker, then collect every reply (the sends all
+        go out before the first receive, so workers run concurrently)."""
+        for _, conn in self._workers:
+            conn.send((op, payload))
+        return [self._expect(process, conn) for process, conn in self._workers]
+
+    def publish(self, wire) -> list:
+        """Fan one encoded publication out across the fleet."""
+        return self.broadcast("publish", wire)
+
+    def stats(self) -> list:
+        return [stats_from_wire(snapshot) for snapshot in self.broadcast("stats")]
+
+    def close(self) -> None:
+        """Stop and reap every worker, then destroy the shared segment."""
+        workers, self._workers = self._workers, []
+        for _, conn in workers:
+            try:
+                conn.send(("stop", None))
+            except (OSError, ValueError):
+                pass
+        for process, conn in workers:
+            try:
+                if conn.poll(1.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        if self._snapshot is not None:
+            self._snapshot.close()
+            self._snapshot.unlink()
+            self._snapshot = None
+
+
 _EXECUTORS = {
     "serial": SerialExecutor,
     "threads": ThreadedExecutor,
     "threaded": ThreadedExecutor,
+    "process": ProcessExecutor,
+    "processes": ProcessExecutor,
 }
 
 
@@ -184,8 +501,11 @@ class ShardedEngine:
         pass :class:`~repro.core.subexpand.SubscriptionExpandingEngine`
         to shard the subscription-side design.
     executor:
-        ``"serial"`` (default), ``"threads"``, or any object with
-        ``map(fn, items)`` — how the publish fan-out runs.
+        ``"serial"`` (default), ``"threads"``, ``"process"``, or any
+        object with ``map(fn, items)`` — how the publish fan-out runs.
+        An executor whose ``distributed`` attribute is true routes
+        publishes through the worker-process data plane instead of
+        ``map`` (see :class:`ProcessExecutor`).
     router:
         ``router(sub_id, shards) -> shard index`` override; defaults to
         :func:`default_router`.
@@ -216,6 +536,22 @@ class ShardedEngine:
         )
         self._router = router if router is not None else default_router
         self._executor, self._owns_executor = _resolve_executor(executor)
+        self._engine_factory = factory
+        self._matcher_spec = matcher
+        #: sub_id -> original subscription (the decode table for wire
+        #: match rows, and the restart source for the process plane)
+        self._subs_by_id: dict[str, Subscription] = {}
+        #: a distributed executor moves publishes off the .map seam and
+        #: onto the worker-process data plane (built lazily on first
+        #: publish; rebuilt whenever the knowledge base version drifts)
+        self._distributed = (
+            bool(getattr(self._executor, "distributed", False)) and shards > 1
+        )
+        self._plane: _ProcessDataPlane | None = None
+        self._plane_dirty = False
+        #: running count of values that crossed the wire as string
+        #: fallbacks instead of interned ids (distributed executor only)
+        self._wire_fallbacks = 0
         #: sub_id -> global insertion sequence (the merge-sort key that
         #: restores single-engine reporting order across shards)
         self._seq_of: dict[str, int] = {}
@@ -252,6 +588,8 @@ class ShardedEngine:
         root = self._engines[self.shard_of(subscription.sub_id)].subscribe(subscription)
         self._seq_of[subscription.sub_id] = self._next_seq
         self._next_seq += 1
+        self._subs_by_id[subscription.sub_id] = subscription
+        self._forward(self.shard_of(subscription.sub_id), "subscribe", subscription)
         return root
 
     def unsubscribe(self, sub_id: str) -> Subscription:
@@ -260,7 +598,29 @@ class ShardedEngine:
             raise UnknownSubscriptionError(f"no subscription {sub_id!r}")
         original = self._engines[self.shard_of(sub_id)].unsubscribe(sub_id)
         del self._seq_of[sub_id]
+        del self._subs_by_id[sub_id]
+        self._forward(self.shard_of(sub_id), "unsubscribe", sub_id)
         return original
+
+    def _forward(self, index: int | None, op: str, payload) -> None:
+        """Mirror a control-plane mutation onto the live worker fleet
+        (no-op without one).  The local replicas are the source of
+        truth, so any forwarding failure — a dead worker, a knowledge
+        base that moved since the fork — discards the plane instead of
+        failing the caller's already-applied operation; the next publish
+        rebuilds the fleet from local state."""
+        if self._plane is None:
+            return
+        if self._plane_dirty or self._plane.kb_version != self.kb.version:
+            self._plane_dirty = True
+            return
+        try:
+            if index is None:
+                self._plane.broadcast(op, payload)
+            else:
+                self._plane.request(index, op, payload)
+        except BaseException:
+            self._discard_plane()
 
     def __len__(self) -> int:
         return sum(len(engine) for engine in self._engines)
@@ -307,6 +667,8 @@ class ShardedEngine:
             self._busy_cpu_seconds[0] += span
             self._critical_path_seconds += span
             return matches
+        if self._distributed:
+            return self._publish_distributed(event)
         tasks = [(index, event) for index in range(len(self._engines))]
         merged: list[SemanticMatch] = []
         slowest = 0.0
@@ -314,6 +676,62 @@ class ShardedEngine:
             merged.extend(matches)
             self._busy_cpu_seconds[index] += span
             slowest = max(slowest, span)
+        self._critical_path_seconds += slowest
+        seq = self._seq_of
+        merged.sort(key=lambda match: seq[match.subscription.sub_id])
+        return merged
+
+    def _discard_plane(self) -> None:
+        if self._plane is not None:
+            plane, self._plane = self._plane, None
+            plane.close()
+        self._plane_dirty = False
+
+    def _ensure_plane(self) -> _ProcessDataPlane:
+        """The live worker fleet, rebuilt from the control plane when
+        marked dirty or when the knowledge base version moved since the
+        fork (workers hold a fork-time KB copy and cannot observe
+        parent mutations — restart *is* the propagation mechanism)."""
+        if self._plane is not None and (
+            self._plane_dirty or self._plane.kb_version != self.kb.version
+        ):
+            self._discard_plane()
+        if self._plane is None:
+            shard_lists: list[list[Subscription]] = [[] for _ in self._engines]
+            for sub_id, _ in sorted(self._seq_of.items(), key=lambda item: item[1]):
+                shard_lists[self.shard_of(sub_id)].append(self._subs_by_id[sub_id])
+            self._plane = _ProcessDataPlane(
+                self.kb,
+                self._engine_factory,
+                self._matcher_spec,
+                self._engines[0].config,
+                shard_lists,
+                start_method=getattr(self._executor, "start_method", None),
+                request_timeout=getattr(self._executor, "request_timeout", 120.0),
+            )
+        return self._plane
+
+    def _publish_distributed(self, event: Event) -> list[SemanticMatch]:
+        """The process-executor publish path: encode once, fan the wire
+        form out to every worker, decode the per-shard match rows
+        against the parent's own table, merge as usual.  Matches carry
+        the parent's original subscription and event objects — only the
+        derived events cross the boundary."""
+        plane = self._ensure_plane()
+        table = self.kb.concept_table() if self._engines[0].config.interning else None
+        wire = event.to_wire(table)
+        self._wire_fallbacks += wire_fallback_count(wire)
+        merged: list[SemanticMatch] = []
+        slowest = 0.0
+        subs = self._subs_by_id
+        for index, (derived_wires, rows, span) in enumerate(plane.publish(wire)):
+            self._busy_cpu_seconds[index] += span
+            slowest = max(slowest, span)
+            decoded = [DerivedEvent.from_wire(item, table) for item in derived_wires]
+            for sub_id, generality, via_index in rows:
+                merged.append(
+                    SemanticMatch(subs[sub_id], event, decoded[via_index], generality)
+                )
         self._critical_path_seconds += slowest
         seq = self._seq_of
         merged.sort(key=lambda match: seq[match.subscription.sub_id])
@@ -349,11 +767,13 @@ class ShardedEngine:
             for engine in switched:
                 engine.reconfigure(previous)
             raise
+        self._forward(None, "reconfigure", config)
 
     def bump_semantic_epoch(self, reason: str = "external") -> None:
         """Force-invalidate cached semantic state on every shard."""
         for engine in self._engines:
             engine.bump_semantic_epoch(reason)
+        self._forward(None, "epoch", reason)
 
     def refresh(self) -> int:
         """Re-expand stale subscriptions on every shard that supports
@@ -375,6 +795,10 @@ class ShardedEngine:
                 if sub_id in stale:
                     self._seq_of[sub_id] = self._next_seq
                     self._next_seq += 1
+        if refreshed and self._plane is not None:
+            # refresh only fires after knowledge-base motion, which the
+            # fork-time worker KBs cannot see — rebuild, don't forward.
+            self._plane_dirty = True
         return refreshed
 
     def stale_subscriptions(self) -> list[str]:
@@ -418,14 +842,33 @@ class ShardedEngine:
             "publications": self.publications,
             "busy_cpu_seconds": list(self._busy_cpu_seconds),
             "critical_path_seconds": self._critical_path_seconds,
+            # values that crossed to worker processes as string
+            # fallbacks instead of interned ids (0 for in-process
+            # executors, where nothing crosses a wire at all)
+            "wire_fallbacks": self._wire_fallbacks,
         }
 
     def stats(self) -> dict[str, object]:
         """Aggregate stats in the single-engine shape (counters summed
         across shards via :func:`~repro.metrics.aggregate.merge_stats`)
         plus a ``sharding`` section with the fan-out shape and the
-        per-shard snapshots under ``sharding.shard_stats``."""
-        per_shard = [engine.stats() for engine in self._engines]
+        per-shard snapshots under ``sharding.shard_stats``.
+
+        Under a live process plane the per-shard snapshots come from
+        the worker replicas (where the publish work actually ran); the
+        local control replicas answer otherwise."""
+        per_shard = None
+        if (
+            self._plane is not None
+            and not self._plane_dirty
+            and self._plane.kb_version == self.kb.version
+        ):
+            try:
+                per_shard = self._plane.stats()
+            except BaseException:
+                self._discard_plane()
+        if per_shard is None:
+            per_shard = [engine.stats() for engine in self._engines]
         merged = merge_stats(per_shard)
         sharding = self.sharding_info()
         sharding["shard_stats"] = per_shard
@@ -435,8 +878,10 @@ class ShardedEngine:
     # -- lifecycle ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor (owned executors only — instances the
-        caller passed in are theirs to close)."""
+        """Stop the worker fleet (always engine-owned) and release the
+        executor (owned executors only — instances the caller passed in
+        are theirs to close)."""
+        self._discard_plane()
         if self._owns_executor:
             self._executor.close()
 
@@ -496,12 +941,3 @@ class ShardedBroker(Broker):
     @property
     def engines(self) -> tuple:
         return self.engine.engines
-
-    def close(self) -> None:
-        self.engine.close()
-
-    def __enter__(self) -> "ShardedBroker":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

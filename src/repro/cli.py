@@ -50,13 +50,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=1,
-        help="engine replicas behind the broker (1 = the plain single engine)",
+        help="subscription-partitioned engine replicas behind the broker "
+        "(1 = the plain single engine; values < 1 are rejected)",
     )
     demo.add_argument(
         "--executor",
-        choices=("serial", "threads"),
+        choices=("serial", "threads", "process"),
         default="threads",
-        help="publish fan-out executor when --shards > 1",
+        help="publish fan-out executor when --shards > 1: serial = inline, "
+        "threads = GIL-bound thread pool, process = one worker process "
+        "per shard (real multicore wall-clock; see docs/CONCURRENCY.md)",
     )
     demo.add_argument(
         "--backend",
@@ -111,7 +114,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     shard_table = Table(
         f"per-shard view ({args.shards} shards, {args.executor} executor)",
-        ["mode", "shard", "subs", "derived", "pruned", "pred-evals", "busy-cpu-ms"],
+        [
+            "mode",
+            "shard",
+            "executor",
+            "subs",
+            "derived",
+            "pruned",
+            "pred-evals",
+            "busy-cpu-ms",
+            "wire-fb",
+        ],
     )
     for mode, config in (
         ("semantic", SemanticConfig.semantic(matching_backend=args.backend)),
@@ -165,11 +178,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 shard_table.add(
                     mode,
                     index,
+                    sharding.get("executor", "?"),
                     shard_stats.get("subscriptions", 0),
                     shard_summary["derived"],
                     shard_summary["pruned"],
                     shard_summary["predicate_evaluations"],
                     round(1000.0 * sharding["busy_cpu_seconds"][index], 1),
+                    sharding.get("wire_fallbacks", 0),
                 )
         if hasattr(broker, "close"):
             broker.close()

@@ -28,14 +28,13 @@ subscription's root form and rebuilds the matcher in place.
 
 Shard-safe construction: N engine replicas may be built on one shared
 :class:`~repro.ontology.knowledge_base.KnowledgeBase` and publish
-concurrently (one thread per replica — the sharded broker's fan-out,
-:mod:`repro.broker.sharding`).  Everything an engine *mutates* during
-publish is replica-local — matcher, pipeline stages, expansion cache,
-interest index, counters, epoch — while the shared state it reads is
-either immutable for the duration (the knowledge base between
-mutations) or a lock-guarded snapshot (``kb.concept_table()`` and its
-lazy closure fills).  A single engine instance is **not** re-entrant;
-concurrency lives between replicas, never inside one.
+concurrently, one thread or worker process per replica — the sharded
+broker's fan-out, :mod:`repro.broker.sharding`.  The full contract
+(the replica-local mutation rule, what each executor may share, and
+the cross-process wire codec / shared-memory snapshot lifecycle) lives
+in ``docs/CONCURRENCY.md``; the one-line version: everything an engine
+*mutates* during publish is replica-local, and a single engine
+instance is **not** re-entrant.
 """
 
 from __future__ import annotations

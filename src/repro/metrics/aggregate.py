@@ -22,7 +22,14 @@ Merging rules:
   ``hits``/``misses``, ``prune_hit_rate`` next to
   ``candidates_pruned``/``prune_checks``) are **recomputed** from the
   merged counters; any other rate falls back to the plain mean across
-  shards (approximate, but never the nonsense a sum would be).
+  shards (approximate, but never the nonsense a sum would be);
+* ``None`` values — a counter a codec-deserialized snapshot simply
+  lacks — are skipped rather than poisoning the merge to ``"mixed"``.
+
+Snapshots that crossed a process or serialization boundary (the
+process-executor data plane, recorded JSON payloads) go through
+:func:`stats_from_wire` first, which undoes the key/tuple mangling
+JSON round-trips inflict.
 
 :func:`publish_path_summary` is the defensive extraction layer on top:
 every field the ``stopss demo`` publish table prints, via ``.get`` with
@@ -35,7 +42,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["merge_stats", "publish_path_summary"]
+__all__ = ["merge_stats", "publish_path_summary", "stats_from_wire"]
 
 #: keys whose values are configuration or logical counts shared by all
 #: shards — merged by max, not sum
@@ -44,6 +51,9 @@ MAX_KEYS = frozenset({"publications", "capacity", "version", "semantic_epoch"})
 
 def _merge_values(key: object, values: list[object]) -> object:
     # nested maps may key by non-strings (derived_histogram buckets)
+    values = [value for value in values if value is not None]
+    if not values:
+        return None
     if all(isinstance(value, bool) for value in values):
         return any(values)
     if all(isinstance(value, (int, float)) for value in values):
@@ -90,6 +100,29 @@ def merge_stats(snapshots: Sequence[Mapping[str, object]]) -> dict[str, object]:
         merged[key] = _merge_values(key, values)
     _recompute_rates(merged)
     return merged
+
+
+def stats_from_wire(snapshot):
+    """Normalize a stats snapshot that crossed a process or JSON
+    boundary back into the in-process shape :func:`merge_stats`
+    expects.
+
+    Pickled snapshots survive intact, but snapshots that round-tripped
+    through JSON (a monitoring pipeline, a recorded payload) come back
+    with every mapping key stringified and every tuple listified; this
+    re-coerces digit-string keys to ints (the ``derived_histogram``
+    buckets) and lists to tuples so merged aggregates stay comparable
+    with native ones.  Non-mapping values pass through untouched."""
+    if isinstance(snapshot, Mapping):
+        normalized = {}
+        for key, value in snapshot.items():
+            if isinstance(key, str) and key.isdigit():
+                key = int(key)
+            normalized[key] = stats_from_wire(value)
+        return normalized
+    if isinstance(snapshot, list):
+        return tuple(stats_from_wire(value) for value in snapshot)
+    return snapshot
 
 
 def publish_path_summary(

@@ -11,9 +11,10 @@ insertion order.
 This suite pins that down across random knowledge bases (the same
 generator the interest-pruning invariant uses: taxonomies, value and
 attribute synonyms, equivalence/REPLACE/computed mapping rules), shard
-counts N ∈ {1, 2, 4}, both fan-out executors, both indexed matchers,
-both engine designs, interning and pruning toggles, and subscription
-churn mid-stream.
+counts N ∈ {1, 2, 4}, all three fan-out executors (serial, threaded,
+and the cross-process data plane with its wire codec and shared-memory
+snapshot), both indexed matchers, both engine designs, interning and
+pruning toggles, and subscription churn mid-stream.
 """
 
 from __future__ import annotations
@@ -148,3 +149,36 @@ def test_threaded_executor_equals_serial(kb, subs, evts, design, matcher):
             assert _match_list(sharded, event) == _match_list(single, event)
     finally:
         executor.close()
+
+
+@settings(deadline=None)
+@given(
+    kb=knowledge_bases(),
+    subs=st.lists(term_subscriptions(), min_size=1, max_size=4),
+    evts=st.lists(term_events(), min_size=1, max_size=3),
+    design=st.sampled_from(sorted(_DESIGNS)),
+    matcher=st.sampled_from(["counting", "cluster"]),
+)
+def test_process_executor_equals_single_engine(kb, subs, evts, design, matcher):
+    """The cross-process data plane must agree with the single engine —
+    match sets AND generalities, in order — through the full wire codec
+    and shared-memory snapshot path, including churn forwarded to the
+    *live* worker fleet (subscribe/unsubscribe after the first publish
+    hits running workers, not a fresh fork)."""
+    single, sharded = _build_pair(kb, design, matcher, SemanticConfig(), 2, "process")
+    try:
+        for index, sub in enumerate(subs):
+            for engine in (single, sharded):
+                engine.subscribe(Subscription(sub.predicates, sub_id=f"s{index}"))
+        for event in evts:
+            assert _match_list(sharded, event) == _match_list(single, event)
+        for engine in (single, sharded):
+            engine.unsubscribe("s0")
+        for event in evts:
+            assert _match_list(sharded, event) == _match_list(single, event)
+        for engine in (single, sharded):
+            engine.subscribe(Subscription(subs[0].predicates, sub_id="r0"))
+        for event in evts:
+            assert _match_list(sharded, event) == _match_list(single, event)
+    finally:
+        sharded.close()

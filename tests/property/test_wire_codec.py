@@ -1,0 +1,136 @@
+"""Property: the cross-process wire codec is lossless.
+
+The process-executor data plane ships every publication to the shard
+workers — and every derived event back — as compact wire tuples
+(:meth:`Event.to_wire <repro.model.events.Event.to_wire>`), substituting
+ConceptTable spelling ids for interned string values.  The codec must
+therefore round-trip *exactly*: content signature, attribute order,
+event identity, publisher, derivation chains and their generalities —
+for interned spellings, un-interned free text, numbers, booleans, and
+periods alike, and across *independently built* tables (the decoder is
+a forked worker's own table, never the encoder's object).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.provenance import DerivationStep, DerivedEvent
+from repro.model.events import Event, wire_fallback_count
+from repro.ontology.domains import build_jobs_knowledge_base
+
+from tests.property.strategies import events, scalar_value
+
+#: One table for encoding and an independently constructed equal-content
+#: twin for decoding — the cross-process situation, minus the fork.
+_ENCODE_TABLE = build_jobs_knowledge_base().concept_table()
+_DECODE_TABLE = build_jobs_knowledge_base().concept_table()
+
+#: Spellings the jobs table interned at construction (wire-safe ids).
+_INTERNED = sorted(
+    {
+        _ENCODE_TABLE.spelling(sid)
+        for sid in range(_ENCODE_TABLE.spelling_count)
+        if _ENCODE_TABLE.wire_sid(_ENCODE_TABLE.spelling(sid)) is not None
+    }
+)
+
+#: Values mixing interned spellings with everything else an event may
+#: carry (free text, numbers, bools, periods).
+mixed_value = st.one_of(st.sampled_from(_INTERNED), scalar_value)
+
+
+@st.composite
+def jobs_events(draw) -> Event:
+    attrs = draw(
+        st.lists(
+            st.sampled_from(["school", "degree", "note", "graduation_year", "title"]),
+            min_size=0,
+            max_size=5,
+            unique=True,
+        )
+    )
+    return Event(
+        [(attr, draw(mixed_value)) for attr in attrs],
+        publisher_id=draw(st.one_of(st.none(), st.just("pub-1"))),
+    )
+
+
+def _assert_same_event(decoded: Event, original: Event) -> None:
+    assert decoded == original  # signature equality
+    assert decoded.items() == original.items()  # values AND order
+    assert decoded.event_id == original.event_id
+    assert decoded.publisher_id == original.publisher_id
+
+
+@given(event=events())
+def test_event_roundtrip_without_table(event):
+    """No table at all: every string rides the fallback, nothing is
+    lost.  (The engine takes this path when interning is disabled.)"""
+    wire = event.to_wire(None)
+    _assert_same_event(Event.from_wire(wire, None), event)
+    assert wire_fallback_count(wire) == sum(
+        1 for _, value in event.items() if type(value) is str
+    )
+
+
+@given(event=jobs_events())
+def test_event_roundtrip_across_independent_tables(event):
+    wire = event.to_wire(_ENCODE_TABLE)
+    _assert_same_event(Event.from_wire(wire, _DECODE_TABLE), event)
+    # interned spellings crossed as bare ids; only the rest fell back
+    assert wire_fallback_count(wire) == sum(
+        1
+        for _, value in event.items()
+        if type(value) is str and _ENCODE_TABLE.wire_sid(value) is None
+    )
+
+
+@given(event=jobs_events())
+def test_interned_strings_never_ride_the_fallback(event):
+    wire = event.to_wire(_ENCODE_TABLE)
+    for name, token in wire[2]:
+        value = event[name]
+        if type(value) is str and _ENCODE_TABLE.wire_sid(value) is not None:
+            assert type(token) is int  # the compact path
+            assert _DECODE_TABLE.spelling(token) == value
+
+
+@given(
+    event=jobs_events(),
+    rename=st.sampled_from([("school", "university"), ("title", "position")]),
+    generality=st.integers(min_value=0, max_value=3),
+)
+def test_derived_event_roundtrip(event, rename, generality):
+    """A derivation chain — including an attribute-rename step, whose
+    post-rename pairs must decode against the *renamed* names — crosses
+    the wire with its steps and summed generality intact."""
+    old, new = rename
+    root = DerivedEvent.original(event)
+    renamed = root.extend(
+        event.with_renamed_attributes({old: new}),
+        DerivationStep("synonym", f"{old} -> {new}", attribute=new),
+    )
+    derived = renamed.extend(
+        renamed.event.with_value("degree", "postgraduate"),
+        DerivationStep(
+            "hierarchy", "generalized degree", attribute="degree", generality=generality
+        ),
+    )
+    for original in (root, renamed, derived):
+        wire = original.to_wire(_ENCODE_TABLE)
+        decoded = DerivedEvent.from_wire(wire, _DECODE_TABLE)
+        assert decoded == original  # dataclass equality: (event, steps)
+        assert decoded.steps == original.steps
+        assert decoded.generality == original.generality
+        _assert_same_event(decoded.event, original.event)
+
+
+@given(event=events())
+def test_decoding_is_table_version_agnostic_for_fallbacks(event):
+    """A wire payload carrying no bare ids must decode against *any*
+    table — including none — so disabling interning on one side can
+    never corrupt traffic."""
+    wire = event.to_wire(None)
+    assert Event.from_wire(wire, _DECODE_TABLE) == Event.from_wire(wire, None)

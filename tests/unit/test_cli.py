@@ -64,6 +64,19 @@ class TestDemo:
 
         assert demo_table(single) == demo_table(sharded)
 
+    def test_demo_process_executor_matches_equal_single_engine(self, capsys):
+        """The full demo through worker processes — wire codec, shared
+        snapshot, and all — must print the exact same match/delivery
+        rows as the single engine, and the per-shard view must name the
+        executor that did the work."""
+        argv = ["demo", "--companies", "3", "--candidates", "8", "--seed", "3"]
+        main(argv)
+        single = capsys.readouterr().out
+        assert main(argv + ["--shards", "2", "--executor", "process"]) == 0
+        sharded = capsys.readouterr().out
+        assert single.split("publish path")[0] == sharded.split("publish path")[0]
+        assert "process" in sharded and "wire-fb" in sharded
+
     def test_demo_single_shard_has_no_shard_table(self, capsys):
         main(["demo", "--companies", "3", "--candidates", "6"])
         assert "per-shard view" not in capsys.readouterr().out

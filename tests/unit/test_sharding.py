@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.broker.sharding import (
+    ProcessExecutor,
     SerialExecutor,
     ShardedBroker,
     ShardedEngine,
@@ -28,7 +29,7 @@ from repro.errors import (
     UnknownSubscriptionError,
 )
 from repro.matching.base import create_matcher
-from repro.metrics.aggregate import merge_stats, publish_path_summary
+from repro.metrics.aggregate import merge_stats, publish_path_summary, stats_from_wire
 from repro.model.parser import parse_event, parse_subscription
 from repro.ontology.knowledge_base import KnowledgeBase
 
@@ -344,12 +345,190 @@ class TestStats:
         assert merged["mode"] == "mixed"
         assert merged["interest"]["enabled"] is True
 
+    def test_merge_stats_tolerates_none_values(self):
+        """Codec-deserialized snapshots may carry None where a replica
+        had nothing to report — None never poisons a sum or a mean."""
+        merged = merge_stats(
+            [
+                {"derived_events": 3, "interest": None, "memo_hit_rate": None},
+                {"derived_events": None, "interest": {"prune_checks": 2}},
+                {"derived_events": 4, "memo_hit_rate": 0.5},
+            ]
+        )
+        assert merged["derived_events"] == 7
+        assert merged["interest"] == {"prune_checks": 2}
+        assert merged["memo_hit_rate"] == pytest.approx(0.5)
+        assert merge_stats([{"only": None}]) == {"only": None}
+
+    def test_stats_from_wire_restores_int_keys_and_tuples(self):
+        """A stats snapshot that crossed a serialization boundary comes
+        back with stringified int keys and listified tuples —
+        stats_from_wire undoes both, recursively, and leaves everything
+        else alone."""
+        snapshot = {
+            "by_depth": {"0": 5, "2": 1, "label": "x"},
+            "shape": [1, [2, 3]],
+            "nested": {"inner": {"7": [0.5]}},
+            "mode": "semantic",
+        }
+        restored = stats_from_wire(snapshot)
+        assert restored["by_depth"] == {0: 5, 2: 1, "label": "x"}
+        assert restored["shape"] == (1, (2, 3))
+        assert restored["nested"] == {"inner": {7: (0.5,)}}
+        assert restored["mode"] == "semantic"
+        assert stats_from_wire("passthrough") == "passthrough"
+
     def test_publish_path_summary_never_raises_on_sparse_stats(self):
         for stats in ({}, {"matcher_stats": {}}, {"interest": None}, {"derived_events": 7}):
             summary = publish_path_summary(stats)
             assert summary["batches"] == 0
             assert summary["prune_hit_rate"] == 0.0
         assert publish_path_summary({"derived_events": 7})["derived"] == 7
+
+
+class TestProcessExecutor:
+    """The cross-process data plane: worker lifecycle, control-plane
+    forwarding, knowledge-base drift restarts, and the wire-fallback
+    counter.  Result equivalence against the single engine is pinned by
+    ``tests/property/test_sharding_equivalence.py``."""
+
+    def test_registry_resolves_process_spellings(self):
+        for spec in ("process", "processes"):
+            engine = ShardedEngine(chain_kb(), shards=2, executor=spec)
+            try:
+                assert engine.sharding_info()["executor"] == "process"
+            finally:
+                engine.close()
+
+    def test_publish_merges_in_global_insertion_order(self):
+        engine = ShardedEngine(
+            chain_kb(), shards=2, executor="process", router=digit_router
+        )
+        try:
+            for sub_id in ("s1", "s0", "t1"):  # interleave the shards
+                engine.subscribe(parse_subscription("(x = top)", sub_id=sub_id))
+            matches = engine.publish(parse_event("(x, leaf)"))
+            assert [m.subscription.sub_id for m in matches] == ["s1", "s0", "t1"]
+            assert all(m.generality == 2 for m in matches)
+            # the derivation chain decoded from the wire still explains itself
+            assert "leaf" in matches[0].matched_via.explain()
+        finally:
+            engine.close()
+
+    def test_churn_forwards_to_the_live_fleet_without_restart(self):
+        engine = ShardedEngine(
+            chain_kb(), shards=2, executor="process", router=digit_router
+        )
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.publish(parse_event("(x, leaf)"))
+            plane = engine._plane
+            assert plane is not None and plane.workers == 2
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            engine.unsubscribe("s0")
+            matched = {
+                m.subscription.sub_id for m in engine.publish(parse_event("(x, leaf)"))
+            }
+            assert matched == {"s1"}
+            assert engine._plane is plane  # forwarded, not rebuilt
+        finally:
+            engine.close()
+
+    def test_kb_drift_restarts_the_fleet(self):
+        kb = chain_kb()
+        engine = ShardedEngine(kb, shards=2, executor="process", router=digit_router)
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.publish(parse_event("(x, leaf)"))
+            first = engine._plane
+            assert first is not None
+            # forked workers hold a fork-time KB copy; a parent-side
+            # mutation must be propagated by rebuilding the fleet
+            kb.taxonomy("d").add_isa("deeper", "leaf")
+            matched = {
+                m.subscription.sub_id
+                for m in engine.publish(parse_event("(x, deeper)"))
+            }
+            assert matched == {"s0"}
+            assert engine._plane is not None and engine._plane is not first
+        finally:
+            engine.close()
+
+    def test_reconfigure_and_epoch_forward_to_live_workers(self):
+        engine = ShardedEngine(
+            chain_kb(), shards=2, executor="process", router=digit_router
+        )
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            assert engine.publish(parse_event("(x, leaf)")) != []
+            plane = engine._plane
+            engine.reconfigure(SemanticConfig.syntactic())
+            assert engine.publish(parse_event("(x, leaf)")) == []  # no taxonomy climb
+            assert engine.publish(parse_event("(x, top)")) != []  # literal still hits
+            engine.reconfigure(SemanticConfig.semantic())
+            engine.bump_semantic_epoch("test")
+            assert engine.publish(parse_event("(x, leaf)")) != []
+            assert engine._plane is plane  # every step forwarded in place
+        finally:
+            engine.close()
+
+    def test_wire_fallbacks_counted_for_uninterned_values(self):
+        engine = ShardedEngine(
+            chain_kb(), shards=2, executor="process", router=digit_router
+        )
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.publish(parse_event("(x, leaf)"))
+            assert engine.sharding_info()["wire_fallbacks"] == 0
+            engine.publish(parse_event("(x, leaf)(note, unmodeled free text)"))
+            assert engine.sharding_info()["wire_fallbacks"] == 1
+        finally:
+            engine.close()
+
+    def test_stats_come_from_the_worker_replicas(self):
+        engine = ShardedEngine(
+            chain_kb(), shards=2, executor="process", router=digit_router
+        )
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.publish(parse_event("(x, leaf)"))
+            stats = engine.stats()
+            # the publish ran in the workers, not the local replicas —
+            # only worker-sourced snapshots carry its counters
+            assert stats["derived_events"] > 0
+            assert stats["sharding"]["executor"] == "process"
+            assert stats["sharding"]["shard_stats"][0]["matcher_stats"]["batches"] >= 0
+        finally:
+            engine.close()
+
+    def test_close_stops_the_workers(self):
+        engine = ShardedEngine(chain_kb(), shards=2, executor="process")
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        engine.publish(parse_event("(x, leaf)"))
+        processes = [process for process, _ in engine._plane._workers]
+        assert all(process.is_alive() for process in processes)
+        engine.close()
+        assert engine._plane is None
+        assert all(not process.is_alive() for process in processes)
+
+    def test_borrowed_process_executor_fleet_is_still_engine_owned(self):
+        executor = ProcessExecutor()
+        engine = ShardedEngine(chain_kb(), shards=2, executor=executor)
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        engine.publish(parse_event("(x, leaf)"))
+        assert engine._plane is not None
+        engine.close()  # workers die with the engine even for borrowed executors
+        assert engine._plane is None
+        assert executor.map(len, [[1, 2]]) == [2]  # the executor object survives
+
+    def test_single_shard_process_spec_stays_inline(self):
+        engine = ShardedEngine(chain_kb(), shards=1, executor="process")
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            assert engine.publish(parse_event("(x, leaf)")) != []
+            assert engine._plane is None  # degenerate path never forks
+        finally:
+            engine.close()
 
 
 class TestShardedBroker:

@@ -1,0 +1,217 @@
+"""Unit coverage for the shared-memory closure snapshot (PR 7).
+
+:class:`~repro.ontology.concept_table.SharedClosureSnapshot` ships a
+concept table's memoized closure arrays to worker processes as one
+read-only CSR segment.  These tests pin the protocol edges in a single
+process — export/attach parity, adoption preconditions (version and
+id-space drift), the wire-id boundary, and segment lifecycle (detach
+vs. destroy, leaked-handle behavior) — the cross-process behavior rides
+the process-executor tests in ``test_sharding.py`` and the equivalence
+property suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotMismatchError
+from repro.ontology.domains import build_jobs_knowledge_base
+from repro.ontology.knowledge_base import KnowledgeBase
+
+
+def small_kb() -> KnowledgeBase:
+    """Deterministic content: two calls build equal-version KBs."""
+    kb = KnowledgeBase()
+    kb.add_domain("d").add_chain("leaf", "mid", "top")
+    kb.add_value_synonyms(["mid", "middle"])
+    return kb
+
+
+def exported(table):
+    """A warmed table's snapshot; caller must close+unlink."""
+    table.warm_closures(up=True, down=True)
+    return table.export_shared()
+
+
+class TestExportAttach:
+    def test_roundtrip_preserves_every_memoized_closure(self):
+        table = build_jobs_knowledge_base().concept_table()
+        snapshot = exported(table)
+        try:
+            attached = type(snapshot).attach(snapshot.descriptor())
+            try:
+                assert attached.version == table.version
+                for tid in range(len(table)):
+                    if tid in table._up_closure:
+                        assert attached.up_closure(tid) == table.ancestors(tid)
+                    if tid in table._down_closure:
+                        assert attached.down_closure(tid) == table.descent(tid)
+            finally:
+                attached.close()
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+    def test_empty_closure_is_distinct_from_never_memoized(self):
+        table = small_kb().concept_table()
+        top = table.term_id_of_value("top")
+        assert table.ancestors(top) == ()  # memoized as genuinely empty
+        snapshot = table.export_shared()
+        try:
+            assert snapshot.up_closure(top) == ()
+            # "leaf" ancestors were never memoized -> None, not ()
+            assert snapshot.up_closure(table.term_id_of_value("leaf")) is None
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+    def test_out_of_range_tids_read_as_unfilled(self):
+        table = small_kb().concept_table()
+        snapshot = exported(table)
+        try:
+            assert snapshot.up_closure(-1) is None
+            assert snapshot.up_closure(snapshot.terms) is None
+            assert snapshot.down_closure(10_000) is None
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+    def test_closures_holding_lazy_ids_are_not_exported(self):
+        """A closure that references a process-locally interned spelling
+        id would decode to the wrong string in another process — the
+        export must leave that term unfilled."""
+        table = small_kb().concept_table()
+        table.warm_closures(up=True)
+        leaf = table.term_id_of_value("leaf")
+        lazy_sid = table._intern_spelling("post-construction spelling")
+        assert lazy_sid >= table._wire_base
+        table._up_closure[leaf] = ((lazy_sid, 1),)
+        snapshot = table.export_shared()
+        try:
+            assert snapshot.up_closure(leaf) is None
+            mid = table.term_id_of_value("mid")
+            assert snapshot.up_closure(mid) == table.ancestors(mid)
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+
+class TestAdoption:
+    def test_equal_content_table_adopts_and_serves_from_snapshot(self):
+        source = small_kb().concept_table()
+        snapshot = exported(source)
+        try:
+            fresh = small_kb().concept_table()
+            assert fresh._up_closure == {}  # nothing memoized yet
+            fresh.adopt_snapshot(snapshot)
+            for term in ("leaf", "mid", "top", "middle"):
+                tid = fresh.term_id_of_value(term)
+                assert snapshot.up_closure(tid) is not None  # the serving source
+                assert fresh.ancestors(tid) == source.ancestors(tid)
+                assert fresh.descent(tid) == source.descent(tid)
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+    def test_version_drift_is_rejected(self):
+        kb = small_kb()
+        snapshot = exported(kb.concept_table())
+        try:
+            kb.add_value_synonyms(["top", "apex"])  # moves kb.version
+            with pytest.raises(SnapshotMismatchError):
+                kb.concept_table().adopt_snapshot(snapshot)
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+    def test_id_space_drift_is_rejected_even_at_equal_version(self):
+        """Equal versions reached through different content must not
+        adopt: the dense ids would mean different spellings."""
+        snapshot = exported(small_kb().concept_table())
+        try:
+            other = KnowledgeBase()
+            other.add_domain("d").add_chain("a", "b", "c", "e")
+            other.add_value_synonyms(["b", "bee"])
+            table = other.concept_table()
+            if table.version == snapshot.version:
+                with pytest.raises(SnapshotMismatchError):
+                    table.adopt_snapshot(snapshot)
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+    def test_adopting_table_still_computes_unexported_closures(self):
+        source = small_kb().concept_table()
+        source.ancestors(source.term_id_of_value("leaf"))  # warm ONE term
+        snapshot = source.export_shared()
+        try:
+            fresh = small_kb().concept_table()
+            fresh.adopt_snapshot(snapshot)
+            mid = fresh.term_id_of_value("mid")
+            assert snapshot.up_closure(mid) is None  # not in the snapshot
+            assert fresh.ancestors(mid) == source.ancestors(mid)  # local fill
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+
+class TestWireBoundary:
+    def test_construction_spellings_are_wire_safe(self):
+        table = small_kb().concept_table()
+        sid = table.wire_sid("leaf")
+        assert sid is not None and table.spelling(sid) == "leaf"
+        # deterministic across independently built equal-content tables
+        assert small_kb().concept_table().wire_sid("leaf") == sid
+
+    def test_unknown_and_lazy_spellings_are_not(self):
+        table = small_kb().concept_table()
+        assert table.wire_sid("free text") is None
+        lazy_sid = table._intern_spelling("late arrival")
+        assert table.value_key("late arrival") == lazy_sid  # interned...
+        assert table.wire_sid("late arrival") is None  # ...but not wire-safe
+
+
+class TestLifecycle:
+    def test_attacher_close_leaves_the_segment_alive(self):
+        snapshot = exported(small_kb().concept_table())
+        try:
+            descriptor = snapshot.descriptor()
+            attached = type(snapshot).attach(descriptor)
+            attached.close()
+            again = type(snapshot).attach(descriptor)  # still mapped
+            again.close()
+        finally:
+            snapshot.close()
+            snapshot.unlink()
+
+    def test_unlink_destroys_the_segment(self):
+        snapshot = exported(small_kb().concept_table())
+        descriptor = snapshot.descriptor()
+        snapshot.close()
+        snapshot.unlink()
+        with pytest.raises(FileNotFoundError):
+            type(snapshot).attach(descriptor)
+
+    def test_unlink_is_idempotent_and_owner_only(self):
+        table = small_kb().concept_table()
+        snapshot = exported(table)
+        descriptor = snapshot.descriptor()
+        attached = type(snapshot).attach(descriptor)
+        attached.close()
+        attached.unlink()  # non-owner: must be a no-op
+        again = type(snapshot).attach(descriptor)
+        again.close()
+        snapshot.close()
+        snapshot.unlink()
+        snapshot.unlink()  # second owner unlink: quiet no-op
+
+    def test_stats_shape(self):
+        snapshot = exported(small_kb().concept_table())
+        try:
+            stats = snapshot.stats()
+            assert stats["terms"] == snapshot.terms
+            assert stats["up_pairs"] >= 0 and stats["down_pairs"] > 0
+            assert stats["bytes"] > 0
+        finally:
+            snapshot.close()
+            snapshot.unlink()
