@@ -6,11 +6,19 @@ from repro.broker.broker import Broker
 from repro.broker.clients import Client, ClientKind, ClientRegistry
 from repro.broker.dispatcher import EventDispatcher, PublishReport
 from repro.broker.sharding import (
+    ProcessExecutor,
     SerialExecutor,
     ShardedBroker,
     ShardedEngine,
     ThreadedExecutor,
     default_router,
+)
+from repro.broker.supervision import (
+    CircuitBreaker,
+    FaultAction,
+    FaultPlan,
+    SupervisionPolicy,
+    SupervisionStats,
 )
 from repro.broker.notifications import (
     DeliveryOutcome,
@@ -35,7 +43,13 @@ __all__ = [
     "ShardedEngine",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "default_router",
+    "CircuitBreaker",
+    "FaultAction",
+    "FaultPlan",
+    "SupervisionPolicy",
+    "SupervisionStats",
     "Client",
     "ClientKind",
     "ClientRegistry",

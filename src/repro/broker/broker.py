@@ -169,6 +169,21 @@ class Broker:
     def stats(self) -> dict[str, object]:
         return self.dispatcher.stats()
 
+    def health(self) -> dict[str, object]:
+        """Operational health snapshot: the sharded data plane's
+        recovery counters and breaker states in the defensive
+        :func:`~repro.metrics.aggregate.supervision_summary` shape.
+        A plain single-engine broker (no ``sharding`` stats section)
+        reports all-zero counters — ``health()["recoveries"] == 0``
+        always means "nothing needed rescuing"."""
+        from repro.metrics.aggregate import supervision_summary
+
+        stats = self.stats()
+        engine_stats = stats.get("engine")
+        if not isinstance(engine_stats, dict):
+            engine_stats = stats
+        return supervision_summary(engine_stats)
+
     # -- lifecycle -------------------------------------------------------------------------
 
     def close(self) -> None:

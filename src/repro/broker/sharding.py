@@ -57,11 +57,27 @@ the parent decodes against its own table.  The parent keeps its local
 replicas as the control plane — the routing/ordering source of truth
 that also lets the fleet be rebuilt from scratch whenever the
 knowledge base moves (forked workers never see parent KB mutations).
+
+Because the fleet is a disposable cache of the control plane, worker
+failure is never fatal: the data plane runs under a supervisor
+(:mod:`repro.broker.supervision`, prose in ``docs/RESILIENCE.md``)
+that tracks liveness on every round-trip, respawns dead or hung
+workers from the parent replicas, retries in-flight publishes with
+bounded seeded backoff, and — once a shard's circuit breaker opens —
+routes that shard's publishes inline through its parent replica until
+a cooldown re-arms the breaker.  Every request/reply crossing a pipe
+is epoch-tagged so an abandoned reply (a timed-out op, an engine error
+raised mid-broadcast) can never desynchronize a later round-trip: stale
+epochs are discarded on read.  A seeded
+:class:`~repro.broker.supervision.FaultPlan` injects deterministic
+worker failures for the chaos leg of the equivalence suite, the
+chaos-soak CI job, and ``stopss demo --chaos``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import random
 import threading
 import time
 import zlib
@@ -69,6 +85,12 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator, Sequence
 
 from repro.broker.broker import Broker
+from repro.broker.supervision import (
+    CircuitBreaker,
+    FaultPlan,
+    SupervisionPolicy,
+    SupervisionStats,
+)
 from repro.broker.transports import TransportRegistry
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
@@ -83,6 +105,7 @@ from repro.ontology.concept_table import SharedClosureSnapshot
 from repro.ontology.knowledge_base import KnowledgeBase
 
 __all__ = [
+    "DEFAULT_REQUEST_TIMEOUT",
     "ShardedBroker",
     "ShardedEngine",
     "SerialExecutor",
@@ -90,6 +113,12 @@ __all__ = [
     "ProcessExecutor",
     "default_router",
 ]
+
+#: default bound on one worker round-trip before the shard is presumed
+#: hung and respawned; override end to end via
+#: ``ShardedEngine(request_timeout=...)``, ``ProcessExecutor(
+#: request_timeout=...)``, or ``stopss demo --shard-timeout``.
+DEFAULT_REQUEST_TIMEOUT = 120.0
 
 
 def default_router(sub_id: str, shards: int) -> int:
@@ -178,7 +207,9 @@ class ProcessExecutor:
     distributed = True
 
     def __init__(
-        self, start_method: str | None = None, request_timeout: float = 120.0
+        self,
+        start_method: str | None = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -194,27 +225,47 @@ class ProcessExecutor:
         engine's data plane, which the engine closes."""
 
 
-def _send_error(conn, exc: BaseException) -> None:
+class _ShardFault(BrokerError):
+    """Internal: one shard round-trip failed at the *transport* layer
+    (dead worker, timeout, broken pipe, rejected wire payload) — the
+    supervised paths catch this and recover; engine-level errors raised
+    by the worker's replica propagate unwrapped, exactly as the
+    single-engine path would raise them.
+
+    ``respawn`` says whether the worker must be replaced (death,
+    timeout) or is still healthy and merely missed one exchange (a
+    dropped reply, a corrupted payload it rejected)."""
+
+    def __init__(self, message: str, *, respawn: bool) -> None:
+        super().__init__(message)
+        self.respawn = respawn
+
+
+#: what the ``corrupt`` fault kind puts on the wire instead of the real
+#: publish payload — anything ``Event.from_wire`` must reject; the
+#: worker answers ``badwire`` and the parent retries the clean payload.
+_CORRUPT_WIRE = "\x00corrupted-wire\x00"
+
+
+def _send_error(conn, epoch, exc: BaseException) -> None:
     """Ship a worker-side failure to the parent, preserving the original
     exception when it pickles (so the parent re-raises the same type the
     single-engine path would) and degrading to a string otherwise."""
     try:
-        conn.send(("err", exc))
+        conn.send((epoch, "err", exc))
     except Exception:
         try:
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            conn.send((epoch, "err", f"{type(exc).__name__}: {exc}"))
         except Exception:  # parent is gone; nothing left to report to
             pass
 
 
-def _worker_publish(engine, kb, wire) -> tuple:
-    """One publication inside a shard worker: decode, publish, encode.
+def _worker_publish(engine, event, table) -> tuple:
+    """One publication inside a shard worker: publish, encode.
 
     The reply deduplicates derived events — many matches share one
     ``matched_via`` — as ``(derived wire tuples, (sub_id, generality,
     derived index) rows, publish thread-CPU span)``."""
-    table = kb.concept_table() if engine.config.interning else None
-    event = Event.from_wire(wire, table)
     started = time.thread_time()
     matches = engine.publish(event)
     span = time.thread_time() - started
@@ -232,7 +283,7 @@ def _worker_publish(engine, kb, wire) -> tuple:
 
 
 def _shard_worker_main(
-    conn, kb, factory, matcher, config, subscriptions, snapshot_descriptor
+    conn, kb, factory, matcher, config, subscriptions, snapshot_descriptor, ready_epoch
 ) -> None:
     """Entry point of one shard worker process.
 
@@ -240,15 +291,24 @@ def _shard_worker_main(
     closure snapshot when it still matches this KB version), subscribes
     the shard's originals in global insertion order, acknowledges
     readiness, then serves the request/reply loop until ``stop`` or a
-    closed pipe.  Every request is answered with ``("ok", payload)`` or
-    ``("err", exception-or-text)`` — the worker never dies on an
-    engine error, only on a broken parent."""
+    closed pipe.
+
+    Every exchange is epoch-tagged: requests arrive as ``(epoch, op,
+    payload)`` and are answered with the same epoch — ``(epoch, "ok",
+    payload)``, ``(epoch, "err", exception-or-text)`` for an engine
+    error (the worker never dies on one, only on a broken parent), or
+    ``(epoch, "badwire", text)`` when a publish payload would not even
+    decode (transport damage, retriable with a clean payload).  The
+    parent discards replies whose epoch it is no longer waiting for, so
+    an abandoned reply can never satisfy a later request."""
     snapshot = None
+    adopted = False
     try:
         if snapshot_descriptor is not None:
             try:
                 snapshot = SharedClosureSnapshot.attach(snapshot_descriptor)
                 kb.concept_table().adopt_snapshot(snapshot)
+                adopted = True
             except Exception:
                 # the snapshot is an optimization, never a correctness
                 # dependency: on any mismatch fall back to local fills.
@@ -259,43 +319,49 @@ def _shard_worker_main(
         for subscription in subscriptions:
             engine.subscribe(subscription)
     except BaseException as exc:
-        _send_error(conn, exc)
+        _send_error(conn, ready_epoch, exc)
         conn.close()
         return
-    conn.send(("ok", None))
+    conn.send((ready_epoch, "ok", {"snapshot_adopted": adopted}))
     try:
         while True:
             try:
-                op, payload = conn.recv()
+                epoch, op, payload = conn.recv()
             except (EOFError, OSError):
                 break
             if op == "stop":
-                conn.send(("ok", None))
+                conn.send((epoch, "ok", None))
                 break
             try:
                 if op == "publish":
-                    conn.send(("ok", _worker_publish(engine, kb, payload)))
+                    table = kb.concept_table() if engine.config.interning else None
+                    try:
+                        event = Event.from_wire(payload, table)
+                    except Exception as exc:
+                        conn.send((epoch, "badwire", f"{type(exc).__name__}: {exc}"))
+                        continue
+                    conn.send((epoch, "ok", _worker_publish(engine, event, table)))
                 elif op == "subscribe":
                     engine.subscribe(payload)
-                    conn.send(("ok", None))
+                    conn.send((epoch, "ok", None))
                 elif op == "unsubscribe":
                     engine.unsubscribe(payload)
-                    conn.send(("ok", None))
+                    conn.send((epoch, "ok", None))
                 elif op == "reconfigure":
                     engine.reconfigure(payload)
-                    conn.send(("ok", None))
+                    conn.send((epoch, "ok", None))
                 elif op == "epoch":
                     engine.bump_semantic_epoch(payload)
-                    conn.send(("ok", None))
+                    conn.send((epoch, "ok", None))
                 elif op == "refresh":
                     refreshed = engine.refresh() if hasattr(engine, "refresh") else 0
-                    conn.send(("ok", refreshed))
+                    conn.send((epoch, "ok", refreshed))
                 elif op == "stats":
-                    conn.send(("ok", engine.stats()))
+                    conn.send((epoch, "ok", engine.stats()))
                 else:
-                    conn.send(("err", f"unknown op {op!r}"))
+                    conn.send((epoch, "err", f"unknown op {op!r}"))
             except BaseException as exc:
-                _send_error(conn, exc)
+                _send_error(conn, epoch, exc)
     finally:
         if snapshot is not None:
             snapshot.close()
@@ -311,7 +377,19 @@ class _ProcessDataPlane:
     parent rebuilds it from its local replicas whenever the knowledge
     base version drifts (forked workers cannot observe parent KB
     mutations), so every operation here may assume a version-stable
-    world."""
+    world.
+
+    Within one plane's lifetime the same disposability makes worker
+    failure recoverable *per shard*: *replica_spec* hands back the
+    parent's current per-shard state on demand, so a dead, hung, or
+    desynchronized worker is respawned alone (``respawn is the retry``
+    for control traffic — the rebuilt state already includes every
+    applied mutation, so control ops are never re-sent).  Publishes are
+    retried under *policy* with bounded seeded backoff; a shard whose
+    circuit breaker is open answers ``None`` from :meth:`publish` and
+    the engine publishes inline on its parent replica instead.  All
+    recovery counters accumulate into the engine-owned *stats* so they
+    survive plane rebuilds."""
 
     def __init__(
         self,
@@ -319,15 +397,32 @@ class _ProcessDataPlane:
         factory,
         matcher,
         config,
-        shard_subscriptions,
+        replica_spec,
         *,
+        shards: int,
         start_method=None,
-        request_timeout: float = 120.0,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        policy: SupervisionPolicy | None = None,
+        stats: SupervisionStats | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
+        self._kb = kb
         self.kb_version = kb.version
+        self._factory = factory
+        self._matcher = matcher
+        self._replica_spec = replica_spec
         self.request_timeout = request_timeout
+        self._policy = policy if policy is not None else SupervisionPolicy()
+        self._stats = stats if stats is not None else SupervisionStats()
+        self._fault_plan = fault_plan
+        self._rng = random.Random(self._policy.seed)
+        self._breakers = [
+            CircuitBreaker(self._policy.breaker_threshold, self._policy.breaker_cooldown)
+            for _ in range(shards)
+        ]
+        self._closed = False
         self._snapshot = None
-        descriptor = None
+        self._descriptor = None
         if config.interning:
             try:
                 table = kb.concept_table()
@@ -338,42 +433,38 @@ class _ProcessDataPlane:
                 # expansion wherever the engine design uses them).
                 table.warm_closures(up=True)
                 self._snapshot = table.export_shared()
-                descriptor = self._snapshot.descriptor()
+                self._descriptor = self._snapshot.descriptor()
             except Exception:
                 # no shared memory on this platform: workers re-derive.
                 if self._snapshot is not None:
                     self._snapshot.close()
                     self._snapshot.unlink()
                 self._snapshot = None
-                descriptor = None
-        context = (
+                self._descriptor = None
+        self._context = (
             multiprocessing.get_context(start_method)
             if start_method
             else multiprocessing.get_context()
         )
-        self._workers: list = []
+        #: shard index -> (process, conn), or None where the worker is
+        #: dead and not yet respawned (the list length never changes)
+        self._workers: list = [None] * shards
+        #: the reply epoch each shard's next read must match; anything
+        #: older is an abandoned reply and is discarded on sight
+        self._expected = [0] * shards
+        self._deadlines = [0.0] * shards
+        #: per-shard send counter — the FaultPlan's op axis
+        self._op_counts = [0] * shards
+        #: a stale worker is alive but may have missed control traffic
+        #: (skipped while its breaker was open, or an ambiguous control
+        #: failure) — it must be respawned before serving anything
+        self._stale = [False] * shards
+        self._corrupt_next_descriptor = [False] * shards
         try:
-            for index, subscriptions in enumerate(shard_subscriptions):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_shard_worker_main,
-                    args=(
-                        child_conn,
-                        kb,
-                        factory,
-                        matcher,
-                        config,
-                        list(subscriptions),
-                        descriptor,
-                    ),
-                    daemon=True,
-                    name=f"stopss-shard-{index}",
-                )
-                process.start()
-                child_conn.close()
-                self._workers.append((process, parent_conn))
-            for process, conn in self._workers:
-                self._expect(process, conn)  # readiness ack
+            for index in range(shards):
+                self._launch(index, self._descriptor)
+            for index in range(shards):
+                self._await_ready(index)
         except BaseException:
             self.close()
             raise
@@ -382,54 +473,370 @@ class _ProcessDataPlane:
     def workers(self) -> int:
         return len(self._workers)
 
-    def _expect(self, process, conn):
-        deadline = time.monotonic() + self.request_timeout
-        while not conn.poll(0.05):
-            if not process.is_alive():
-                raise BrokerError(
-                    f"shard worker {process.name} died (exit code {process.exitcode})"
-                )
+    @property
+    def breaker_states(self) -> list[str]:
+        return [breaker.state for breaker in self._breakers]
+
+    # -- worker lifecycle --------------------------------------------------------
+
+    def _fresh_epoch(self, index: int) -> int:
+        epoch = self._expected[index] + 1
+        self._expected[index] = epoch
+        return epoch
+
+    def _launch(self, index: int, descriptor) -> None:
+        config, subscriptions = self._replica_spec(index)
+        epoch = self._fresh_epoch(index)
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(
+                child_conn,
+                self._kb,
+                self._factory,
+                self._matcher,
+                config,
+                list(subscriptions),
+                descriptor,
+                epoch,
+            ),
+            daemon=True,
+            name=f"stopss-shard-{index}",
+        )
+        process.start()
+        child_conn.close()
+        self._workers[index] = (process, parent_conn)
+        self._deadlines[index] = time.monotonic() + self.request_timeout
+
+    def _await_ready(self, index: int) -> None:
+        payload = self._finish(index)
+        adopted = bool(payload.get("snapshot_adopted")) if isinstance(payload, dict) else False
+        if self._descriptor is not None and not adopted:
+            # the segment exists but this worker could not adopt it —
+            # it came up on local closure fills (correct, just colder)
+            self._stats.snapshot_fallbacks += 1
+
+    def _dispose_worker(self, index: int) -> None:
+        """Forget shard *index*'s worker: close the pipe, make sure the
+        process is gone.  The slot stays None until a respawn."""
+        entry = self._workers[index]
+        if entry is None:
+            return
+        self._workers[index] = None
+        self._stale[index] = False
+        process, conn = entry
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=5.0)
+
+    def _respawn(self, index: int) -> None:
+        """Replace shard *index*'s worker with a fresh one rebuilt from
+        the parent's current replica state (config and subscriptions
+        included — this is also how a stale worker resyncs)."""
+        started = time.monotonic()
+        self._dispose_worker(index)
+        descriptor = self._descriptor
+        if descriptor is not None and self._corrupt_next_descriptor[index]:
+            # the "snapshot" fault: hand the replacement a descriptor at
+            # an impossible KB version so adoption fails and the worker
+            # proves the local-fill fallback path
+            descriptor = dict(descriptor)
+            descriptor["version"] = -1
+        self._corrupt_next_descriptor[index] = False
+        try:
+            self._launch(index, descriptor)
+            self._await_ready(index)
+        except BaseException as exc:
+            self._dispose_worker(index)
+            raise _ShardFault(
+                f"shard {index} respawn failed: {exc}", respawn=False
+            ) from exc
+        self._stats.worker_restarts += 1
+        self._stats.restart_seconds += time.monotonic() - started
+
+    # -- the epoch-tagged round-trip ---------------------------------------------
+
+    def _begin(self, index: int, op: str, payload=None) -> None:
+        """Send one request to shard *index*, injecting any fault the
+        plan scheduled for this send.  Raises :class:`_ShardFault` when
+        the send itself failed (or a fault made it fail)."""
+        entry = self._workers[index]
+        if entry is None:
+            raise _ShardFault(f"shard {index} has no live worker", respawn=False)
+        process, conn = entry
+        slot = self._op_counts[index]
+        self._op_counts[index] += 1
+        kind = self._fault_plan.take(index, slot) if self._fault_plan is not None else None
+        epoch = self._fresh_epoch(index)
+        self._deadlines[index] = time.monotonic() + self.request_timeout
+        if kind in ("kill", "snapshot"):
+            if kind == "snapshot":
+                self._corrupt_next_descriptor[index] = True
+            process.kill()
+            process.join(timeout=5.0)
+            raise _ShardFault(
+                f"shard {index} worker killed by fault plan", respawn=True
+            )
+        wire_payload = payload
+        if kind == "corrupt" and op == "publish":
+            wire_payload = _CORRUPT_WIRE
+        try:
+            conn.send((epoch, op, wire_payload))
+        except (OSError, ValueError) as exc:
+            raise _ShardFault(
+                f"shard {index} pipe send failed: {exc}", respawn=True
+            ) from exc
+        if kind == "hang":
+            # simulate a hung worker deterministically: the reply may
+            # well arrive, but the deadline expires first and the read
+            # path must take the timeout -> respawn branch
+            self._deadlines[index] = time.monotonic()
+        elif kind == "drop":
+            # abandon the reply unread; the retry's fresh epoch makes
+            # the stale reply discardable instead of a protocol desync
+            raise _ShardFault(
+                f"shard {index} reply dropped by fault plan", respawn=False
+            )
+
+    def _finish(self, index: int):
+        """Collect shard *index*'s reply for the epoch :meth:`_begin`
+        registered, discarding abandoned replies from earlier epochs.
+        Transport trouble raises :class:`_ShardFault`; a worker-side
+        engine error re-raises as the original exception."""
+        entry = self._workers[index]
+        if entry is None:
+            raise _ShardFault(f"shard {index} has no live worker", respawn=False)
+        process, conn = entry
+        expected = self._expected[index]
+        deadline = self._deadlines[index]
+        while True:
+            # deadline first: an injected "hang" sets it to *now* and
+            # must reach this branch even when the real reply is already
+            # waiting in the pipe
             if time.monotonic() >= deadline:
-                raise BrokerError(
+                raise _ShardFault(
                     f"shard worker {process.name} did not answer within "
-                    f"{self.request_timeout:.0f}s"
+                    f"{self.request_timeout:.0f}s",
+                    respawn=True,
                 )
-        status, payload = conn.recv()
-        if status == "err":
+            if not conn.poll(0.05):
+                if not process.is_alive():
+                    raise _ShardFault(
+                        f"shard worker {process.name} died "
+                        f"(exit code {process.exitcode})",
+                        respawn=True,
+                    )
+                continue
+            try:
+                epoch, status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise _ShardFault(
+                    f"shard worker {process.name} hung up: {exc}", respawn=True
+                ) from exc
+            if epoch != expected:
+                self._stats.stale_replies_discarded += 1
+                continue
+            if status == "ok":
+                return payload
+            if status == "badwire":
+                raise _ShardFault(
+                    f"shard {index} rejected wire payload: {payload}", respawn=False
+                )
             if isinstance(payload, BaseException):
                 raise payload
             raise BrokerError(f"shard worker {process.name} failed: {payload}")
-        return payload
 
-    def request(self, index: int, op: str, payload=None):
-        """One request/reply round-trip with a single shard worker."""
-        process, conn = self._workers[index]
-        conn.send((op, payload))
-        return self._expect(process, conn)
+    def _record_failure(self, index: int) -> None:
+        if self._breakers[index].record_failure():
+            self._stats.breaker_opens += 1
 
-    def broadcast(self, op: str, payload=None) -> list:
-        """Send to every worker, then collect every reply (the sends all
-        go out before the first receive, so workers run concurrently)."""
-        for _, conn in self._workers:
-            conn.send((op, payload))
-        return [self._expect(process, conn) for process, conn in self._workers]
+    # -- supervised operations ----------------------------------------------------
+
+    def _usable_fast(self, index: int) -> bool:
+        """May this shard take the concurrent fast path?  Requires a
+        live, in-sync worker and a *closed* breaker — open and half-open
+        shards go through the serial supervised path so probe failures
+        stay contained."""
+        return (
+            self._workers[index] is not None
+            and not self._stale[index]
+            and self._breakers[index].state == "closed"
+        )
 
     def publish(self, wire) -> list:
-        """Fan one encoded publication out across the fleet."""
-        return self.broadcast("publish", wire)
+        """Fan one encoded publication across the fleet; the result has
+        one outcome slot per shard, ``None`` meaning the shard degraded
+        and the caller must publish inline on its parent replica.
+
+        Phase one is the concurrent fast path: send to every healthy
+        closed-breaker shard, then collect the replies.  Any shard that
+        failed — plus every shard the fast path skipped — goes through
+        the serial supervised path (respawn, bounded backoff retries,
+        breaker bookkeeping).  Under supervision no outcome is ever an
+        exception for *transport* reasons; worker-side engine errors
+        propagate exactly as the single-engine publish would raise
+        them."""
+        shards = len(self._workers)
+        outcomes = [None] * shards
+        deferred: list[int] = []  # skipped by the fast path; no attempt made yet
+        failed: list[int] = []  # fast-path attempt failed; counts against retries
+        sent: list[int] = []
+        for index in range(shards):
+            if not self._usable_fast(index):
+                deferred.append(index)
+                continue
+            try:
+                self._begin(index, "publish", wire)
+            except _ShardFault as fault:
+                self._record_failure(index)
+                if fault.respawn:
+                    self._dispose_worker(index)
+                failed.append(index)
+            else:
+                sent.append(index)
+        for index in sent:
+            try:
+                outcomes[index] = self._finish(index)
+            except _ShardFault as fault:
+                self._record_failure(index)
+                if fault.respawn:
+                    self._dispose_worker(index)
+                failed.append(index)
+            else:
+                self._breakers[index].record_success()
+        for index in failed:
+            outcomes[index] = self._supervised_publish(index, wire, attempts=1)
+        for index in deferred:
+            outcomes[index] = self._supervised_publish(index, wire)
+        return outcomes
+
+    def _supervised_publish(self, index: int, wire, attempts: int = 0):
+        """Drive one shard's publish to a terminal outcome: a result,
+        or ``None`` (degrade to the parent replica) once the retry
+        budget is spent or the breaker refuses.  *attempts* counts
+        failed attempts already made on this publication."""
+        breaker = self._breakers[index]
+        policy = self._policy
+        while True:
+            if attempts:
+                if attempts > policy.max_retries or not breaker.allow():
+                    self._stats.degraded_publishes += 1
+                    return None
+                self._stats.publish_retries += 1
+                delay = policy.backoff_delay(attempts, self._rng)
+                if delay:
+                    time.sleep(delay)
+            elif not breaker.allow():
+                self._stats.degraded_publishes += 1
+                return None
+            try:
+                if self._workers[index] is None or self._stale[index]:
+                    self._respawn(index)
+                self._begin(index, "publish", wire)
+                result = self._finish(index)
+            except _ShardFault as fault:
+                self._record_failure(index)
+                if fault.respawn:
+                    self._dispose_worker(index)
+                attempts += 1
+                continue
+            breaker.record_success()
+            return result
+
+    def forward(self, index: int | None, op: str, payload=None) -> None:
+        """Mirror a control-plane mutation onto the fleet (*index*
+        ``None`` broadcasts).  The parent's local replicas are the
+        source of truth and have already applied it, so this never
+        raises for transport trouble — and control ops are never re-sent
+        after a failure: the worker is disposed or marked stale, and the
+        respawn's full state rebuild *is* the retry (re-sending could
+        double-apply a mutation the worker did receive)."""
+        targets = range(len(self._workers)) if index is None else (index,)
+        for i in targets:
+            self._forward_one(i, op, payload)
+
+    def _forward_one(self, index: int, op: str, payload) -> None:
+        if self._workers[index] is None or self._stale[index]:
+            return  # the next respawn rebuilds state that includes this op
+        if not self._breakers[index].allow():
+            # breaker open: no worker traffic at all; the worker missed
+            # this mutation, so it must resync before serving again
+            self._stale[index] = True
+            return
+        try:
+            self._begin(index, op, payload)
+            self._finish(index)
+        except _ShardFault as fault:
+            self._record_failure(index)
+            if fault.respawn:
+                self._dispose_worker(index)
+            else:
+                self._stale[index] = True
+            return
+        except BaseException:
+            # the worker's replica rejected a mutation the parent
+            # applied — its state is now unknowable; resync via respawn
+            self._stale[index] = True
+            return
+        self._breakers[index].record_success()
+
+    def request(self, index: int, op: str, payload=None):
+        """One unsupervised round-trip with a single shard worker
+        (diagnostics and tests; the supervised paths above are the
+        production surface)."""
+        self._begin(index, op, payload)
+        return self._finish(index)
+
+    def broadcast(self, op: str, payload=None) -> list:
+        """Unsupervised serial round-trip with every worker."""
+        return [self.request(index, op, payload) for index in range(len(self._workers))]
 
     def stats(self) -> list:
-        return [stats_from_wire(snapshot) for snapshot in self.broadcast("stats")]
+        """Per-shard stats snapshots from the worker replicas, with
+        ``None`` holes for shards that currently have no serviceable
+        worker (the engine fills those from its local replicas)."""
+        results: list = []
+        for index in range(len(self._workers)):
+            snapshot = None
+            if self._usable_fast(index):
+                try:
+                    self._begin(index, "stats")
+                    snapshot = self._finish(index)
+                except _ShardFault as fault:
+                    self._record_failure(index)
+                    if fault.respawn:
+                        self._dispose_worker(index)
+                    else:
+                        self._stale[index] = True
+            results.append(
+                stats_from_wire(snapshot) if snapshot is not None else None
+            )
+        return results
 
     def close(self) -> None:
-        """Stop and reap every worker, then destroy the shared segment."""
-        workers, self._workers = self._workers, []
-        for _, conn in workers:
+        """Stop and reap every worker, then destroy the shared segment.
+        Idempotent, and tolerant of already-dead workers and half-built
+        fleets — exactly one unlink however the plane dies."""
+        if self._closed:
+            return
+        self._closed = True
+        workers, self._workers = list(self._workers), []
+        for index, entry in enumerate(workers):
+            if entry is None:
+                continue
+            _, conn = entry
             try:
-                conn.send(("stop", None))
+                conn.send((self._expected[index] + 1, "stop", None))
             except (OSError, ValueError):
                 pass
-        for process, conn in workers:
+        for entry in workers:
+            if entry is None:
+                continue
+            process, conn = entry
             try:
                 if conn.poll(1.0):
                     conn.recv()
@@ -509,6 +916,20 @@ class ShardedEngine:
     router:
         ``router(sub_id, shards) -> shard index`` override; defaults to
         :func:`default_router`.
+    request_timeout:
+        Bound (seconds) on one worker round-trip before the shard is
+        presumed hung and respawned.  Defaults to the executor's
+        ``request_timeout`` attribute when it has one, else
+        :data:`DEFAULT_REQUEST_TIMEOUT`.  CLI: ``--shard-timeout``.
+    supervision:
+        :class:`~repro.broker.supervision.SupervisionPolicy` governing
+        worker respawn, publish retry/backoff, and the per-shard
+        circuit breakers of the process data plane (defaults apply when
+        omitted; irrelevant to in-process executors).
+    fault_plan:
+        Optional :class:`~repro.broker.supervision.FaultPlan` injecting
+        deterministic worker faults into the data plane — tests, chaos
+        benchmarks, and ``stopss demo --chaos`` only.
     """
 
     def __init__(
@@ -521,6 +942,9 @@ class ShardedEngine:
         engine_factory: Callable | None = None,
         executor: object | str = "serial",
         router: Callable[[str, int], int] | None = None,
+        request_timeout: float | None = None,
+        supervision: SupervisionPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if shards < 1:
             raise ConfigError("shards must be >= 1")
@@ -549,6 +973,20 @@ class ShardedEngine:
         )
         self._plane: _ProcessDataPlane | None = None
         self._plane_dirty = False
+        if request_timeout is None:
+            request_timeout = getattr(self._executor, "request_timeout", None)
+        if request_timeout is None:
+            request_timeout = DEFAULT_REQUEST_TIMEOUT
+        if request_timeout <= 0:
+            raise ConfigError("request_timeout must be > 0")
+        self._request_timeout = float(request_timeout)
+        self._supervision_policy = (
+            supervision if supervision is not None else SupervisionPolicy()
+        )
+        #: engine-owned recovery counters: the plane is disposable (KB
+        #: drift discards it) but its supervision history is not
+        self._supervision = SupervisionStats()
+        self._fault_plan = fault_plan
         #: running count of values that crossed the wire as string
         #: fallbacks instead of interned ids (distributed executor only)
         self._wire_fallbacks = 0
@@ -605,22 +1043,18 @@ class ShardedEngine:
     def _forward(self, index: int | None, op: str, payload) -> None:
         """Mirror a control-plane mutation onto the live worker fleet
         (no-op without one).  The local replicas are the source of
-        truth, so any forwarding failure — a dead worker, a knowledge
-        base that moved since the fork — discards the plane instead of
-        failing the caller's already-applied operation; the next publish
-        rebuilds the fleet from local state."""
+        truth, so forwarding can never fail the caller's already-applied
+        operation: a knowledge base that moved since the fork marks the
+        whole plane dirty (next publish rebuilds it), and per-worker
+        trouble is the plane supervisor's problem — it disposes or
+        stale-marks the one affected worker and respawns it on next
+        use, leaving the healthy shards' workers warm."""
         if self._plane is None:
             return
         if self._plane_dirty or self._plane.kb_version != self.kb.version:
             self._plane_dirty = True
             return
-        try:
-            if index is None:
-                self._plane.broadcast(op, payload)
-            else:
-                self._plane.request(index, op, payload)
-        except BaseException:
-            self._discard_plane()
+        self._plane.forward(index, op, payload)
 
     def __len__(self) -> int:
         return sum(len(engine) for engine in self._engines)
@@ -687,6 +1121,19 @@ class ShardedEngine:
             plane.close()
         self._plane_dirty = False
 
+    def _shard_replica_spec(self, index: int) -> tuple[SemanticConfig, list[Subscription]]:
+        """What shard *index*'s worker must hold right now: the current
+        config and the shard's subscriptions in global insertion order.
+        The data plane reads this at launch *and* at every respawn, so
+        a replacement worker resyncs to the parent's present state —
+        churn and reconfigure included — without replaying any ops."""
+        subscriptions = [
+            self._subs_by_id[sub_id]
+            for sub_id, _ in sorted(self._seq_of.items(), key=lambda item: item[1])
+            if self.shard_of(sub_id) == index
+        ]
+        return self._engines[0].config, subscriptions
+
     def _ensure_plane(self) -> _ProcessDataPlane:
         """The live worker fleet, rebuilt from the control plane when
         marked dirty or when the knowledge base version moved since the
@@ -697,26 +1144,42 @@ class ShardedEngine:
         ):
             self._discard_plane()
         if self._plane is None:
-            shard_lists: list[list[Subscription]] = [[] for _ in self._engines]
-            for sub_id, _ in sorted(self._seq_of.items(), key=lambda item: item[1]):
-                shard_lists[self.shard_of(sub_id)].append(self._subs_by_id[sub_id])
             self._plane = _ProcessDataPlane(
                 self.kb,
                 self._engine_factory,
                 self._matcher_spec,
                 self._engines[0].config,
-                shard_lists,
+                self._shard_replica_spec,
+                shards=len(self._engines),
                 start_method=getattr(self._executor, "start_method", None),
-                request_timeout=getattr(self._executor, "request_timeout", 120.0),
+                request_timeout=self._request_timeout,
+                policy=self._supervision_policy,
+                stats=self._supervision,
+                fault_plan=self._fault_plan,
             )
         return self._plane
+
+    def _publish_inline_degraded(self, index: int, event: Event) -> tuple[list, float]:
+        """Degraded-mode publish for one shard: run it on the parent's
+        own replica, which is the control-plane source of truth and
+        therefore always produces exactly what a healthy worker would
+        have returned.  Slower (it shares the parent's core) but never
+        wrong — the supervisor already counted the degradation."""
+        started = time.thread_time()
+        matches = self._engines[index].publish(event)
+        return matches, time.thread_time() - started
 
     def _publish_distributed(self, event: Event) -> list[SemanticMatch]:
         """The process-executor publish path: encode once, fan the wire
         form out to every worker, decode the per-shard match rows
         against the parent's own table, merge as usual.  Matches carry
         the parent's original subscription and event objects — only the
-        derived events cross the boundary."""
+        derived events cross the boundary.
+
+        A ``None`` outcome for a shard means its supervisor degraded it
+        (breaker open or retry budget spent) — the parent replica
+        answers inline, so a publication *never* fails on worker
+        trouble."""
         plane = self._ensure_plane()
         table = self.kb.concept_table() if self._engines[0].config.interning else None
         wire = event.to_wire(table)
@@ -724,7 +1187,14 @@ class ShardedEngine:
         merged: list[SemanticMatch] = []
         slowest = 0.0
         subs = self._subs_by_id
-        for index, (derived_wires, rows, span) in enumerate(plane.publish(wire)):
+        for index, outcome in enumerate(plane.publish(wire)):
+            if outcome is None:
+                matches, span = self._publish_inline_degraded(index, event)
+                self._busy_cpu_seconds[index] += span
+                slowest = max(slowest, span)
+                merged.extend(matches)
+                continue
+            derived_wires, rows, span = outcome
             self._busy_cpu_seconds[index] += span
             slowest = max(slowest, span)
             decoded = [DerivedEvent.from_wire(item, table) for item in derived_wires]
@@ -825,6 +1295,12 @@ class ShardedEngine:
 
     # -- reporting ------------------------------------------------------------------
 
+    @property
+    def supervision(self) -> SupervisionStats:
+        """The engine's cumulative recovery counters (live object; use
+        ``.snapshot()`` for a plain dict)."""
+        return self._supervision
+
     def sharding_info(self) -> dict[str, object]:
         """Fan-out shape and measured shard-parallel cost."""
         return {
@@ -846,6 +1322,15 @@ class ShardedEngine:
             # fallbacks instead of interned ids (0 for in-process
             # executors, where nothing crosses a wire at all)
             "wire_fallbacks": self._wire_fallbacks,
+            "request_timeout": self._request_timeout,
+            # recovery counters (all zero for in-process executors and
+            # for any process run that never hit worker trouble)
+            "supervision": self._supervision.snapshot(),
+            "breaker_states": (
+                self._plane.breaker_states
+                if self._plane is not None
+                else ["closed"] * len(self._engines)
+            ),
         }
 
     def stats(self) -> dict[str, object]:
@@ -856,7 +1341,9 @@ class ShardedEngine:
 
         Under a live process plane the per-shard snapshots come from
         the worker replicas (where the publish work actually ran); the
-        local control replicas answer otherwise."""
+        local control replicas answer otherwise — including for any
+        individual shard whose worker is down or degraded (the plane
+        reports those as ``None`` holes)."""
         per_shard = None
         if (
             self._plane is not None
@@ -869,6 +1356,11 @@ class ShardedEngine:
                 self._discard_plane()
         if per_shard is None:
             per_shard = [engine.stats() for engine in self._engines]
+        else:
+            per_shard = [
+                snapshot if snapshot is not None else self._engines[index].stats()
+                for index, snapshot in enumerate(per_shard)
+            ]
         merged = merge_stats(per_shard)
         sharding = self.sharding_info()
         sharding["shard_stats"] = per_shard
@@ -921,6 +1413,9 @@ class ShardedBroker(Broker):
         engine_factory: Callable | None = None,
         executor: object | str = "serial",
         router: Callable[[str, int], int] | None = None,
+        request_timeout: float | None = None,
+        supervision: SupervisionPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         super().__init__(
             kb,
@@ -935,6 +1430,9 @@ class ShardedBroker(Broker):
                 engine_factory=engine_factory,
                 executor=executor,
                 router=router,
+                request_timeout=request_timeout,
+                supervision=supervision,
+                fault_plan=fault_plan,
             ),
         )
 

@@ -21,11 +21,12 @@ import argparse
 import sys
 
 from repro.broker.broker import Broker
-from repro.broker.sharding import ShardedBroker
+from repro.broker.sharding import DEFAULT_REQUEST_TIMEOUT, ShardedBroker
+from repro.broker.supervision import FaultPlan
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
-from repro.errors import ReproError
-from repro.metrics.aggregate import publish_path_summary
+from repro.errors import ConfigError, ReproError
+from repro.metrics.aggregate import publish_path_summary, supervision_summary
 from repro.metrics.report import Table
 from repro.model.parser import parse_event, parse_subscription
 from repro.ontology.domains import build_demo_knowledge_base, build_jobs_knowledge_base
@@ -68,6 +69,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="matching kernel preference (numpy degrades to the scalar "
         "backend when numpy is not installed)",
     )
+    demo.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="bound on one shard-worker round-trip before the worker is "
+        "presumed hung and respawned (process executor; default "
+        f"{int(DEFAULT_REQUEST_TIMEOUT)}s)",
+    )
+    demo.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run the demo trace under a seeded FaultPlan that kills, "
+        "hangs, and corrupts shard workers mid-stream (requires "
+        "--shards > 1 and --executor process) and print the recovery "
+        "health columns; same seed, same faults — see docs/RESILIENCE.md",
+    )
 
     match = sub.add_parser("match", help="match one event against one subscription")
     match.add_argument("subscription", help='e.g. "(university = Toronto) and (degree = PhD)"')
@@ -88,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    if args.chaos is not None and (args.shards < 2 or args.executor != "process"):
+        raise ConfigError(
+            "--chaos needs a worker fleet to fault: pass --shards > 1 "
+            "and --executor process"
+        )
     spec = JobFinderSpec(
         n_companies=args.companies, n_candidates=args.candidates, seed=args.seed
     )
@@ -126,6 +151,21 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             "wire-fb",
         ],
     )
+    health_table = Table(
+        "data-plane health (supervision counters)"
+        + (f" — chaos seed {args.chaos}" if args.chaos is not None else ""),
+        [
+            "mode",
+            "restarts",
+            "retries",
+            "degraded",
+            "breaker-opens",
+            "snap-fb",
+            "stale-drop",
+            "restart-ms",
+            "breakers",
+        ],
+    )
     for mode, config in (
         ("semantic", SemanticConfig.semantic(matching_backend=args.backend)),
         ("syntactic", SemanticConfig.syntactic(matching_backend=args.backend)),
@@ -134,6 +174,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         if args.shards == 1:
             broker = Broker(build_jobs_knowledge_base(), config=config)
         else:
+            # a FaultPlan is consumed as it fires, so each mode gets a
+            # fresh plan derived from the same seed (identical schedule)
+            fault_plan = (
+                FaultPlan.seeded(
+                    args.chaos,
+                    shards=args.shards,
+                    ops=args.companies + args.candidates,
+                )
+                if args.chaos is not None
+                else None
+            )
             # any other value routes through the sharded broker, whose
             # own validation rejects shards < 1 (exit 2, not a silent
             # fall-back to the single engine)
@@ -142,6 +193,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 config=config,
                 shards=args.shards,
                 executor=args.executor,
+                request_timeout=args.shard_timeout,
+                fault_plan=fault_plan,
             )
         report = scenario.run(broker)
         table.add(
@@ -173,6 +226,18 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         )
         sharding = engine_stats.get("sharding")
         if isinstance(sharding, dict):
+            health = supervision_summary(engine_stats)
+            health_table.add(
+                mode,
+                health["worker_restarts"],
+                health["publish_retries"],
+                health["degraded_publishes"],
+                health["breaker_opens"],
+                health["snapshot_fallbacks"],
+                health["stale_replies_discarded"],
+                round(1000.0 * health["restart_seconds"], 1),
+                "/".join(health["breaker_states"]) or "-",
+            )
             for index, shard_stats in enumerate(sharding.get("shard_stats", ())):
                 shard_summary = publish_path_summary(shard_stats)
                 shard_table.add(
@@ -194,6 +259,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if shard_table.rows:
         print()
         shard_table.print()
+    if health_table.rows:
+        print()
+        health_table.print()
     return 0
 
 

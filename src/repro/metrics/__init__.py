@@ -1,7 +1,7 @@
 """Measurement substrate: counters, timers, and report tables used by
 the benchmark/experiment harness."""
 
-from repro.metrics.aggregate import merge_stats, publish_path_summary
+from repro.metrics.aggregate import merge_stats, publish_path_summary, supervision_summary
 from repro.metrics.counters import CounterRegistry
 from repro.metrics.report import Table, format_row
 from repro.metrics.timers import Timer, TimingSummary, measure
@@ -15,4 +15,5 @@ __all__ = [
     "measure",
     "merge_stats",
     "publish_path_summary",
+    "supervision_summary",
 ]

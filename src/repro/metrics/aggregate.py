@@ -42,7 +42,12 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["merge_stats", "publish_path_summary", "stats_from_wire"]
+__all__ = [
+    "merge_stats",
+    "publish_path_summary",
+    "stats_from_wire",
+    "supervision_summary",
+]
 
 #: keys whose values are configuration or logical counts shared by all
 #: shards — merged by max, not sum
@@ -160,4 +165,40 @@ def publish_path_summary(
         "scalar_fallbacks": matcher.get("scalar_fallbacks", 0),
         "expansion_cache_hit_rate": cache.get("hit_rate", 0.0),
         "result_cache_hit_rate": cached.get("hit_rate", 0.0),
+    }
+
+
+def supervision_summary(engine_stats: Mapping[str, object]) -> dict[str, object]:
+    """The ``stopss demo`` health-table row for one engine-stats
+    snapshot: the sharded data plane's recovery counters plus breaker
+    states, with safe defaults for engines that have no ``sharding``
+    section (a plain single engine) or predate the supervision layer.
+
+    Counters are all zero exactly when the run never needed a recovery
+    intervention — the chaos acceptance criteria assert on this."""
+
+    def section(source: Mapping[str, object], name: str) -> Mapping[str, object]:
+        value = source.get(name)
+        return value if isinstance(value, Mapping) else {}
+
+    sharding = section(engine_stats, "sharding")
+    supervision = section(sharding, "supervision")
+    breaker_states = sharding.get("breaker_states")
+    if not isinstance(breaker_states, (list, tuple)):
+        breaker_states = []
+    restarts = supervision.get("worker_restarts", 0)
+    retries = supervision.get("publish_retries", 0)
+    degraded = supervision.get("degraded_publishes", 0)
+    opens = supervision.get("breaker_opens", 0)
+    return {
+        "worker_restarts": restarts,
+        "publish_retries": retries,
+        "degraded_publishes": degraded,
+        "breaker_opens": opens,
+        "snapshot_fallbacks": supervision.get("snapshot_fallbacks", 0),
+        "stale_replies_discarded": supervision.get("stale_replies_discarded", 0),
+        "restart_seconds": supervision.get("restart_seconds", 0.0),
+        "breakers_open": sum(1 for state in breaker_states if state != "closed"),
+        "breaker_states": list(breaker_states),
+        "recoveries": restarts + retries + degraded + opens,  # type: ignore[operator]
     }

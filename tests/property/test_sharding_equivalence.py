@@ -15,6 +15,13 @@ counts N ∈ {1, 2, 4}, all three fan-out executors (serial, threaded,
 and the cross-process data plane with its wire codec and shared-memory
 snapshot), both indexed matchers, both engine designs, interning and
 pruning toggles, and subscription churn mid-stream.
+
+The chaos leg extends the process-executor invariant under failure:
+with a seeded :class:`~repro.broker.supervision.FaultPlan` killing,
+hanging, and corrupting shard workers mid-stream, match sets and
+generalities must *still* equal the single engine and **no publish may
+ever raise** — supervision (respawn, retry, degraded inline publish)
+is allowed to cost recoveries, never correctness.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.broker.sharding import ShardedEngine, ThreadedExecutor
+from repro.broker.supervision import FaultPlan, SupervisionPolicy
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
 from repro.core.subexpand import SubscriptionExpandingEngine
@@ -177,6 +185,68 @@ def test_process_executor_equals_single_engine(kb, subs, evts, design, matcher):
         for event in evts:
             assert _match_list(sharded, event) == _match_list(single, event)
         for engine in (single, sharded):
+            engine.subscribe(Subscription(subs[0].predicates, sub_id="r0"))
+        for event in evts:
+            assert _match_list(sharded, event) == _match_list(single, event)
+        # the clean leg's counter contract: a fault-free run must need
+        # zero recovery interventions of any kind (the chaos leg below
+        # asserts the same counters are non-zero when faults fire)
+        assert all(value == 0 for value in sharded.supervision.snapshot().values())
+    finally:
+        sharded.close()
+
+
+@settings(deadline=None)
+@given(
+    kb=knowledge_bases(),
+    subs=st.lists(term_subscriptions(), min_size=2, max_size=4),
+    evts=st.lists(term_events(), min_size=2, max_size=3),
+    design=st.sampled_from(sorted(_DESIGNS)),
+    matcher=st.sampled_from(["counting", "cluster"]),
+    chaos_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_process_executor_chaos_equals_single_engine(
+    kb, subs, evts, design, matcher, chaos_seed
+):
+    """The chaos invariant (the PR 8 acceptance criterion): under a
+    seeded FaultPlan that kills, hangs, drops, corrupts, and
+    snapshot-poisons shard workers mid-stream, the supervised process
+    data plane still reports match sets and generalities identical to
+    the single engine, in order, and **no publish ever raises** — then
+    keeps agreeing through churn and further publishes after the plan
+    is exhausted.  The recovery counters prove the faults actually
+    fired (non-zero here, zero in the clean leg above)."""
+    # every scheduled fault lands inside the first len(evts) publishes:
+    # subscriptions go in before the fleet exists, so early sends are
+    # all publishes and each per-shard op counter sweeps every slot
+    plan = FaultPlan.seeded(chaos_seed, shards=2, ops=len(evts), rate=0.5)
+    policy = SupervisionPolicy(backoff_base=0.0, breaker_cooldown=0.0)
+    factory = _DESIGNS[design]
+    single = factory(kb, matcher=matcher, config=SemanticConfig())
+    sharded = ShardedEngine(
+        kb,
+        shards=2,
+        matcher=matcher,
+        config=SemanticConfig(),
+        engine_factory=factory,
+        executor="process",
+        supervision=policy,
+        fault_plan=plan,
+    )
+    try:
+        for index, sub in enumerate(subs):
+            for engine in (single, sharded):
+                engine.subscribe(Subscription(sub.predicates, sub_id=f"s{index}"))
+        for event in evts:
+            assert _match_list(sharded, event) == _match_list(single, event)
+        assert plan.pending == 0, "a scheduled fault never fired"
+        assert sharded.supervision.recoveries > 0, (
+            "faults fired but no recovery was recorded"
+        )
+        # post-chaos convergence: churn then publish again on a fleet
+        # that has been through respawns/degradations — still identical
+        for engine in (single, sharded):
+            engine.unsubscribe("s0")
             engine.subscribe(Subscription(subs[0].predicates, sub_id="r0"))
         for event in evts:
             assert _match_list(sharded, event) == _match_list(single, event)

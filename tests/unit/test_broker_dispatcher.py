@@ -156,6 +156,40 @@ class TestStats:
         assert stats["engine"]["interest"]["enabled"]
 
 
+class TestHealth:
+    """``Broker.health()`` — the operator-facing recovery snapshot."""
+
+    def test_plain_broker_reports_all_zero(self, broker):
+        health = broker.health()
+        assert health["recoveries"] == 0
+        assert health["breakers_open"] == 0 and health["breaker_states"] == []
+
+    def test_sharded_broker_under_faults_counts_recoveries(self):
+        from repro.broker.sharding import ShardedBroker
+        from repro.broker.supervision import FaultAction, FaultPlan, SupervisionPolicy
+
+        broker = ShardedBroker(
+            build_jobs_knowledge_base(),
+            shards=2,
+            executor="process",
+            supervision=SupervisionPolicy(backoff_base=0.0, breaker_cooldown=0.0),
+            fault_plan=FaultPlan([FaultAction("kill", 0, 0)]),
+        )
+        try:
+            company = broker.register_subscriber("Initech", email="hr@x")
+            broker.subscribe(company.client_id, "(university = Toronto)")
+            candidate = broker.register_publisher("Ada")
+            report = broker.publish(candidate.client_id, "(school, Toronto)")
+            assert report.match_count == 1  # the kill cost a respawn, not a match
+            health = broker.health()
+            assert health["worker_restarts"] == 1
+            assert health["publish_retries"] == 1
+            assert health["recoveries"] == 2
+            assert health["breaker_states"] == ["closed", "closed"]
+        finally:
+            broker.close()
+
+
 class TestResultCache:
     """The dispatcher-level LRU match-set cache (PR 3 satellite)."""
 

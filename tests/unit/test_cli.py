@@ -111,6 +111,75 @@ class TestDemo:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--backend", "fortran"])
 
+    def test_demo_shard_timeout_flag_accepted(self, capsys):
+        assert (
+            main(
+                ["demo", "--companies", "2", "--candidates", "4", "--shards", "2",
+                 "--executor", "process", "--shard-timeout", "30"]
+            )
+            == 0
+        )
+        assert "per-shard view" in capsys.readouterr().out
+
+    def test_demo_shard_timeout_rejects_nonpositive(self, capsys):
+        code = main(
+            ["demo", "--companies", "2", "--candidates", "2", "--shards", "2",
+             "--executor", "process", "--shard-timeout", "0"]
+        )
+        assert code == 2
+        assert "request_timeout must be > 0" in capsys.readouterr().err
+
+    def test_demo_chaos_requires_process_fleet(self, capsys):
+        """--chaos without a worker fleet must fail loudly, not run a
+        chaos demo with nothing to fault."""
+        for argv in (
+            ["demo", "--companies", "2", "--candidates", "2", "--chaos", "7"],
+            ["demo", "--companies", "2", "--candidates", "2", "--shards", "2",
+             "--executor", "threads", "--chaos", "7"],
+        ):
+            assert main(argv) == 2
+            assert "--chaos needs a worker fleet" in capsys.readouterr().err
+
+    @staticmethod
+    def _health_rows(text: str) -> list[list[str]]:
+        """The (mode, counters...) rows of the data-plane health table."""
+        section = text.split("data-plane health")[1]
+        return [
+            line.split()
+            for line in section.splitlines()
+            if line.startswith(("semantic", "syntactic"))
+        ]
+
+    def test_demo_clean_process_run_prints_all_zero_health(self, capsys):
+        argv = ["demo", "--companies", "3", "--candidates", "6", "--shards", "2",
+                "--executor", "process"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "data-plane health" in out
+        for row in self._health_rows(out):
+            # restarts..stale-drop and restart-ms all zero on a clean run
+            assert set(row[1:8]) == {"0"}
+
+    def test_demo_chaos_matches_clean_run_and_recovers(self, capsys):
+        """The CLI-level chaos invariant: the demo's match/delivery
+        table is identical with and without the fault storm, and the
+        health columns prove the storm actually happened — with the
+        deterministic counters reproducible from the seed alone."""
+        argv = ["demo", "--companies", "3", "--candidates", "8", "--seed", "3",
+                "--shards", "2", "--executor", "process"]
+        main(argv)
+        clean = capsys.readouterr().out
+        assert main(argv + ["--chaos", "7"]) == 0
+        chaos = capsys.readouterr().out
+        assert clean.split("publish path")[0] == chaos.split("publish path")[0]
+        assert "chaos seed 7" in chaos
+        rows = self._health_rows(chaos)
+        assert rows and all(int(row[1]) + int(row[2]) + int(row[3]) > 0 for row in rows)
+        main(argv + ["--chaos", "7"])
+        again = self._health_rows(capsys.readouterr().out)
+        # deterministic columns replay exactly (restart-ms is wall-clock)
+        assert [row[1:7] for row in rows] == [row[1:7] for row in again]
+
 
 class TestMatch:
     def test_semantic_match_exit_zero(self, capsys):

@@ -6,7 +6,14 @@ import time
 
 import pytest
 
-from repro.metrics import CounterRegistry, Table, Timer, TimingSummary, measure
+from repro.metrics import (
+    CounterRegistry,
+    Table,
+    Timer,
+    TimingSummary,
+    measure,
+    supervision_summary,
+)
 
 
 class TestCounters:
@@ -106,3 +113,59 @@ class TestTable:
         table.add(1)
         table.print()
         assert "t" in capsys.readouterr().out
+
+
+class TestSupervisionSummary:
+    def test_extracts_counters_and_breaker_states(self):
+        summary = supervision_summary(
+            {
+                "sharding": {
+                    "supervision": {
+                        "worker_restarts": 2,
+                        "publish_retries": 3,
+                        "degraded_publishes": 1,
+                        "breaker_opens": 1,
+                        "snapshot_fallbacks": 4,
+                        "stale_replies_discarded": 5,
+                        "restart_seconds": 0.25,
+                    },
+                    "breaker_states": ["open", "closed", "half-open"],
+                }
+            }
+        )
+        assert summary["worker_restarts"] == 2
+        assert summary["recoveries"] == 2 + 3 + 1 + 1  # restarts+retries+degraded+opens
+        assert summary["snapshot_fallbacks"] == 4
+        assert summary["stale_replies_discarded"] == 5
+        assert summary["restart_seconds"] == 0.25
+        assert summary["breakers_open"] == 2  # open + half-open
+        assert summary["breaker_states"] == ["open", "closed", "half-open"]
+
+    def test_single_engine_stats_report_all_zero(self):
+        """A plain engine has no sharding section; every counter must
+        default to zero rather than KeyError — recoveries == 0 always
+        means 'nothing needed rescuing'."""
+        summary = supervision_summary({"derived_events": 7})
+        assert summary["recoveries"] == 0
+        assert summary["breakers_open"] == 0 and summary["breaker_states"] == []
+        assert all(
+            summary[name] == 0
+            for name in (
+                "worker_restarts",
+                "publish_retries",
+                "degraded_publishes",
+                "breaker_opens",
+                "snapshot_fallbacks",
+                "stale_replies_discarded",
+            )
+        )
+
+    def test_partial_sections_default_safely(self):
+        """Sharding sections that predate the supervision layer (or
+        carry malformed values) render as zeros, not crashes."""
+        summary = supervision_summary({"sharding": {"shards": 2}})
+        assert summary["recoveries"] == 0
+        summary = supervision_summary(
+            {"sharding": {"supervision": {"worker_restarts": 1}, "breaker_states": "x"}}
+        )
+        assert summary["worker_restarts"] == 1 and summary["breaker_states"] == []

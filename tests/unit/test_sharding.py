@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.broker.sharding import (
+    DEFAULT_REQUEST_TIMEOUT,
     ProcessExecutor,
     SerialExecutor,
     ShardedBroker,
@@ -20,6 +21,7 @@ from repro.broker.sharding import (
     ThreadedExecutor,
     default_router,
 )
+from repro.broker.supervision import FaultAction, FaultPlan, SupervisionPolicy
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
 from repro.core.subexpand import SubscriptionExpandingEngine
@@ -529,6 +531,319 @@ class TestProcessExecutor:
             assert engine._plane is None  # degenerate path never forks
         finally:
             engine.close()
+
+
+def _supervised_engine(plan=None, policy=None, **kwargs):
+    """A 2-shard process engine wired for fast, deterministic
+    supervision tests: zero backoff so retries don't sleep, and the
+    digit router so sub ids pin their shard."""
+    if policy is None:
+        policy = SupervisionPolicy(backoff_base=0.0, breaker_cooldown=0.0)
+    return ShardedEngine(
+        chain_kb(),
+        shards=2,
+        executor="process",
+        router=digit_router,
+        supervision=policy,
+        fault_plan=plan,
+        **kwargs,
+    )
+
+
+class TestSupervisedDataPlane:
+    """Worker respawn, retry, breaker/degraded mode, and the epoch
+    protocol that fixes the broadcast desync bug.  The chaos equivalence
+    invariant (match sets equal to a single engine while workers die)
+    lives in ``tests/property/test_sharding_equivalence.py``."""
+
+    def test_killed_worker_0_leaves_worker_1_round_trip_coherent(self):
+        # the PR-7 desync pin: before epoch tagging, a failure on worker
+        # 0 mid-broadcast left worker 1's reply unread on the pipe, so
+        # the *next* request read a stale reply.
+        engine = _supervised_engine()
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            engine.publish(parse_event("(x, leaf)"))
+            plane = engine._plane
+            process_0, _ = plane._workers[0]
+            process_0.kill()
+            process_0.join(timeout=5.0)
+            # the publish fans out to both workers; worker 0's failure
+            # must not desynchronize worker 1's reply stream
+            matched = {
+                m.subscription.sub_id for m in engine.publish(parse_event("(x, leaf)"))
+            }
+            assert matched == {"s0", "s1"}
+            # and the next round-trip with worker 1 is still coherent
+            matched = {
+                m.subscription.sub_id for m in engine.publish(parse_event("(x, leaf)"))
+            }
+            assert matched == {"s0", "s1"}
+            assert engine._plane is plane  # repaired in place, not rebuilt
+            assert engine.supervision.worker_restarts == 1
+        finally:
+            engine.close()
+
+    def test_dropped_reply_is_discarded_by_epoch_not_misread(self):
+        # "drop" leaves a completed reply unread on the pipe; the retry
+        # must discard it by epoch and use the fresh reply
+        plan = FaultPlan([FaultAction("drop", 0, 1)])
+        engine = _supervised_engine(plan)
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            for _ in range(3):
+                matched = [
+                    m.subscription.sub_id
+                    for m in engine.publish(parse_event("(x, leaf)"))
+                ]
+                assert matched == ["s0", "s1"]
+            snapshot = engine.supervision.snapshot()
+            assert snapshot["stale_replies_discarded"] == 1
+            assert snapshot["publish_retries"] == 1
+            assert snapshot["worker_restarts"] == 0  # the worker never died
+        finally:
+            engine.close()
+
+    def test_every_fault_kind_recovers_with_deterministic_counters(self):
+        plan = FaultPlan(
+            [
+                FaultAction("kill", 0, 0),
+                FaultAction("drop", 1, 1),
+                FaultAction("corrupt", 0, 2),
+                FaultAction("hang", 1, 3),
+                FaultAction("snapshot", 0, 4),
+            ]
+        )
+        engine = _supervised_engine(plan)
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            for _ in range(6):
+                matched = [
+                    m.subscription.sub_id
+                    for m in engine.publish(parse_event("(x, leaf)"))
+                ]
+                assert matched == ["s0", "s1"]
+            assert plan.pending == 0
+            snapshot = engine.supervision.snapshot()
+            # kill, hang, snapshot each cost one respawn; all five cost
+            # one retry; snapshot's replacement worker fell back to
+            # local closure fills; drop left one stale reply behind
+            assert snapshot["worker_restarts"] == 3
+            assert snapshot["publish_retries"] == 5
+            assert snapshot["snapshot_fallbacks"] == 1
+            assert snapshot["stale_replies_discarded"] == 1
+            assert snapshot["degraded_publishes"] == 0
+            assert snapshot["breaker_opens"] == 0
+        finally:
+            engine.close()
+
+    def test_breaker_opens_and_routes_publishes_inline(self):
+        # no retry budget, threshold 2, cooldown too long to re-arm:
+        # two kills open shard 0's breaker and every later publish for
+        # it degrades to the parent replica — correct results, no raise
+        plan = FaultPlan([FaultAction("kill", 0, i) for i in range(4)])
+        policy = SupervisionPolicy(
+            max_retries=0, backoff_base=0.0, breaker_threshold=2, breaker_cooldown=600.0
+        )
+        engine = _supervised_engine(plan, policy)
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            for _ in range(5):
+                matched = [
+                    m.subscription.sub_id
+                    for m in engine.publish(parse_event("(x, leaf)"))
+                ]
+                assert matched == ["s0", "s1"]
+            snapshot = engine.supervision.snapshot()
+            assert snapshot["breaker_opens"] == 1
+            assert snapshot["degraded_publishes"] >= 3
+            info = engine.sharding_info()
+            assert info["breaker_states"] == ["open", "closed"]
+            # stats still answer, filling the broken shard from the
+            # parent replica instead of raising
+            stats = engine.stats()
+            assert len(stats["sharding"]["shard_stats"]) == 2
+        finally:
+            engine.close()
+
+    def test_breaker_cooldown_rearms_and_probe_closes_it(self):
+        plan = FaultPlan([FaultAction("kill", 0, 0), FaultAction("kill", 0, 1)])
+        policy = SupervisionPolicy(
+            max_retries=0, backoff_base=0.0, breaker_threshold=2, breaker_cooldown=0.0
+        )
+        engine = _supervised_engine(plan, policy)
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            for _ in range(3):
+                matched = [
+                    m.subscription.sub_id
+                    for m in engine.publish(parse_event("(x, leaf)"))
+                ]
+                assert matched == ["s0", "s1"]
+            # zero cooldown: the first publish after the open is the
+            # half-open probe; the plan is exhausted so it succeeds and
+            # the breaker closes with a freshly respawned worker
+            assert engine.sharding_info()["breaker_states"] == ["closed", "closed"]
+            assert engine.supervision.breaker_opens == 1
+            assert engine.supervision.worker_restarts >= 1
+        finally:
+            engine.close()
+
+    def test_churn_while_worker_down_resyncs_on_respawn(self):
+        # subscribe/unsubscribe while shard 0's worker is dead: the
+        # respawned worker must rebuild from the *current* parent state
+        # (respawn is the retry — ops are never replayed)
+        engine = _supervised_engine()
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+            engine.publish(parse_event("(x, leaf)"))
+            plane = engine._plane
+            process_0, _ = plane._workers[0]
+            process_0.kill()
+            process_0.join(timeout=5.0)
+            # both mutations route to the dead shard-0 worker
+            engine.subscribe(parse_subscription("(x = top)", sub_id="t0"))
+            engine.unsubscribe("s0")
+            matched = [
+                m.subscription.sub_id for m in engine.publish(parse_event("(x, leaf)"))
+            ]
+            assert matched == ["s1", "t0"]
+            assert engine._plane is plane
+        finally:
+            engine.close()
+
+    def test_engine_errors_propagate_not_swallowed(self):
+        # supervision rescues *transport* failures only: an engine-level
+        # error from the worker replica must reach the caller exactly
+        # like the single-engine path (here: duplicate subscribe raises
+        # locally before any forwarding — the control plane is truth)
+        engine = _supervised_engine()
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.publish(parse_event("(x, leaf)"))
+            with pytest.raises(DuplicateSubscriptionError):
+                engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            assert engine.supervision.recoveries == 0
+        finally:
+            engine.close()
+
+
+class TestRequestTimeoutPlumbing:
+    def test_engine_param_wins_over_executor_attribute(self):
+        executor = ProcessExecutor(request_timeout=7.5)
+        engine = ShardedEngine(
+            chain_kb(), shards=2, executor=executor, request_timeout=5.0
+        )
+        try:
+            assert engine.sharding_info()["request_timeout"] == 5.0
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.publish(parse_event("(x, leaf)"))
+            assert engine._plane.request_timeout == 5.0
+        finally:
+            engine.close()
+
+    def test_executor_attribute_is_the_fallback(self):
+        executor = ProcessExecutor(request_timeout=7.5)
+        engine = ShardedEngine(chain_kb(), shards=2, executor=executor)
+        try:
+            assert engine.sharding_info()["request_timeout"] == 7.5
+        finally:
+            engine.close()
+
+    def test_default_applies_without_executor_hint(self):
+        engine = ShardedEngine(chain_kb(), shards=2, executor="serial")
+        try:
+            assert engine.sharding_info()["request_timeout"] == DEFAULT_REQUEST_TIMEOUT
+        finally:
+            engine.close()
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedEngine(chain_kb(), shards=2, request_timeout=0.0)
+        with pytest.raises(ConfigError):
+            ShardedEngine(chain_kb(), shards=2, request_timeout=-1.0)
+
+    def test_timeout_fires_and_respawns_the_hung_worker(self):
+        # a real (not injected) timeout: the deadline elapses with no
+        # reply and the supervisor replaces the worker — "hang" faults
+        # exercise the same branch without the wall-clock wait
+        plan = FaultPlan([FaultAction("hang", 0, 1)])
+        engine = _supervised_engine(plan, request_timeout=30.0)
+        try:
+            engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+            engine.publish(parse_event("(x, leaf)"))
+            matched = [
+                m.subscription.sub_id for m in engine.publish(parse_event("(x, leaf)"))
+            ]
+            assert matched == ["s0"]
+            assert engine.supervision.worker_restarts == 1
+        finally:
+            engine.close()
+
+
+class TestPlaneTeardown:
+    def test_close_with_already_dead_worker(self):
+        engine = _supervised_engine()
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        engine.publish(parse_event("(x, leaf)"))
+        plane = engine._plane
+        for process, _ in plane._workers:
+            process.kill()
+            process.join(timeout=5.0)
+        engine.close()  # must not raise, must still unlink the segment
+        assert engine._plane is None
+        assert plane._snapshot is None
+
+    def test_double_close_is_idempotent(self):
+        engine = _supervised_engine()
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        engine.publish(parse_event("(x, leaf)"))
+        plane = engine._plane
+        engine.close()
+        engine.close()
+        plane.close()  # direct second close on the plane too
+        assert plane._snapshot is None
+
+    def test_close_during_degraded_mode_unlinks_exactly_once(self):
+        # breaker open, worker slot empty: close must skip the hole,
+        # reap the survivor, and unlink the shared segment exactly once
+        plan = FaultPlan([FaultAction("kill", 0, 0), FaultAction("kill", 0, 1)])
+        policy = SupervisionPolicy(
+            max_retries=0, backoff_base=0.0, breaker_threshold=2, breaker_cooldown=600.0
+        )
+        engine = _supervised_engine(plan, policy)
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s0"))
+        engine.subscribe(parse_subscription("(x = top)", sub_id="s1"))
+        for _ in range(3):
+            engine.publish(parse_event("(x, leaf)"))
+        plane = engine._plane
+        assert plane._workers[0] is None  # shard 0 is a degraded hole
+        assert plane.breaker_states[0] == "open"
+        real_snapshot = plane._snapshot
+        unlinks = []
+        if real_snapshot is not None:  # platforms without shared memory skip
+
+            class CountingSnapshot:
+                def close(self):
+                    real_snapshot.close()
+
+                def unlink(self):
+                    unlinks.append(1)
+                    real_snapshot.unlink()
+
+            plane._snapshot = CountingSnapshot()
+        engine.close()
+        engine.close()
+        plane.close()
+        if real_snapshot is not None:
+            assert unlinks == [1]
+        assert engine._plane is None
 
 
 class TestShardedBroker:
