@@ -5,6 +5,12 @@ multi-transport notification engine of the demonstration setup
 from repro.broker.broker import Broker
 from repro.broker.clients import Client, ClientKind, ClientRegistry
 from repro.broker.dispatcher import EventDispatcher, PublishReport
+from repro.broker.durability import (
+    Durability,
+    DurabilityStats,
+    RecoveryReport,
+    recover,
+)
 from repro.broker.sharding import (
     ProcessExecutor,
     SerialExecutor,
@@ -21,6 +27,7 @@ from repro.broker.supervision import (
     SupervisionStats,
 )
 from repro.broker.notifications import (
+    DeliveryEntry,
     DeliveryOutcome,
     Notification,
     NotificationEngine,
@@ -39,6 +46,10 @@ from repro.broker.transports import (
 
 __all__ = [
     "Broker",
+    "Durability",
+    "DurabilityStats",
+    "RecoveryReport",
+    "recover",
     "ShardedBroker",
     "ShardedEngine",
     "SerialExecutor",
@@ -57,6 +68,7 @@ __all__ = [
     "PublishReport",
     "Notification",
     "NotificationEngine",
+    "DeliveryEntry",
     "DeliveryOutcome",
     "Transport",
     "TransportRegistry",

@@ -5,16 +5,32 @@ string-friendly API (the web application and CLI speak the textual
 subscription/event language).  This is the type a downstream user
 instantiates first; everything underneath remains reachable for
 composition.
+
+With ``durability=`` the broker becomes crash-safe: every
+state-changing operation is journaled write-ahead (publishes before
+matching, churn after it succeeds), deliveries are outboxed/acked, and
+:func:`~repro.broker.durability.recover` rebuilds an equivalent broker
+after a crash.  See ``docs/DURABILITY.md``.
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.broker.clients import Client, ClientKind, ClientRegistry
 from repro.broker.dispatcher import EventDispatcher, PublishReport
-from repro.broker.notifications import NotificationEngine
+from repro.broker.durability import (
+    Durability,
+    _encode_client,
+    _encode_config,
+    _encode_event,
+    _encode_subscription,
+)
+from repro.broker.notifications import DeliveryOutcome, NotificationEngine
 from repro.broker.transports import TransportRegistry, default_transports
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
+from repro.errors import DurabilityError
 from repro.matching.base import MatchingAlgorithm
 from repro.model.events import Event
 from repro.model.parser import parse_event, parse_subscription
@@ -47,17 +63,75 @@ class Broker:
         config: SemanticConfig | None = None,
         transports: TransportRegistry | None = None,
         engine=None,
+        durability: Durability | str | os.PathLike | None = None,
     ) -> None:
         self.kb = kb
         # an injected engine (any object satisfying the dispatcher's
         # engine interface — e.g. a ShardedEngine) wins over the
         # matcher/config construction parameters.
         self.engine = engine if engine is not None else SToPSS(kb, matcher=matcher, config=config)
+        if durability is not None and not isinstance(durability, Durability):
+            durability = Durability(durability)
+        if (
+            durability is not None
+            and durability.has_state
+            and not durability.replay_active
+        ):
+            raise DurabilityError(
+                f"directory {durability.directory} already holds durable broker "
+                "state; use repro.broker.durability.recover() to rebuild from it"
+            )
+        self.durability = durability
+        self._op_index = 0
+        self.recovery = None  # RecoveryReport when built by recover()
         self.registry = ClientRegistry()
         self.notifier = NotificationEngine(
-            transports if transports is not None else default_transports()
+            transports if transports is not None else default_transports(),
+            durability=durability,
         )
         self.dispatcher = EventDispatcher(self.engine, self.registry, self.notifier)
+
+    # -- journaling ---------------------------------------------------------------
+
+    def _journal_op(self, payload: dict) -> None:
+        """Journal one broker-level operation (no-op when not durable or
+        while recovery is replaying existing records).  Auto-compaction
+        runs *before* the append, when the in-memory state is consistent
+        with every record already journaled."""
+        durability = self.durability
+        if durability is None or durability.replay_active:
+            return
+        if durability.should_compact():
+            durability.compact(self._durable_state())
+        record = dict(payload)
+        record["oi"] = self._op_index
+        self._op_index += 1
+        durability.append(record)
+        durability.note_op()
+
+    def _durable_state(self) -> dict:
+        """The broker's complete durable state, snapshot-shaped."""
+        subscriptions = []
+        for subscription in self.engine.subscriptions():
+            client_id = self.dispatcher._subscriber_of.get(subscription.sub_id)
+            if client_id is None:  # engine-only subscription (tests)
+                continue
+            subscriptions.append(_encode_subscription(subscription, client_id))
+        config = getattr(self.engine, "config", None)
+        return {
+            "next_op_index": self._op_index,
+            "config": _encode_config(config) if config is not None else None,
+            "clients": [_encode_client(client) for client in self.registry.clients()],
+            "subscriptions": subscriptions,
+            "notifier": self.notifier.durable_state(),
+        }
+
+    def checkpoint(self) -> None:
+        """Fold current state into a compacted snapshot now (automatic
+        compaction runs every ``snapshot_every`` operations)."""
+        if self.durability is None:
+            raise DurabilityError("broker has no durability store to checkpoint")
+        self.durability.compact(self._durable_state())
 
     # -- registration -------------------------------------------------------------
 
@@ -73,7 +147,7 @@ class Broker:
     ) -> Client:
         """Register a subscriber with transport addresses in keyword
         order of preference (email first by convention)."""
-        return self.registry.register(
+        return self._register(
             name,
             kind=ClientKind.SUBSCRIBER,
             addresses=self._addresses(email=email, sms=sms, tcp=tcp, udp=udp),
@@ -81,7 +155,7 @@ class Broker:
         )
 
     def register_publisher(self, name: str, *, client_id: str | None = None) -> Client:
-        return self.registry.register(
+        return self._register(
             name, kind=ClientKind.PUBLISHER, addresses=(), client_id=client_id
         )
 
@@ -96,12 +170,35 @@ class Broker:
         udp: str | None = None,
         client_id: str | None = None,
     ) -> Client:
-        return self.registry.register(
+        return self._register(
             name,
             kind=kind,
             addresses=self._addresses(email=email, sms=sms, tcp=tcp, udp=udp),
             client_id=client_id,
         )
+
+    def _register(
+        self,
+        name: str,
+        *,
+        kind: ClientKind,
+        addresses: tuple[tuple[str, str], ...],
+        client_id: str | None,
+    ) -> Client:
+        client = self.registry.register(
+            name, kind=kind, addresses=addresses, client_id=client_id
+        )
+        self._journal_op(_encode_client(client))
+        return client
+
+    def remove_client(self, client_id: str) -> Client:
+        """Remove a client, dropping its subscriptions first (each drop
+        is journaled individually, so recovery replays the same way)."""
+        for subscription in self.dispatcher.subscriptions_of(client_id):
+            self.unsubscribe(subscription.sub_id)
+        client = self.registry.remove(client_id)
+        self._journal_op({"k": "remove", "id": client_id})
+        return client
 
     @staticmethod
     def _addresses(
@@ -141,16 +238,31 @@ class Broker:
                 sub_id=subscription.sub_id,
                 max_generality=max_generality,
             )
-        return self.dispatcher.subscribe(client_id, subscription)
+        bound = self.dispatcher.subscribe(client_id, subscription)
+        self._journal_op(_encode_subscription(bound, client_id))
+        return bound
 
     def unsubscribe(self, sub_id: str) -> Subscription:
-        return self.dispatcher.unsubscribe(sub_id)
+        removed = self.dispatcher.unsubscribe(sub_id)
+        self._journal_op({"k": "unsub", "sid": sub_id})
+        return removed
 
     def publish(self, client_id: str, event: str | Event) -> PublishReport:
-        """Publish from an :class:`Event` or language text."""
+        """Publish from an :class:`Event` or language text.  Durable
+        brokers journal the publish *before* matching (write-ahead), so
+        a crash mid-fan-out replays the event and reconciles deliveries
+        against the journaled outbox."""
         if isinstance(event, str):
             event = parse_event(event)
+        self._journal_op(_encode_event(event, client_id))
         return self.dispatcher.publish(client_id, event)
+
+    def replay_from(self, sub_id: str, sequence: int) -> list[DeliveryOutcome]:
+        """Re-deliver this subscription's retained delivery log from
+        *sequence* onward — a reconnecting subscriber's catch-up call;
+        it dedups by the ``(sub_id, sequence)`` stamped on every
+        notification."""
+        return self.notifier.replay_from(sub_id, sequence, self.registry)
 
     # -- modes (paper §4: semantic vs. syntactic demo modes) -----------------------------
 
@@ -158,43 +270,61 @@ class Broker:
     def mode(self) -> str:
         return self.engine.mode
 
+    def reconfigure(self, config: SemanticConfig) -> None:
+        """Swap the engine's semantic configuration (journaled, so a
+        recovered broker matches with the same tolerances)."""
+        self.engine.reconfigure(config)
+        self._journal_op({"k": "config", "cfg": _encode_config(config)})
+
     def set_semantic_mode(self) -> None:
-        self.engine.reconfigure(SemanticConfig.semantic())
+        self.reconfigure(SemanticConfig.semantic())
 
     def set_syntactic_mode(self) -> None:
-        self.engine.reconfigure(SemanticConfig.syntactic())
+        self.reconfigure(SemanticConfig.syntactic())
 
     # -- reporting -------------------------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        return self.dispatcher.stats()
+        stats = self.dispatcher.stats()
+        if self.durability is not None:
+            stats["durability"] = self.durability.stats.snapshot()
+        return stats
 
     def health(self) -> dict[str, object]:
         """Operational health snapshot: the sharded data plane's
         recovery counters and breaker states in the defensive
-        :func:`~repro.metrics.aggregate.supervision_summary` shape.
+        :func:`~repro.metrics.aggregate.supervision_summary` shape,
+        plus the notification dead-letter depth and the
+        :func:`~repro.metrics.aggregate.durability_summary` counters.
         A plain single-engine broker (no ``sharding`` stats section)
         reports all-zero counters — ``health()["recoveries"] == 0``
         always means "nothing needed rescuing"."""
-        from repro.metrics.aggregate import supervision_summary
+        from repro.metrics.aggregate import durability_summary, supervision_summary
 
         stats = self.stats()
         engine_stats = stats.get("engine")
         if not isinstance(engine_stats, dict):
             engine_stats = stats
-        return supervision_summary(engine_stats)
+        health = supervision_summary(engine_stats)
+        health["dead_letters"] = len(self.notifier.dead_letters)
+        health["history_evictions"] = self.notifier.stats.history_evictions
+        health["durability"] = durability_summary(stats)
+        return health
 
     # -- lifecycle -------------------------------------------------------------------------
 
     def close(self) -> None:
         """Release engine-held resources (executor pools, worker
-        processes, shared-memory segments).  A plain single-engine
-        broker holds none, so this is a no-op there — having it on the
-        base class means ``with Broker(...)``-style cleanup code works
-        unchanged when the engine is swapped for a sharded one."""
+        processes, shared-memory segments) and the journal handle.  A
+        plain single-engine broker holds none, so this is a no-op there
+        — having it on the base class means ``with Broker(...)``-style
+        cleanup code works unchanged when the engine is swapped for a
+        sharded one."""
         closer = getattr(self.engine, "close", None)
         if closer is not None:
             closer()
+        if self.durability is not None:
+            self.durability.close()
 
     def __enter__(self) -> "Broker":
         return self

@@ -1,0 +1,543 @@
+"""Durable broker state: write-ahead journal, snapshots, recovery.
+
+PR 8 made the shard *data plane* survivable; this module makes the
+broker itself survive.  The model is recovery-to-a-legal-state
+(Feldmann et al.'s self-stabilizing supervised pub/sub, ``PAPERS.md``):
+every state-changing broker operation — client register/remove,
+subscribe/unsubscribe, reconfigure, publish — lands in an append-only,
+CRC-checksummed journal, and :func:`recover` rebuilds a
+:class:`~repro.broker.broker.Broker` equivalent to the uncrashed run by
+replaying those records through the broker's *normal* code paths (so
+shard routing, the InterestIndex, and respawn specs all rebuild for
+free).
+
+Three design rules keep recovery boring:
+
+1. **Torn tails never refuse to start.**  A record is one line,
+   ``<crc32-hex8> <canonical-json>\\n``; the reader stops at the first
+   incomplete or checksum-failing line, physically truncates the
+   garbage, and counts one ``torn_tail_truncations``.  A crash mid
+   ``write(2)`` therefore costs at most the record being written.
+2. **Snapshots compact, sequence numbers reconcile.**  Every
+   ``snapshot_every`` appends the broker folds its full state into
+   ``snapshot.json`` (written to a temp file, then atomically renamed)
+   and restarts the journal.  Each record carries a monotonic ``i``;
+   the snapshot records the last one folded in, so a crash between
+   rename and truncate merely makes replay skip already-folded records.
+3. **Deliveries are at-least-once, dedup'd by sequence.**  The
+   notification engine journals an outbox record (with the
+   per-subscription delivery sequence and the rendered message) before
+   every send and an ack after; recovery replays each journaled publish,
+   regenerates its matches deterministically, and reconciles them
+   against the journaled outbox — already-acked sequences are dropped
+   (``dedup_drops``), un-acked ones are re-sent (``replayed_deliveries``).
+
+Fault injection reuses PR 8's :class:`~repro.broker.supervision
+.FaultPlan`: a ``crash`` action at slot ``(0, append_index)`` makes the
+journal write a *torn* prefix of that record and raise
+:class:`~repro.errors.SimulatedCrash` — the crash-equivalence property
+suite sweeps that offset across every prefix of a seeded trace.
+
+Full prose: ``docs/DURABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.broker.clients import Client, ClientKind
+from repro.broker.supervision import FaultPlan
+from repro.core.config import SemanticConfig
+from repro.errors import DurabilityError, ReproError, SimulatedCrash
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+from repro.ontology.serialization import (
+    _decode_predicate,
+    _decode_value,
+    _encode_predicate,
+    _encode_value,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.broker.broker import Broker
+    from repro.ontology.knowledge_base import KnowledgeBase
+
+__all__ = [
+    "Durability",
+    "DurabilityStats",
+    "RecoveryReport",
+    "recover",
+    "JOURNAL_NAME",
+    "SNAPSHOT_NAME",
+]
+
+JOURNAL_NAME = "journal.log"
+SNAPSHOT_NAME = "snapshot.json"
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+class DurabilityStats:
+    """Deterministic durability counters, cumulative for one
+    :class:`Durability` instance (journal *and* recovery sides).
+    Surfaced through ``Broker.stats()["durability"]`` and the
+    :func:`~repro.metrics.aggregate.durability_summary` shape in
+    ``Broker.health()``."""
+
+    __slots__ = (
+        "journal_appends",
+        "journal_bytes",
+        "snapshot_compactions",
+        "torn_tail_truncations",
+        "replayed_deliveries",
+        "dedup_drops",
+        "replay_skips",
+    )
+
+    def __init__(self) -> None:
+        self.journal_appends = 0
+        self.journal_bytes = 0
+        self.snapshot_compactions = 0
+        self.torn_tail_truncations = 0
+        self.replayed_deliveries = 0
+        self.dedup_drops = 0
+        self.replay_skips = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view (JSON-safe, ``merge_stats``-summable)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """What :func:`recover` found and did, attached to the returned
+    broker as ``broker.recovery``."""
+
+    snapshot_loaded: bool = False
+    snapshot_discarded: bool = False
+    records_replayed: int = 0
+    torn_tail_truncations: int = 0
+    replayed_deliveries: int = 0
+    dedup_drops: int = 0
+    replay_skips: int = 0
+    next_op_index: int = 0
+
+
+# ---------------------------------------------------------------------------
+# record framing: one line per record, CRC32 over the JSON body
+# ---------------------------------------------------------------------------
+
+def _encode_record(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body + b"\n"
+
+
+def _scan_records(raw: bytes) -> tuple[list[dict], int, bool]:
+    """Parse *raw* journal bytes: ``(records, clean_length, torn)``.
+    Stops at the first incomplete line, malformed frame, checksum
+    mismatch, or non-object body — everything from there on is a torn
+    tail (*clean_length* is where it starts)."""
+    records: list[dict] = []
+    offset = 0
+    while offset < len(raw):
+        end = raw.find(b"\n", offset)
+        if end < 0:
+            return records, offset, True
+        line = raw[offset:end]
+        if len(line) < 10 or line[8:9] != b" ":
+            return records, offset, True
+        try:
+            expected = int(line[:8], 16)
+        except ValueError:
+            return records, offset, True
+        body = line[9:]
+        if zlib.crc32(body) & 0xFFFFFFFF != expected:
+            return records, offset, True
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return records, offset, True
+        if not isinstance(payload, dict):
+            return records, offset, True
+        records.append(payload)
+        offset = end + 1
+    return records, offset, False
+
+
+# ---------------------------------------------------------------------------
+# payload codecs (reuse the ontology serialization's value/predicate forms)
+# ---------------------------------------------------------------------------
+
+def _encode_config(config: SemanticConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def _decode_config(data: dict) -> SemanticConfig:
+    return SemanticConfig(**data)
+
+
+def _encode_client(client: Client) -> dict:
+    return {
+        "k": "client",
+        "id": client.client_id,
+        "name": client.name,
+        "kind": client.kind.value,
+        "addr": [[transport, address] for transport, address in client.addresses],
+    }
+
+
+def _encode_subscription(subscription: Subscription, client_id: str) -> dict:
+    return {
+        "k": "sub",
+        "sid": subscription.sub_id,
+        "cid": client_id,
+        "mg": subscription.max_generality,
+        "preds": [_encode_predicate(p) for p in subscription.predicates],
+    }
+
+
+def _decode_subscription(data: dict) -> Subscription:
+    return Subscription(
+        tuple(_decode_predicate(p) for p in data["preds"]),
+        sub_id=data["sid"],
+        max_generality=data["mg"],
+    )
+
+
+def _encode_event(event: Event, client_id: str) -> dict:
+    return {
+        "k": "pub",
+        "cid": client_id,
+        "eid": event.event_id,
+        "pairs": [[attribute, _encode_value(value)] for attribute, value in event.items()],
+    }
+
+
+def _decode_event(data: dict) -> Event:
+    return Event(
+        [(attribute, _decode_value(value)) for attribute, value in data["pairs"]],
+        event_id=data["eid"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# the journal + snapshot store
+# ---------------------------------------------------------------------------
+
+class Durability:
+    """One broker's durable store: ``journal.log`` + ``snapshot.json``
+    inside *directory*.
+
+    Parameters
+    ----------
+    directory: created if missing; one broker per directory.
+    snapshot_every: fold state into a compacted snapshot every N
+        journaled operations (``0`` disables automatic compaction;
+        ``Broker.checkpoint()`` always works).
+    fsync: ``True`` pays an ``fsync(2)`` per append for real crash
+        durability; the default flushes to the OS only (fast, and
+        exactly as strong for the in-process crash model the tests
+        simulate).
+    fault_plan: a :class:`~repro.broker.supervision.FaultPlan` consulted
+        at slot ``(0, append_index)`` before every append; a ``crash``
+        action writes a torn prefix of the record and raises
+        :class:`~repro.errors.SimulatedCrash`.  Non-crash kinds in the
+        slot are ignored (durability plans should schedule only
+        ``crash``).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        snapshot_every: int = 1000,
+        fsync: bool = False,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        if snapshot_every < 0:
+            raise DurabilityError("snapshot_every must be >= 0")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.directory / JOURNAL_NAME
+        self.snapshot_path = self.directory / SNAPSHOT_NAME
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+        self.fault_plan = fault_plan
+        self.stats = DurabilityStats()
+        #: recovery replay in progress: the broker suppresses op
+        #: journaling (the records being replayed already exist)
+        self.replay_active = False
+        self._crashed = False
+        self._handle = None
+        self._seq = 0  # last record sequence number assigned
+        self._append_index = 0  # lifetime fault-plan offset axis
+        self._ops_since_snapshot = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def has_state(self) -> bool:
+        """Does the directory already hold durable state?  A fresh
+        ``Broker(durability=...)`` refuses such a directory — that state
+        belongs to :func:`recover`."""
+        if self.snapshot_path.exists():
+            return True
+        try:
+            return self.journal_path.stat().st_size > 0
+        except OSError:
+            return False
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    # -- appending -------------------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.journal_path, "ab")
+        return self._handle
+
+    def append(self, payload: dict) -> int:
+        """Journal one record (the ``i`` sequence field is stamped
+        here); returns its sequence number.  An injected ``crash``
+        writes a torn prefix instead and raises
+        :class:`~repro.errors.SimulatedCrash`."""
+        if self._crashed:
+            raise DurabilityError(
+                "journal crashed (SimulatedCrash fired); recover() the directory"
+            )
+        record = dict(payload)
+        record["i"] = self._seq + 1
+        data = _encode_record(record)
+        index = self._append_index
+        self._append_index += 1
+        fault = self.fault_plan.take(0, index) if self.fault_plan is not None else None
+        handle = self._open()
+        if fault == "crash":
+            handle.write(data[: len(data) // 2])
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self._crashed = True
+            raise SimulatedCrash(f"simulated crash at journal append {index}")
+        handle.write(data)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self._seq = record["i"]
+        self.stats.journal_appends += 1
+        self.stats.journal_bytes += len(data)
+        return self._seq
+
+    def note_op(self) -> None:
+        """Count one broker-level operation toward auto-compaction."""
+        self._ops_since_snapshot += 1
+
+    def should_compact(self) -> bool:
+        return (
+            self.snapshot_every > 0
+            and not self.replay_active
+            and not self._crashed
+            and self._ops_since_snapshot >= self.snapshot_every
+        )
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def compact(self, state: dict) -> None:
+        """Fold *state* (the broker's full durable state) into an
+        atomically-replaced snapshot, then restart the journal.  Safe
+        against a crash at any point: replay skips journal records whose
+        sequence the snapshot already folded in."""
+        if self._crashed:
+            raise DurabilityError("journal crashed; recover() the directory")
+        payload = {"format": FORMAT_VERSION, "last_seq": self._seq, "state": state}
+        tmp_path = self.snapshot_path.with_suffix(".tmp")
+        with open(tmp_path, "wb") as handle:
+            handle.write(_encode_record(payload))
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self.snapshot_path)
+        self.close()
+        with open(self.journal_path, "wb"):
+            pass  # truncate: everything up to last_seq now lives in the snapshot
+        self.stats.snapshot_compactions += 1
+        self._ops_since_snapshot = 0
+
+    def load_snapshot(self) -> tuple[dict | None, bool]:
+        """``(snapshot_payload, discarded)`` — a missing snapshot is
+        ``(None, False)``; an unreadable one is ``(None, True)`` (never
+        refuse to start)."""
+        try:
+            raw = self.snapshot_path.read_bytes()
+        except OSError:
+            return None, False
+        records, _, torn = _scan_records(raw)
+        if torn or len(records) != 1 or records[0].get("format") != FORMAT_VERSION:
+            return None, True
+        return records[0], False
+
+    # -- reading / attaching ------------------------------------------------------
+
+    def attach(self) -> tuple[dict | None, list[dict], bool]:
+        """Open existing state for recovery: load the snapshot, read the
+        journal (skipping records the snapshot already folded in),
+        physically truncate any torn tail, and position the sequence
+        counter so new appends continue the stream.  Returns
+        ``(snapshot, journal_records, snapshot_discarded)``."""
+        snapshot, discarded = self.load_snapshot()
+        floor = snapshot["last_seq"] if snapshot is not None else 0
+        try:
+            raw = self.journal_path.read_bytes()
+        except OSError:
+            raw = b""
+        records, clean_length, torn = _scan_records(raw)
+        if torn:
+            with open(self.journal_path, "r+b") as handle:
+                handle.truncate(clean_length)
+            self.stats.torn_tail_truncations += 1
+        records = [record for record in records if record.get("i", 0) > floor]
+        self._seq = max(floor, records[-1]["i"] if records else 0)
+        return snapshot, records, discarded
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+
+def recover(
+    directory: str | os.PathLike,
+    kb: "KnowledgeBase",
+    *,
+    broker_factory: Callable | None = None,
+    snapshot_every: int = 1000,
+    fsync: bool = False,
+    **broker_kwargs,
+) -> "Broker":
+    """Rebuild a broker from the durable state in *directory*.
+
+    The snapshot restores the compacted baseline (clients,
+    subscriptions, configuration, delivery sequences); the journal tail
+    then replays *through the normal broker paths* — churn through
+    ``subscribe``/``unsubscribe`` (so a sharded engine re-routes and
+    re-indexes exactly as live traffic would), publishes through
+    ``publish`` with the notification engine reconciling regenerated
+    matches against the journaled outbox: acked sequences are dropped
+    (``dedup_drops``), un-acked ones re-sent (``replayed_deliveries``).
+    Journaled records that failed to apply live (e.g. a rejected
+    publish) fail identically on replay and are skipped, which also
+    covers a partially-applied final record.  An empty directory
+    recovers to a fresh durable broker.
+
+    *broker_factory* defaults to :class:`~repro.broker.broker.Broker`;
+    pass e.g. ``lambda kb, **kw: ShardedBroker(kb, shards=4, **kw)`` to
+    recover into a sharded deployment.  Non-journaled construction
+    parameters (matcher, initial config, shard count) are the caller's
+    to repeat via the factory / *broker_kwargs*.
+
+    Returns the broker, with a :class:`RecoveryReport` attached as
+    ``broker.recovery``.
+    """
+    from repro.broker.broker import Broker
+
+    durability = Durability(directory, snapshot_every=snapshot_every, fsync=fsync)
+    snapshot, records, snapshot_discarded = durability.attach()
+    report = RecoveryReport(
+        snapshot_loaded=snapshot is not None,
+        snapshot_discarded=snapshot_discarded,
+        torn_tail_truncations=durability.stats.torn_tail_truncations,
+    )
+    durability.replay_active = True
+    factory = broker_factory if broker_factory is not None else Broker
+    broker = factory(kb, durability=durability, **broker_kwargs)
+    try:
+        # 1. the compacted baseline
+        if snapshot is not None:
+            state = snapshot["state"]
+            if state.get("config") is not None:
+                broker.engine.reconfigure(_decode_config(state["config"]))
+            for entry in state.get("clients", ()):
+                broker.registry.register(
+                    entry["name"],
+                    kind=ClientKind(entry["kind"]),
+                    addresses=tuple((t, a) for t, a in entry["addr"]),
+                    client_id=entry["id"],
+                )
+            for entry in state.get("subscriptions", ()):
+                broker.dispatcher.subscribe(entry["cid"], _decode_subscription(entry))
+            broker.notifier.restore(state.get("notifier", {}))
+            broker._op_index = state.get("next_op_index", 0)
+
+        # 2. delivery ledger from the journal tail: what was outboxed
+        #    and what was acked, per subscription in append order
+        ledger: dict[str, list] = {}
+        for record in records:
+            kind = record["k"]
+            if kind == "out":
+                entry = broker.notifier.adopt_journal_entry(record)
+                ledger.setdefault(record["sid"], []).append(entry)
+            elif kind == "ack":
+                broker.notifier.settle_journal_entry(
+                    record["sid"], record["n"], delivered=record["ok"]
+                )
+        broker.notifier.begin_replay(ledger, durability.stats)
+
+        # 3. replay the operation records through the normal paths
+        for record in records:
+            kind = record["k"]
+            try:
+                if kind == "client":
+                    broker.registry.register(
+                        record["name"],
+                        kind=ClientKind(record["kind"]),
+                        addresses=tuple((t, a) for t, a in record["addr"]),
+                        client_id=record["id"],
+                    )
+                elif kind == "remove":
+                    broker.remove_client(record["id"])
+                elif kind == "sub":
+                    broker.subscribe(record["cid"], _decode_subscription(record))
+                elif kind == "unsub":
+                    broker.unsubscribe(record["sid"])
+                elif kind == "config":
+                    broker.engine.reconfigure(_decode_config(record["cfg"]))
+                elif kind == "pub":
+                    broker.publish(record["cid"], _decode_event(record))
+            except ReproError:
+                # the same operation failed the same way live (or only
+                # half-applied before the crash); deterministic replay
+                # converges to the same state by skipping it
+                durability.stats.replay_skips += 1
+            if kind in ("client", "remove", "sub", "unsub", "config", "pub"):
+                report.records_replayed += 1
+                if "oi" in record:
+                    broker._op_index = max(broker._op_index, record["oi"] + 1)
+
+        # 4. anything journaled-but-unacked that replay did not
+        #    regenerate (snapshot-compacted publishes, divergent tails)
+        #    is re-sent straight from the stored rendered message
+        broker.notifier.finish_replay(broker.registry)
+    finally:
+        durability.replay_active = False
+    report.replayed_deliveries = durability.stats.replayed_deliveries
+    report.dedup_drops = durability.stats.dedup_drops
+    report.replay_skips = durability.stats.replay_skips
+    report.next_op_index = broker._op_index
+    broker.recovery = report
+    return broker

@@ -8,11 +8,23 @@ transient failures with bounded attempts, and journals every outcome.
 Undeliverable notifications land in a dead-letter list instead of
 failing the publish path — a slow SMS gateway must not stall the
 matcher.
+
+Delivery is *at-least-once with per-subscription sequences*: every
+notification carries a monotonic ``sequence`` scoped to its
+subscription, the engine keeps a bounded per-subscription delivery log,
+and — when the broker is durable — an outbox record is journaled before
+each send and an ack after, so crash recovery can reconcile regenerated
+matches against what actually went out (already-acked sequences are
+dropped, un-acked ones re-sent).  ``replay_from`` re-delivers the
+retained log from a sequence number for reconnecting subscribers, who
+dedup by ``(sub_id, sequence)``.
+
+The notification-id counter is engine-owned (not module-global) and
+restorable from a snapshot, so ids stay unique across a crash-restart.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.broker.clients import Client
@@ -24,33 +36,32 @@ from repro.broker.transports import (
     default_transports,
 )
 from repro.core.provenance import SemanticMatch
-from repro.errors import DeliveryError, TransportError
+from repro.errors import DeliveryError, TransportError, UnknownClientError
 
-__all__ = ["Notification", "NotificationEngine", "DeliveryOutcome"]
-
-_notification_counter = itertools.count(1)
+__all__ = ["Notification", "NotificationEngine", "DeliveryOutcome", "DeliveryEntry"]
 
 
 @dataclass(frozen=True)
 class Notification:
-    """A match destined for one subscriber."""
+    """A match destined for one subscriber, stamped with its
+    subscription-scoped delivery sequence."""
 
     notification_id: str
     client: Client
-    match: SemanticMatch
-
-    @classmethod
-    def for_match(cls, client: Client, match: SemanticMatch) -> "Notification":
-        return cls(f"n{next(_notification_counter)}", client, match)
+    match: SemanticMatch | None
+    sub_id: str = ""
+    sequence: int = 0
 
     def subject(self) -> str:
+        if self.match is None:  # replayed from the journal: pre-rendered
+            return f"S-ToPSS: replay of {self.notification_id}"
         return (
             f"S-ToPSS: subscription {self.match.subscription.sub_id} matched "
             f"event {self.match.event.event_id}"
         )
 
     def body(self) -> str:
-        return self.match.explain()
+        return "" if self.match is None else self.match.explain()
 
 
 @dataclass(frozen=True)
@@ -66,12 +77,28 @@ class DeliveryOutcome:
 
 
 @dataclass
+class DeliveryEntry:
+    """One row of the per-subscription delivery log: everything needed
+    to re-send without the original match object (the journal stores the
+    rendered message, so replay works across restarts)."""
+
+    sequence: int
+    notification_id: str
+    client_id: str
+    event_id: str
+    subject: str
+    body: str
+    status: str = "pending"  # pending | acked | dead
+
+
+@dataclass
 class _EngineStats:
     notifications: int = 0
     delivered: int = 0
     dead_lettered: int = 0
     retries: int = 0
     fallbacks: int = 0
+    history_evictions: int = 0
     per_transport: dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> dict[str, object]:
@@ -81,6 +108,7 @@ class _EngineStats:
             "dead_lettered": self.dead_lettered,
             "retries": self.retries,
             "fallbacks": self.fallbacks,
+            "history_evictions": self.history_evictions,
             "per_transport": dict(self.per_transport),
         }
 
@@ -94,6 +122,13 @@ class NotificationEngine:
     max_attempts_per_transport: bounded retries for transient failures.
     raise_on_dead_letter: tests may prefer a loud
         :class:`~repro.errors.DeliveryError` over silent dead-lettering.
+    history_limit: capacity of the outcome journal, the dead-letter
+        list, and each subscription's delivery log; the oldest entry is
+        evicted at capacity (counted in ``history_evictions``), which
+        also bounds how far back ``replay_from`` can reach.
+    durability: the broker's :class:`~repro.broker.durability
+        .Durability` store, when deliveries should be journaled
+        (outbox-before-send, ack-after).
     """
 
     def __init__(
@@ -102,28 +137,131 @@ class NotificationEngine:
         *,
         max_attempts_per_transport: int = 3,
         raise_on_dead_letter: bool = False,
+        history_limit: int = 1024,
+        durability=None,
     ) -> None:
         self.transports = transports if transports is not None else default_transports()
         if max_attempts_per_transport < 1:
             raise DeliveryError("max_attempts_per_transport must be >= 1")
+        if history_limit < 1:
+            raise DeliveryError("history_limit must be >= 1")
         self.max_attempts = max_attempts_per_transport
         self.raise_on_dead_letter = raise_on_dead_letter
+        self.history_limit = history_limit
+        self.durability = durability
         self.outcomes: list[DeliveryOutcome] = []
         self.dead_letters: list[Notification] = []
         self.stats = _EngineStats()
+        #: engine-owned, snapshot-restorable id counter (a module global
+        #: would restart at 1 after recovery and collide)
+        self._next_notification = 1
+        self._next_seq: dict[str, int] = {}
+        self._delivery_log: dict[str, list[DeliveryEntry]] = {}
+        self._frontier: dict[str, int] = {}
+        #: pending entries restored from a snapshot (their publishes were
+        #: compacted away, so recovery re-sends them directly)
+        self._restored_pending: list[tuple[str, DeliveryEntry]] = []
+        self._replay_ledger: dict[str, list[DeliveryEntry]] | None = None
+        self._replay_stats = None
+
+    # -- bounded history ---------------------------------------------------------
+
+    def _bounded_append(self, store, item) -> None:
+        if len(store) >= self.history_limit:
+            del store[0]
+            self.stats.history_evictions += 1
+        store.append(item)
+
+    def _log_entry(self, sub_id: str, entry: DeliveryEntry) -> None:
+        log = self._delivery_log.setdefault(sub_id, [])
+        self._bounded_append(log, entry)
 
     # -- delivery --------------------------------------------------------------
 
     def notify(self, client: Client, match: SemanticMatch) -> DeliveryOutcome:
-        """Render and deliver one match to one subscriber."""
-        notification = Notification.for_match(client, match)
+        """Render and deliver one match to one subscriber.  During
+        crash-recovery replay, regenerated matches are reconciled
+        against the journaled outbox instead of blindly re-sent."""
+        sub_id = match.subscription.sub_id
+        if self._replay_ledger is not None:
+            queue = self._replay_ledger.get(sub_id)
+            if queue:
+                entry = queue.pop(0)
+                notification = Notification(
+                    entry.notification_id, client, match, sub_id=sub_id, sequence=entry.sequence
+                )
+                if entry.status != "pending":
+                    # the uncrashed run already settled this sequence:
+                    # idempotent redelivery drops it
+                    self._replay_stats.dedup_drops += 1
+                    return DeliveryOutcome(
+                        notification, None, 0, entry.status == "acked", transport="journal"
+                    )
+                outcome = self._walk_transports(notification, entry.subject, entry.body)
+                self._replay_stats.replayed_deliveries += 1
+                self._settle(sub_id, entry, outcome.delivered)
+                return self._finish(outcome)
+            # no journaled outbox for this match: the crash hit before
+            # the send started — fall through to a fresh delivery
+        sequence = self._next_seq.get(sub_id, 1)
+        self._next_seq[sub_id] = sequence + 1
+        notification = Notification(
+            f"n{self._next_notification}", client, match, sub_id=sub_id, sequence=sequence
+        )
+        self._next_notification += 1
+        subject, body = notification.subject(), notification.body()
+        entry = DeliveryEntry(
+            sequence,
+            notification.notification_id,
+            client.client_id,
+            match.event.event_id,
+            subject,
+            body,
+        )
+        self._log_entry(sub_id, entry)
+        if self.durability is not None:
+            self.durability.append(
+                {
+                    "k": "out",
+                    "sid": sub_id,
+                    "n": sequence,
+                    "nid": notification.notification_id,
+                    "cid": client.client_id,
+                    "eid": entry.event_id,
+                    "subject": subject,
+                    "body": body,
+                }
+            )
+        outcome = self._walk_transports(notification, subject, body)
+        if self._replay_stats is not None:
+            self._replay_stats.replayed_deliveries += 1
+        self._settle(sub_id, entry, outcome.delivered)
+        return self._finish(outcome)
+
+    def _settle(self, sub_id: str, entry: DeliveryEntry, delivered: bool) -> None:
+        """Terminal bookkeeping for one send: log status, delivered
+        frontier, and the journaled ack (``ok=False`` marks a
+        dead-letter terminal so recovery never re-sends it either)."""
+        entry.status = "acked" if delivered else "dead"
+        if delivered:
+            self._frontier[sub_id] = max(self._frontier.get(sub_id, 0), entry.sequence)
+        if self.durability is not None:
+            self.durability.append(
+                {"k": "ack", "sid": sub_id, "n": entry.sequence, "ok": delivered}
+            )
+
+    def _walk_transports(
+        self, notification: Notification, subject: str, rendered_body: str
+    ) -> DeliveryOutcome:
+        """The transport-preference walk with bounded retries; returns
+        the outcome without recording it (callers settle + finish)."""
+        client = notification.client
         self.stats.notifications += 1
         attempts = 0
         last_error = ""
         preferences = client.preferred_transports()
         if not preferences:
-            outcome = DeliveryOutcome(notification, None, 0, False, error="client has no addresses")
-            return self._finish(outcome)
+            return DeliveryOutcome(notification, None, 0, False, error="client has no addresses")
         for position, transport_name in enumerate(preferences):
             if transport_name not in self.transports:
                 last_error = f"unknown transport {transport_name!r}"
@@ -132,7 +270,7 @@ class NotificationEngine:
                 self.stats.fallbacks += 1
             transport = self.transports.get(transport_name)
             address = client.address_for(transport_name) or ""
-            subject, body = notification.subject(), notification.body()
+            body = rendered_body
             if isinstance(transport, SmsTransport):
                 body = SmsTransport.render(subject, body)
             for attempt in range(1, self.max_attempts + 1):
@@ -154,25 +292,19 @@ class NotificationEngine:
                     continue
                 # UDP "drops" are successful sends from the engine's
                 # perspective: fire-and-forget semantics.
-                outcome = DeliveryOutcome(
-                    notification,
-                    record,
-                    attempts,
-                    True,
-                    transport=transport_name,
-                )
                 self.stats.delivered += 1
                 self.stats.per_transport[transport_name] = (
                     self.stats.per_transport.get(transport_name, 0) + 1
                 )
-                return self._finish(outcome)
-        outcome = DeliveryOutcome(notification, None, attempts, False, error=last_error)
-        return self._finish(outcome)
+                return DeliveryOutcome(
+                    notification, record, attempts, True, transport=transport_name
+                )
+        return DeliveryOutcome(notification, None, attempts, False, error=last_error)
 
     def _finish(self, outcome: DeliveryOutcome) -> DeliveryOutcome:
-        self.outcomes.append(outcome)
+        self._bounded_append(self.outcomes, outcome)
         if not outcome.delivered:
-            self.dead_letters.append(outcome.notification)
+            self._bounded_append(self.dead_letters, outcome.notification)
             self.stats.dead_lettered += 1
             if self.raise_on_dead_letter:
                 raise DeliveryError(
@@ -181,6 +313,132 @@ class NotificationEngine:
                 )
         return outcome
 
+    # -- replay-from-sequence ------------------------------------------------------
+
+    def replay_from(self, sub_id: str, sequence: int, registry) -> list[DeliveryOutcome]:
+        """Re-deliver every retained delivery-log entry for *sub_id*
+        with ``sequence >= sequence`` (a reconnecting subscriber's
+        catch-up; it dedups by sequence number).  Still-pending entries
+        are settled by their re-send; already-settled ones keep their
+        status.  Bounded by ``history_limit`` — evicted entries are
+        gone."""
+        outcomes = []
+        for entry in list(self._delivery_log.get(sub_id, ())):
+            if entry.sequence < sequence:
+                continue
+            outcomes.append(self._redeliver(sub_id, entry, registry))
+        return outcomes
+
+    def _redeliver(self, sub_id: str, entry: DeliveryEntry, registry) -> DeliveryOutcome:
+        """Re-send one journaled delivery from its stored rendered
+        message (no match object needed)."""
+        notification = Notification(
+            entry.notification_id, None, None, sub_id=sub_id, sequence=entry.sequence
+        )
+        try:
+            client = registry.get(entry.client_id)
+        except UnknownClientError:
+            outcome = DeliveryOutcome(
+                notification, None, 0, False, error=f"client {entry.client_id!r} removed"
+            )
+            if entry.status == "pending":
+                self._settle(sub_id, entry, False)
+            return outcome
+        notification = Notification(
+            entry.notification_id, client, None, sub_id=sub_id, sequence=entry.sequence
+        )
+        outcome = self._walk_transports(notification, entry.subject, entry.body)
+        if self.durability is not None:
+            self.durability.stats.replayed_deliveries += 1
+        if entry.status == "pending":
+            self._settle(sub_id, entry, outcome.delivered)
+        return outcome
+
+    # -- crash-recovery protocol (driven by durability.recover) --------------------
+
+    def adopt_journal_entry(self, record: dict) -> DeliveryEntry:
+        """Restore one journaled outbox record into the delivery log and
+        the sequence/id counters; returns the entry for the ledger."""
+        entry = DeliveryEntry(
+            record["n"],
+            record["nid"],
+            record["cid"],
+            record.get("eid", ""),
+            record.get("subject", ""),
+            record.get("body", ""),
+        )
+        sub_id = record["sid"]
+        self._log_entry(sub_id, entry)
+        self._next_seq[sub_id] = max(self._next_seq.get(sub_id, 1), entry.sequence + 1)
+        nid = entry.notification_id
+        if nid.startswith("n") and nid[1:].isdigit():
+            self._next_notification = max(self._next_notification, int(nid[1:]) + 1)
+        return entry
+
+    def settle_journal_entry(self, sub_id: str, sequence: int, *, delivered: bool) -> None:
+        """Apply one journaled ack: the send reached its terminal state
+        before the crash."""
+        for entry in reversed(self._delivery_log.get(sub_id, ())):
+            if entry.sequence == sequence:
+                entry.status = "acked" if delivered else "dead"
+                break
+        if delivered:
+            self._frontier[sub_id] = max(self._frontier.get(sub_id, 0), sequence)
+
+    def begin_replay(self, ledger: dict[str, list[DeliveryEntry]], stats) -> None:
+        """Enter reconciliation mode: regenerated matches consume
+        *ledger* (per-subscription journaled outbox entries, in append
+        order) instead of drawing fresh sequences."""
+        self._replay_ledger = ledger
+        self._replay_stats = stats
+
+    def finish_replay(self, registry) -> None:
+        """Leave reconciliation mode; any journaled-but-unacked entry
+        replay did not regenerate (snapshot-compacted publishes) is
+        re-sent directly from its stored message — at-least-once."""
+        leftovers = list(self._restored_pending)
+        if self._replay_ledger is not None:
+            for sub_id, queue in self._replay_ledger.items():
+                for entry in queue:
+                    if entry.status == "pending":
+                        leftovers.append((sub_id, entry))
+        self._replay_ledger = None
+        for sub_id, entry in leftovers:
+            self._redeliver(sub_id, entry, registry)
+        self._restored_pending = []
+        self._replay_stats = None
+
+    # -- durable state -------------------------------------------------------------
+
+    def durable_state(self) -> dict:
+        """Snapshot-side state: counters, per-subscription sequences,
+        delivered frontiers, and the retained delivery log."""
+        subs = {}
+        for sub_id in set(self._next_seq) | set(self._delivery_log) | set(self._frontier):
+            subs[sub_id] = {
+                "next_seq": self._next_seq.get(sub_id, 1),
+                "frontier": self._frontier.get(sub_id, 0),
+                "entries": [
+                    [e.sequence, e.notification_id, e.client_id, e.event_id, e.subject, e.body, e.status]
+                    for e in self._delivery_log.get(sub_id, ())
+                ],
+            }
+        return {"next_notification": self._next_notification, "subs": subs}
+
+    def restore(self, state: dict) -> None:
+        """Rebuild counters and the delivery log from
+        :meth:`durable_state` output; pending entries are queued for
+        re-send when recovery finishes."""
+        self._next_notification = int(state.get("next_notification", 1))
+        for sub_id, data in state.get("subs", {}).items():
+            self._next_seq[sub_id] = int(data.get("next_seq", 1))
+            self._frontier[sub_id] = int(data.get("frontier", 0))
+            for seq, nid, cid, eid, subject, body, status in data.get("entries", ()):
+                entry = DeliveryEntry(seq, nid, cid, eid, subject, body, status)
+                self._log_entry(sub_id, entry)
+                if status == "pending":
+                    self._restored_pending.append((sub_id, entry))
+
     # -- reporting ----------------------------------------------------------------
 
     def delivered_to(self, client_id: str) -> list[DeliveryOutcome]:
@@ -188,11 +446,23 @@ class NotificationEngine:
         return [
             outcome
             for outcome in self.outcomes
-            if outcome.notification.client.client_id == client_id and outcome.delivered
+            if outcome.notification.client is not None
+            and outcome.notification.client.client_id == client_id
+            and outcome.delivered
         ]
+
+    def delivery_frontiers(self) -> dict[str, int]:
+        """Highest acked delivery sequence per subscription — the
+        quantity crash recovery must preserve exactly."""
+        return dict(self._frontier)
+
+    def delivery_log(self, sub_id: str) -> list[DeliveryEntry]:
+        """The retained (bounded) delivery log for one subscription."""
+        return list(self._delivery_log.get(sub_id, ()))
 
     def snapshot(self) -> dict[str, object]:
         data = self.stats.snapshot()
+        data["dead_letters"] = len(self.dead_letters)
         data["transports"] = self.transports.stats()
         return data
 

@@ -1416,12 +1416,14 @@ class ShardedBroker(Broker):
         request_timeout: float | None = None,
         supervision: SupervisionPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        durability=None,
     ) -> None:
         super().__init__(
             kb,
             matcher=matcher,
             config=config,
             transports=transports,
+            durability=durability,
             engine=ShardedEngine(
                 kb,
                 shards=shards,

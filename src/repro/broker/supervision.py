@@ -54,6 +54,7 @@ from typing import Callable, Iterable, Sequence
 from repro.errors import ConfigError
 
 __all__ = [
+    "DATA_PLANE_FAULT_KINDS",
     "FAULT_KINDS",
     "CircuitBreaker",
     "FaultAction",
@@ -62,8 +63,9 @@ __all__ = [
     "SupervisionStats",
 ]
 
-#: every fault kind the data plane knows how to inject, in one place so
-#: plans validate against the implementation rather than a stale list.
+#: the fault kinds the shard data plane knows how to inject, in one
+#: place so plans validate against the implementation rather than a
+#: stale list.
 #:
 #: ``kill``      SIGKILL the worker just before the op is sent.
 #: ``hang``      treat the worker as hung: the op is sent but the reply
@@ -77,7 +79,16 @@ __all__ = [
 #: ``snapshot``  kill the worker *and* corrupt the shared-memory
 #:               snapshot descriptor handed to its replacement, forcing
 #:               the respawned worker onto the local-fill fallback.
-FAULT_KINDS = ("kill", "hang", "drop", "corrupt", "snapshot")
+DATA_PLANE_FAULT_KINDS = ("kill", "hang", "drop", "corrupt", "snapshot")
+
+#: every valid fault kind.  ``crash`` is consumed by the durability
+#: layer, not the data plane: the journal writes a *torn* record (a
+#: realistic partial ``write(2)``) and raises
+#: :class:`~repro.errors.SimulatedCrash`, killing the whole broker at a
+#: chosen journal-append offset (shard axis 0, op axis = append index).
+#: The data plane ignores a ``crash`` slot it happens to consume, so
+#: keep durability plans separate from data-plane plans.
+FAULT_KINDS = DATA_PLANE_FAULT_KINDS + ("crash",)
 
 
 @dataclass(frozen=True)
@@ -252,12 +263,14 @@ class FaultPlan:
         ops: int,
         rate: float = 0.15,
         faults: int | None = None,
-        kinds: Sequence[str] = FAULT_KINDS,
+        kinds: Sequence[str] = DATA_PLANE_FAULT_KINDS,
     ) -> "FaultPlan":
         """A reproducible schedule over the first *ops* sends of each of
         *shards* shards: *faults* slots (default ``rate`` of the grid,
         at least one) chosen and assigned kinds by ``random.Random(seed)``
-        — same seed, same plan, on every machine and run."""
+        — same seed, same plan, on every machine and run.  The default
+        *kinds* are the data-plane five; pass ``("crash",)`` to seed a
+        durability crash schedule."""
         if shards < 1 or ops < 1:
             raise ConfigError("a seeded plan needs shards >= 1 and ops >= 1")
         for kind in kinds:
@@ -275,6 +288,15 @@ class FaultPlan:
             FaultAction(rng.choice(list(kinds)), shard, op)
             for shard, op in sorted(slots)
         )
+
+    @classmethod
+    def crash_at(cls, *offsets: int) -> "FaultPlan":
+        """A durability plan: :class:`~repro.errors.SimulatedCrash` at
+        each journal-append *offset* (0-based).  The journal consults
+        slot ``(0, append_index)`` before every append, so this is the
+        precise "kill the broker at journal offset N" construction the
+        crash-equivalence suite sweeps."""
+        return cls(FaultAction("crash", 0, offset) for offset in offsets)
 
     @property
     def planned(self) -> int:

@@ -13,20 +13,29 @@ Subcommands:
     Serve the demonstration web application over HTTP.
 ``stopss kb``
     Print knowledge-base statistics.
+``stopss recover``
+    Rebuild a broker from a ``--durable`` journal directory and print
+    what recovery found.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.broker.broker import Broker
+from repro.broker.durability import recover
 from repro.broker.sharding import DEFAULT_REQUEST_TIMEOUT, ShardedBroker
 from repro.broker.supervision import FaultPlan
 from repro.core.config import SemanticConfig
 from repro.core.engine import SToPSS
 from repro.errors import ConfigError, ReproError
-from repro.metrics.aggregate import publish_path_summary, supervision_summary
+from repro.metrics.aggregate import (
+    durability_summary,
+    publish_path_summary,
+    supervision_summary,
+)
 from repro.metrics.report import Table
 from repro.model.parser import parse_event, parse_subscription
 from repro.ontology.domains import build_demo_knowledge_base, build_jobs_knowledge_base
@@ -88,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards > 1 and --executor process) and print the recovery "
         "health columns; same seed, same faults — see docs/RESILIENCE.md",
     )
+    demo.add_argument(
+        "--durable",
+        default=None,
+        metavar="DIR",
+        help="journal each mode's broker under DIR/<mode> (write-ahead "
+        "journal + compacted snapshots); `stopss recover DIR/semantic` "
+        "rebuilds it — see docs/DURABILITY.md.  The directory must not "
+        "already hold state (recover it instead)",
+    )
 
     match = sub.add_parser("match", help="match one event against one subscription")
     match.add_argument("subscription", help='e.g. "(university = Toronto) and (degree = PhD)"')
@@ -104,6 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
 
     sub.add_parser("kb", help="print knowledge-base statistics")
+
+    recover_cmd = sub.add_parser(
+        "recover", help="rebuild a broker from a durable journal directory"
+    )
+    recover_cmd.add_argument(
+        "directory", help="a journal directory, e.g. DIR/semantic from `stopss demo --durable DIR`"
+    )
+    recover_cmd.add_argument(
+        "--mode",
+        choices=("semantic", "syntactic"),
+        default="semantic",
+        help="the configuration the journaled broker was *built* with "
+        "(reconfigurations are journaled and replayed; the construction-"
+        "time configuration is the operator's to repeat)",
+    )
+    recover_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="recover into a sharded broker with this many replicas "
+        "(journaled churn replays through the normal subscribe path, so "
+        "routing rebuilds for any shard count)",
+    )
     return parser
 
 
@@ -166,13 +207,18 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             "breakers",
         ],
     )
+    durable_table = Table(
+        "durability (write-ahead journal)",
+        ["mode", "appends", "bytes", "compactions", "torn", "replayed", "dedup"],
+    )
     for mode, config in (
         ("semantic", SemanticConfig.semantic(matching_backend=args.backend)),
         ("syntactic", SemanticConfig.syntactic(matching_backend=args.backend)),
     ):
+        durability = os.path.join(args.durable, mode) if args.durable else None
         scenario = JobFinderScenario(build_jobs_knowledge_base(), spec)
         if args.shards == 1:
-            broker = Broker(build_jobs_knowledge_base(), config=config)
+            broker = Broker(build_jobs_knowledge_base(), config=config, durability=durability)
         else:
             # a FaultPlan is consumed as it fires, so each mode gets a
             # fresh plan derived from the same seed (identical schedule)
@@ -195,6 +241,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 request_timeout=args.shard_timeout,
                 fault_plan=fault_plan,
+                durability=durability,
             )
         report = scenario.run(broker)
         table.add(
@@ -251,6 +298,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                     round(1000.0 * sharding["busy_cpu_seconds"][index], 1),
                     sharding.get("wire_fallbacks", 0),
                 )
+        if durability is not None:
+            summary = durability_summary(broker.stats())
+            durable_table.add(
+                mode,
+                summary["journal_appends"],
+                summary["journal_bytes"],
+                summary["snapshot_compactions"],
+                summary["torn_tail_truncations"],
+                summary["replayed_deliveries"],
+                summary["dedup_drops"],
+            )
         if hasattr(broker, "close"):
             broker.close()
     table.print()
@@ -262,6 +320,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if health_table.rows:
         print()
         health_table.print()
+    if durable_table.rows:
+        print()
+        durable_table.print()
+        print(f"journals written under {args.durable} — `stopss recover {args.durable}/semantic`")
     return 0
 
 
@@ -326,12 +388,62 @@ def _cmd_kb(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    config = (
+        SemanticConfig.semantic() if args.mode == "semantic" else SemanticConfig.syntactic()
+    )
+    kb = build_jobs_knowledge_base()
+    if args.shards == 1:
+        broker = recover(args.directory, kb, config=config)
+    else:
+        broker = recover(
+            args.directory,
+            kb,
+            broker_factory=lambda kb, **kw: ShardedBroker(
+                kb, shards=args.shards, config=config, **kw
+            ),
+        )
+    try:
+        report = broker.recovery
+        stats = broker.stats()
+        frontiers = broker.notifier.delivery_frontiers()
+        table = Table(
+            f"recovered broker state ({args.directory})",
+            ["clients", "subscriptions", "replayed-records", "frontier-subs", "max-frontier"],
+        )
+        table.add(
+            stats["clients"],
+            stats["subscriptions"],
+            report.records_replayed,
+            len(frontiers),
+            max(frontiers.values(), default=0),
+        )
+        table.print()
+        print()
+        durable = Table(
+            "recovery counters",
+            ["snapshot", "torn-tails", "replayed-deliveries", "dedup-drops", "skips"],
+        )
+        durable.add(
+            "loaded" if report.snapshot_loaded else "none",
+            report.torn_tail_truncations,
+            report.replayed_deliveries,
+            report.dedup_drops,
+            report.replay_skips,
+        )
+        durable.print()
+    finally:
+        broker.close()
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "match": _cmd_match,
     "explain": _cmd_explain,
     "serve": _cmd_serve,
     "kb": _cmd_kb,
+    "recover": _cmd_recover,
 }
 
 

@@ -39,6 +39,8 @@ __all__ = [
     "DuplicateClientError",
     "TransportError",
     "DeliveryError",
+    "DurabilityError",
+    "SimulatedCrash",
     "WebAppError",
     "RoutingError",
     "FormValidationError",
@@ -192,6 +194,19 @@ class TransportError(BrokerError):
 
 class DeliveryError(BrokerError):
     """The notification engine exhausted retries for a notification."""
+
+
+class DurabilityError(BrokerError):
+    """The write-ahead journal or snapshot store is unusable — e.g. a
+    fresh broker was pointed at a directory that already holds durable
+    state (use :func:`~repro.broker.durability.recover` instead)."""
+
+
+class SimulatedCrash(DurabilityError):
+    """An injected ``crash`` fault fired: the journal wrote a torn
+    record and the broker must be abandoned and recovered.  Raised only
+    under a :class:`~repro.broker.supervision.FaultPlan` — never in
+    production operation."""
 
 
 # ---------------------------------------------------------------------------

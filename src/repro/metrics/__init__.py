@@ -1,7 +1,12 @@
 """Measurement substrate: counters, timers, and report tables used by
 the benchmark/experiment harness."""
 
-from repro.metrics.aggregate import merge_stats, publish_path_summary, supervision_summary
+from repro.metrics.aggregate import (
+    durability_summary,
+    merge_stats,
+    publish_path_summary,
+    supervision_summary,
+)
 from repro.metrics.counters import CounterRegistry
 from repro.metrics.report import Table, format_row
 from repro.metrics.timers import Timer, TimingSummary, measure
@@ -13,6 +18,7 @@ __all__ = [
     "Timer",
     "TimingSummary",
     "measure",
+    "durability_summary",
     "merge_stats",
     "publish_path_summary",
     "supervision_summary",

@@ -202,3 +202,24 @@ def supervision_summary(engine_stats: Mapping[str, object]) -> dict[str, object]
         "breaker_states": list(breaker_states),
         "recoveries": restarts + retries + degraded + opens,  # type: ignore[operator]
     }
+
+
+def durability_summary(stats: Mapping[str, object]) -> dict[str, object]:
+    """The durability health row for one broker-stats snapshot: the
+    write-ahead journal and recovery counters, with safe all-zero
+    defaults (and ``enabled: False``) for brokers that carry no
+    ``durability`` section — an in-memory broker is simply a broker
+    whose journal never needed to exist."""
+    section = stats.get("durability")
+    if not isinstance(section, Mapping):
+        section = {}
+    return {
+        "enabled": bool(section),
+        "journal_appends": section.get("journal_appends", 0),
+        "journal_bytes": section.get("journal_bytes", 0),
+        "snapshot_compactions": section.get("snapshot_compactions", 0),
+        "torn_tail_truncations": section.get("torn_tail_truncations", 0),
+        "replayed_deliveries": section.get("replayed_deliveries", 0),
+        "dedup_drops": section.get("dedup_drops", 0),
+        "replay_skips": section.get("replay_skips", 0),
+    }

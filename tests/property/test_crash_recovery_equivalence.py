@@ -1,0 +1,282 @@
+"""Property: crash-restart recovery ≡ the uncrashed run (hard
+invariant #7, the PR 9 acceptance criterion).
+
+A durable broker journals every state-changing operation write-ahead
+and outboxes/acks every delivery.  The invariant: for a seeded trace of
+client registrations, subscription churn, reconfiguration, and
+publishes, crashing the journal at *any* append offset, recovering with
+:func:`~repro.broker.durability.recover`, and resuming the trace from
+``recovery.next_op_index`` must land in the same observable state as
+the run that never crashed —
+
+* the same clients and subscriptions,
+* identical (sub_id, generality) match lists for a probe publication,
+* identical per-subscription delivered-sequence frontiers, and
+* every delivery sequence acked at most once across the whole journal
+  (at-least-once sending, effectively-once settlement).
+
+A torn final record must never prevent recovery — the crash fault
+writes a half record precisely to pin that down.
+
+Two legs: a deterministic sweep over *every* append offset of a fixed
+trace (exhaustive, so no crash point can hide), and a hypothesis leg
+that re-randomizes the knowledge base, the trace, and the crash offset
+using the same generators as the interest-pruning invariant.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.broker import Broker
+from repro.broker.durability import (
+    JOURNAL_NAME,
+    Durability,
+    _scan_records,
+    recover,
+)
+from repro.broker.supervision import FaultPlan
+from repro.core.config import SemanticConfig
+from repro.errors import ReproError, SimulatedCrash
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+from repro.ontology.knowledge_base import KnowledgeBase
+
+from tests.property.test_interest_pruning_equivalence import (
+    knowledge_bases,
+    term_events,
+    term_subscriptions,
+)
+
+
+# ---------------------------------------------------------------------------
+# traces: one broker-level operation per journaled op record, explicit
+# client/sub ids (the auto-id module counters differ across restarts)
+# ---------------------------------------------------------------------------
+
+def _build_ops(subs, evts) -> list[tuple]:
+    ops: list[tuple] = [
+        ("subscriber", "Ann", "cl-s0"),
+        ("subscriber", "Ben", "cl-s1"),
+        ("publisher", "Pia", "cl-p"),
+    ]
+    for index, sub in enumerate(subs):
+        ops.append(
+            (
+                "sub",
+                f"cl-s{index % 2}",
+                Subscription(
+                    sub.predicates,
+                    sub_id=f"s{index}",
+                    max_generality=sub.max_generality,
+                ),
+            )
+        )
+    for index, event in enumerate(evts):
+        ops.append(("pub", "cl-p", event))
+        if index == 0 and len(subs) > 1:
+            ops.append(("unsub", "s1"))  # churn mid-stream
+    ops.append(
+        (
+            "sub",
+            "cl-s0",
+            Subscription(
+                subs[0].predicates,
+                sub_id="r0",
+                max_generality=subs[0].max_generality,
+            ),
+        )
+    )
+    ops.append(("config", SemanticConfig(max_generality=2)))
+    ops.append(("pub", "cl-p", evts[-1]))
+    return ops
+
+
+def _apply(broker: Broker, ops, start: int = 0) -> None:
+    for op in ops[start:]:
+        kind = op[0]
+        try:
+            if kind == "subscriber":
+                broker.register_subscriber(op[1], tcp=f"{op[2]}:1", client_id=op[2])
+            elif kind == "publisher":
+                broker.register_publisher(op[1], client_id=op[2])
+            elif kind == "sub":
+                broker.subscribe(op[1], op[2])
+            elif kind == "unsub":
+                broker.unsubscribe(op[1])
+            elif kind == "pub":
+                broker.publish(op[1], op[2])
+            elif kind == "config":
+                broker.reconfigure(op[1])
+        except SimulatedCrash:
+            raise
+        except ReproError:
+            # an operation the broker rejects live is rejected
+            # identically on every leg (and skipped on journal replay)
+            pass
+
+
+def _observable(broker: Broker) -> dict:
+    return {
+        "clients": sorted(client.client_id for client in broker.registry.clients()),
+        "subs": sorted(sub.sub_id for sub in broker.engine.subscriptions()),
+        "frontiers": broker.notifier.delivery_frontiers(),
+    }
+
+
+def _probe(broker: Broker, event: Event) -> list[tuple[str, int]]:
+    """(sub_id, generality) pairs of a probe publication — membership,
+    generality, and reported order."""
+    report = broker.publish("cl-p", event)
+    return [(m.subscription.sub_id, m.generality) for m in report.matches]
+
+
+def _run_clean(directory, kb, ops, probe, *, snapshot_every=0):
+    """The uncrashed reference run; returns its observable state, its
+    total journal appends over the trace (the crash-offset axis — the
+    probe's own records come after it), and the probe's match list."""
+    durability = Durability(directory, snapshot_every=snapshot_every)
+    with Broker(kb, durability=durability) as broker:
+        _apply(broker, ops)
+        observable = _observable(broker)
+        appends = durability.stats.journal_appends
+        return observable, appends, _probe(broker, probe)
+
+
+def _run_crashed(directory, kb, ops, offset, *, snapshot_every=0) -> Broker:
+    """Run the trace against a journal rigged to crash at append
+    *offset*, then recover and resume the trace where the journal left
+    off.  Returns the recovered broker (caller closes)."""
+    durability = Durability(
+        directory, snapshot_every=snapshot_every, fault_plan=FaultPlan.crash_at(offset)
+    )
+    broker = Broker(kb, durability=durability)
+    try:
+        _apply(broker, ops)
+    except SimulatedCrash:
+        pass
+    finally:
+        broker.close()
+    recovered = recover(directory, kb, snapshot_every=snapshot_every)
+    _apply(recovered, ops, start=recovered.recovery.next_op_index)
+    return recovered
+
+
+def _assert_acked_at_most_once(directory) -> None:
+    """Effectively-once settlement: no (sub, sequence) is successfully
+    acked twice anywhere in the journal (valid without compaction, when
+    the journal retains the full history)."""
+    records, _, _ = _scan_records((Path(directory) / JOURNAL_NAME).read_bytes())
+    seen: set[tuple[str, int]] = set()
+    for record in records:
+        if record.get("k") == "ack" and record.get("ok"):
+            key = (record["sid"], record["n"])
+            assert key not in seen, f"sequence acked twice: {key}"
+            seen.add(key)
+
+
+# ---------------------------------------------------------------------------
+# deterministic leg: every crash offset of a fixed trace
+# ---------------------------------------------------------------------------
+
+def _fixed_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    taxonomy = kb.add_domain("d")
+    taxonomy.add_chain("root", "mid", "leaf")
+    kb.add_value_synonyms(["mid", "centre"], root="mid")
+    return kb
+
+
+def _fixed_trace():
+    subs = [
+        Subscription([Predicate.eq("u", "root")], sub_id="s0"),
+        Subscription([Predicate.eq("u", "leaf")], sub_id="s1", max_generality=0),
+    ]
+    evts = [
+        Event([("u", "leaf")], event_id="e0"),
+        Event([("u", "centre")], event_id="e1"),
+    ]
+    return _build_ops(subs, evts), Event([("u", "mid")], event_id="probe")
+
+
+def test_every_crash_offset_recovers_to_the_uncrashed_state(tmp_path):
+    """The exhaustive sweep: crash at append 0, 1, …, N (the offset at
+    N never fires — a plain restart), recover, resume, and compare
+    state, probe matches, frontiers, and ack uniqueness every time."""
+    kb = _fixed_kb()
+    ops, probe = _fixed_trace()
+    expected, total_appends, clean_probe = _run_clean(tmp_path / "clean", kb, ops, probe)
+    assert total_appends > len(ops)  # out/ack records are on the axis too
+
+    for offset in range(total_appends + 1):
+        work = tmp_path / f"crash{offset}"
+        recovered = _run_crashed(work, kb, ops, offset)
+        try:
+            assert _observable(recovered) == expected, f"state diverged at offset {offset}"
+            assert _probe(recovered, probe) == clean_probe, (
+                f"probe matches diverged at offset {offset}"
+            )
+            if offset < total_appends:
+                # the crash fired: a torn half-record was written and
+                # recovery truncated it rather than refusing to start
+                assert recovered.recovery.torn_tail_truncations <= 1
+            _assert_acked_at_most_once(work)
+        finally:
+            recovered.close()
+
+
+def test_crash_sweep_with_aggressive_compaction(tmp_path):
+    """The same sweep with a snapshot folded every two operations:
+    crashes now land before, between, and after compactions, so
+    recovery exercises the snapshot + journal-tail reconciliation at
+    every point (ack uniqueness is out of scope — compaction discards
+    journal history by design)."""
+    kb = _fixed_kb()
+    ops, probe = _fixed_trace()
+    expected, total_appends, clean_probe = _run_clean(
+        tmp_path / "clean", kb, ops, probe, snapshot_every=2
+    )
+
+    for offset in range(total_appends + 1):
+        recovered = _run_crashed(
+            tmp_path / f"crash{offset}", kb, ops, offset, snapshot_every=2
+        )
+        try:
+            assert _observable(recovered) == expected, f"state diverged at offset {offset}"
+            assert _probe(recovered, probe) == clean_probe
+        finally:
+            recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# hypothesis leg: random knowledge bases, traces, and crash offsets
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(
+    kb=knowledge_bases(),
+    subs=st.lists(term_subscriptions(), min_size=1, max_size=4),
+    evts=st.lists(term_events(), min_size=1, max_size=3),
+    offset=st.integers(min_value=0, max_value=80),
+)
+def test_random_crash_offset_recovers_to_the_uncrashed_state(kb, subs, evts, offset):
+    """Random taxonomies/synonyms/rules, random subscription and event
+    mixes, a random crash offset (offsets beyond the journal length
+    degrade to a plain restart, which must also be equivalent)."""
+    ops = _build_ops(subs, evts)
+    probe = evts[0]
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        expected, _, clean_probe = _run_clean(root / "clean", kb, ops, probe)
+        recovered = _run_crashed(root / "crash", kb, ops, offset)
+        try:
+            assert _observable(recovered) == expected
+            assert _probe(recovered, probe) == clean_probe
+            _assert_acked_at_most_once(root / "crash")
+        finally:
+            recovered.close()

@@ -181,6 +181,47 @@ class TestDemo:
         assert [row[1:7] for row in rows] == [row[1:7] for row in again]
 
 
+class TestDurable:
+    def test_demo_durable_writes_journals_and_prints_table(self, capsys, tmp_path):
+        root = tmp_path / "wal"
+        assert (
+            main(["demo", "--companies", "3", "--candidates", "6",
+                  "--durable", str(root)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "durability (write-ahead journal)" in out
+        assert f"stopss recover {root}/semantic" in out
+        for mode in ("semantic", "syntactic"):
+            assert (root / mode / "journal.log").stat().st_size > 0
+
+    def test_demo_without_durable_prints_no_journal_table(self, capsys):
+        main(["demo", "--companies", "2", "--candidates", "4"])
+        assert "durability (write-ahead journal)" not in capsys.readouterr().out
+
+    def test_recover_rebuilds_demo_state(self, capsys, tmp_path):
+        root = tmp_path / "wal"
+        main(["demo", "--companies", "3", "--candidates", "6", "--durable", str(root)])
+        capsys.readouterr()
+        assert main(["recover", str(root / "semantic")]) == 0
+        out = capsys.readouterr().out
+        assert "recovered broker state" in out
+        assert "recovery counters" in out
+
+    def test_recover_into_sharded_broker(self, capsys, tmp_path):
+        root = tmp_path / "wal"
+        main(["demo", "--companies", "3", "--candidates", "6", "--durable", str(root)])
+        capsys.readouterr()
+        assert main(["recover", str(root / "syntactic"), "--mode", "syntactic",
+                     "--shards", "2"]) == 0
+        assert "recovered broker state" in capsys.readouterr().out
+
+    def test_recover_command_parses(self):
+        args = build_parser().parse_args(["recover", "some/dir"])
+        assert args.command == "recover"
+        assert args.mode == "semantic"
+        assert args.shards == 1
+
+
 class TestMatch:
     def test_semantic_match_exit_zero(self, capsys):
         code = main(

@@ -62,12 +62,13 @@ def test_python_snippets_execute(doc):
 
 def test_docs_tree_is_complete():
     """The docs tree: architecture, performance, extending,
-    concurrency, resilience."""
+    concurrency, resilience, durability."""
     for name in (
         "ARCHITECTURE.md",
         "PERFORMANCE.md",
         "EXTENDING.md",
         "CONCURRENCY.md",
         "RESILIENCE.md",
+        "DURABILITY.md",
     ):
         assert (_REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"

@@ -1,0 +1,554 @@
+"""Unit tests for durable broker state: the write-ahead journal,
+snapshot compaction, crash injection, recovery, and replay-from-
+sequence delivery (the PR 9 tentpole).
+
+The crash-at-any-prefix equivalence invariant lives in
+``tests/property/test_crash_recovery_equivalence.py``; this file covers
+the mechanisms one at a time — record framing, torn-tail truncation at
+every byte offset of the final record, snapshot/journal reconciliation,
+the fault-injected ``crash`` kind, bounded delivery histories, and the
+engine-owned notification counters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.durability import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    Durability,
+    _encode_record,
+    _scan_records,
+    recover,
+)
+from repro.broker.notifications import NotificationEngine
+from repro.broker.sharding import ShardedBroker
+from repro.broker.supervision import FaultPlan
+from repro.errors import DeliveryError, DurabilityError, SimulatedCrash
+from repro.model.events import Event
+from repro.model.predicates import Predicate
+from repro.model.subscriptions import Subscription
+from repro.ontology.domains import build_jobs_knowledge_base
+
+
+@pytest.fixture
+def kb():
+    return build_jobs_knowledge_base()
+
+
+def _sub(attr: str, value: str, sub_id: str) -> Subscription:
+    # explicit sub_ids: auto ids draw from a module counter and would
+    # differ between a run and its recovery
+    return Subscription([Predicate.eq(attr, value)], sub_id=sub_id)
+
+
+def _populate(broker: Broker) -> None:
+    """The standard durable scenario: two tcp subscribers (reliable
+    transport — deliveries always succeed), one publisher, two
+    publishes, one unsubscribe."""
+    broker.register_subscriber("Alice", tcp="alice:9", client_id="cl-a")
+    broker.register_subscriber("Bob", tcp="bob:9", client_id="cl-b")
+    broker.register_publisher("Press", client_id="cl-p")
+    broker.subscribe("cl-a", _sub("university", "Toronto", "s-a"))
+    broker.subscribe("cl-b", _sub("degree", "PhD", "s-b"))
+    broker.publish("cl-p", Event([("school", "Toronto")], event_id="e1"))
+    broker.publish("cl-p", Event([("degree", "PhD")], event_id="e2"))
+    broker.unsubscribe("s-b")
+
+
+def _observable(broker: Broker) -> dict:
+    """The state recovery must preserve."""
+    return {
+        "clients": sorted(client.client_id for client in broker.registry.clients()),
+        "subs": sorted(sub.sub_id for sub in broker.engine.subscriptions()),
+        "frontiers": broker.notifier.delivery_frontiers(),
+    }
+
+
+class TestRecordFraming:
+    def test_roundtrip(self):
+        payloads = [{"k": "a", "i": 1}, {"k": "b", "i": 2, "x": [1, "two"]}]
+        raw = b"".join(_encode_record(p) for p in payloads)
+        records, clean, torn = _scan_records(raw)
+        assert records == payloads
+        assert clean == len(raw)
+        assert not torn
+
+    def test_stops_at_checksum_mismatch(self):
+        good = _encode_record({"k": "a", "i": 1})
+        bad = bytearray(_encode_record({"k": "b", "i": 2}))
+        bad[-3] ^= 0xFF  # flip a body byte under an unchanged CRC
+        records, clean, torn = _scan_records(good + bytes(bad))
+        assert [r["k"] for r in records] == ["a"]
+        assert clean == len(good)
+        assert torn
+
+    def test_stops_at_missing_newline(self):
+        good = _encode_record({"k": "a", "i": 1})
+        partial = _encode_record({"k": "b", "i": 2})[:-5]
+        records, clean, torn = _scan_records(good + partial)
+        assert [r["k"] for r in records] == ["a"]
+        assert clean == len(good)
+        assert torn
+
+    def test_stops_at_malformed_frame(self):
+        good = _encode_record({"k": "a", "i": 1})
+        for garbage in (b"nonsense\n", b"zzzzzzzz {}\n", b"x\n"):
+            records, clean, torn = _scan_records(good + garbage)
+            assert len(records) == 1 and clean == len(good) and torn
+
+    def test_stops_at_non_object_body(self):
+        good = _encode_record({"k": "a", "i": 1})
+        body = json.dumps([1, 2]).encode()
+        import zlib
+
+        framed = b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body + b"\n"
+        records, clean, torn = _scan_records(good + framed)
+        assert len(records) == 1 and clean == len(good) and torn
+
+
+class TestDurableBrokerLifecycle:
+    def test_counters_and_health(self, kb, tmp_path):
+        with Broker(kb, durability=tmp_path / "wal") as broker:
+            _populate(broker)
+            durability = broker.stats()["durability"]
+            assert durability["journal_appends"] > 0
+            assert durability["journal_bytes"] > 0
+            health = broker.health()["durability"]
+            assert health["enabled"] is True
+            assert health["journal_appends"] == durability["journal_appends"]
+
+    def test_in_memory_broker_reports_disabled(self, kb):
+        broker = Broker(kb)
+        assert "durability" not in broker.stats()
+        assert broker.health()["durability"]["enabled"] is False
+
+    def test_refuses_directory_with_existing_state(self, kb, tmp_path):
+        with Broker(kb, durability=tmp_path) as broker:
+            broker.register_publisher("P", client_id="cl-p")
+        with pytest.raises(DurabilityError, match="recover"):
+            Broker(kb, durability=tmp_path)
+
+    def test_recover_empty_directory_is_fresh_broker(self, kb, tmp_path):
+        broker = recover(tmp_path, kb)
+        try:
+            assert broker.recovery.snapshot_loaded is False
+            assert broker.recovery.records_replayed == 0
+            # and it is durable going forward
+            broker.register_publisher("P", client_id="cl-p")
+            assert broker.durability.stats.journal_appends == 1
+        finally:
+            broker.close()
+
+    def test_snapshot_every_must_be_nonnegative(self, tmp_path):
+        with pytest.raises(DurabilityError):
+            Durability(tmp_path, snapshot_every=-1)
+
+    def test_checkpoint_requires_durability(self, kb):
+        with pytest.raises(DurabilityError):
+            Broker(kb).checkpoint()
+
+
+class TestRecoveryRoundTrip:
+    def test_state_and_frontiers_survive(self, kb, tmp_path):
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+            expected = _observable(broker)
+            assert expected["frontiers"] == {"s-a": 1, "s-b": 1}
+        recovered = recover(tmp_path, kb)
+        try:
+            assert _observable(recovered) == expected
+            # replayed publishes regenerate both matches; both were
+            # already acked, so both are dedup'd, none re-sent
+            assert recovered.recovery.dedup_drops == 2
+            assert recovered.recovery.replayed_deliveries == 0
+        finally:
+            recovered.close()
+
+    def test_sequences_continue_after_recovery(self, kb, tmp_path):
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+            nids = {o.notification.notification_id for o in broker.notifier.outcomes}
+        recovered = recover(tmp_path, kb)
+        try:
+            report = recovered.publish("cl-p", Event([("school", "Toronto")], event_id="e3"))
+            (outcome,) = report.outcomes
+            assert outcome.notification.sequence == 2  # continues s-a's stream
+            assert outcome.notification.notification_id not in nids
+            assert recovered.notifier.delivery_frontiers()["s-a"] == 2
+        finally:
+            recovered.close()
+
+    def test_remove_client_and_reconfigure_are_journaled(self, kb, tmp_path):
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+            broker.remove_client("cl-a")
+            broker.set_syntactic_mode()
+        recovered = recover(tmp_path, kb)
+        try:
+            assert "cl-a" not in recovered.registry
+            assert list(recovered.engine.subscriptions()) == []
+            assert recovered.mode == "syntactic"
+        finally:
+            recovered.close()
+
+    def test_replay_resends_unacked_outbox(self, kb, tmp_path):
+        """An outboxed-but-never-acked delivery (crash between send and
+        ack) must be re-sent on recovery — at-least-once."""
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+        # drop the trailing ack records so both deliveries look in-flight
+        journal = tmp_path / JOURNAL_NAME
+        records, _, _ = _scan_records(journal.read_bytes())
+        kept = [r for r in records if r["k"] != "ack"]
+        journal.write_bytes(b"".join(_encode_record(r) for r in kept))
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.recovery.replayed_deliveries == 2
+            assert recovered.recovery.dedup_drops == 0
+            assert recovered.notifier.delivery_frontiers() == {"s-a": 1, "s-b": 1}
+        finally:
+            recovered.close()
+
+
+class TestTornTail:
+    def test_truncation_at_every_byte_of_final_record(self, kb, tmp_path):
+        """Cut the journal at *every* byte offset inside its final
+        record: recovery must always succeed, count exactly one
+        torn-tail truncation, and land in the state with that record
+        absent (a torn final record is an operation that never
+        happened)."""
+        source = tmp_path / "source"
+        with Broker(kb, durability=source) as broker:
+            _populate(broker)  # final record: the unsubscribe of s-b
+        raw = (source / JOURNAL_NAME).read_bytes()
+        _, _, torn = _scan_records(raw)
+        assert not torn
+        final_start = raw.rfind(b"\n", 0, len(raw) - 1) + 1
+
+        baseline_dir = tmp_path / "baseline"
+        baseline_dir.mkdir()
+        (baseline_dir / JOURNAL_NAME).write_bytes(raw[:final_start])
+        baseline = recover(baseline_dir, kb)
+        expected = _observable(baseline)
+        baseline.close()
+        assert "s-b" in expected["subs"]  # the unsubscribe is gone
+
+        for cut in range(final_start, len(raw)):
+            work = tmp_path / f"cut{cut}"
+            work.mkdir()
+            journal = work / JOURNAL_NAME
+            journal.write_bytes(raw[:cut])
+            recovered = recover(work, kb)
+            try:
+                report = recovered.recovery
+                assert report.torn_tail_truncations == (1 if cut > final_start else 0)
+                assert _observable(recovered) == expected
+                # the garbage is physically gone, not just skipped
+                assert journal.read_bytes()[: final_start] == raw[:final_start]
+                assert len(journal.read_bytes()) == final_start
+            finally:
+                recovered.close()
+
+    def test_whole_journal_torn_recovers_empty(self, kb, tmp_path):
+        (tmp_path / JOURNAL_NAME).write_bytes(b"garbage with no frame at all")
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.recovery.torn_tail_truncations == 1
+            assert len(recovered.registry) == 0
+        finally:
+            recovered.close()
+
+
+class TestCrashInjection:
+    def test_crash_at_offset_raises_and_poisons_journal(self, kb, tmp_path):
+        durability = Durability(tmp_path, fault_plan=FaultPlan.crash_at(2))
+        broker = Broker(kb, durability=durability)
+        broker.register_subscriber("A", tcp="a:1", client_id="cl-a")
+        broker.register_publisher("P", client_id="cl-p")
+        with pytest.raises(SimulatedCrash):
+            broker.subscribe("cl-a", _sub("degree", "PhD", "s-a"))
+        # the crashed journal refuses further appends
+        with pytest.raises(DurabilityError):
+            broker.register_publisher("Q", client_id="cl-q")
+        _, _, torn = _scan_records((tmp_path / JOURNAL_NAME).read_bytes())
+        assert torn  # a half-written record is on disk
+
+    def test_crashed_publish_never_happened(self, kb, tmp_path):
+        """Publishes journal write-ahead: a crash on the publish record
+        itself recovers to a state where the event was never published."""
+        durability = Durability(tmp_path, fault_plan=FaultPlan.crash_at(3))
+        broker = Broker(kb, durability=durability)
+        broker.register_subscriber("A", tcp="a:1", client_id="cl-a")
+        broker.register_publisher("P", client_id="cl-p")
+        broker.subscribe("cl-a", _sub("university", "Toronto", "s-a"))
+        with pytest.raises(SimulatedCrash):
+            broker.publish("cl-p", Event([("school", "Toronto")], event_id="e1"))
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.recovery.torn_tail_truncations == 1
+            assert recovered.notifier.delivery_frontiers() == {}
+            # re-publishing delivers with sequence 1 — nothing leaked
+            report = recovered.publish(
+                "cl-p", Event([("school", "Toronto")], event_id="e1")
+            )
+            assert report.outcomes[0].notification.sequence == 1
+        finally:
+            recovered.close()
+
+    def test_crash_mid_fanout_resends_unacked(self, kb, tmp_path):
+        """A crash between the outbox record and its ack re-sends that
+        delivery on recovery (at-least-once), and exactly that one."""
+        probe = Durability(tmp_path / "probe")
+        broker = Broker(kb, durability=probe)
+        broker.register_subscriber("A", tcp="a:1", client_id="cl-a")
+        broker.register_publisher("P", client_id="cl-p")
+        broker.subscribe("cl-a", _sub("university", "Toronto", "s-a"))
+        broker.publish("cl-p", Event([("school", "Toronto")], event_id="e1"))
+        ack_offset = probe._append_index - 1  # the final append was the ack
+
+        crash_dir = tmp_path / "crash"
+        durability = Durability(crash_dir, fault_plan=FaultPlan.crash_at(ack_offset))
+        crashing = Broker(kb, durability=durability)
+        crashing.register_subscriber("A", tcp="a:1", client_id="cl-a")
+        crashing.register_publisher("P", client_id="cl-p")
+        crashing.subscribe("cl-a", _sub("university", "Toronto", "s-a"))
+        with pytest.raises(SimulatedCrash):
+            crashing.publish("cl-p", Event([("school", "Toronto")], event_id="e1"))
+        recovered = recover(crash_dir, kb)
+        try:
+            assert recovered.recovery.replayed_deliveries == 1
+            assert recovered.recovery.dedup_drops == 0
+            assert recovered.notifier.delivery_frontiers() == {"s-a": 1}
+        finally:
+            recovered.close()
+
+
+class TestSnapshots:
+    def test_auto_compaction_folds_state(self, kb, tmp_path):
+        durability = Durability(tmp_path, snapshot_every=3)
+        with Broker(kb, durability=durability) as broker:
+            _populate(broker)
+            expected = _observable(broker)
+            assert durability.stats.snapshot_compactions >= 1
+            assert (tmp_path / SNAPSHOT_NAME).exists()
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.recovery.snapshot_loaded is True
+            assert _observable(recovered) == expected
+        finally:
+            recovered.close()
+
+    def test_checkpoint_empties_journal(self, kb, tmp_path):
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+            expected = _observable(broker)
+            broker.checkpoint()
+            assert (tmp_path / JOURNAL_NAME).stat().st_size == 0
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.recovery.snapshot_loaded is True
+            assert recovered.recovery.records_replayed == 0
+            assert _observable(recovered) == expected
+            # pending-free snapshot: nothing re-sent, nothing dedup'd
+            assert recovered.recovery.replayed_deliveries == 0
+        finally:
+            recovered.close()
+
+    def test_stale_journal_records_are_skipped(self, kb, tmp_path):
+        """A crash between snapshot rename and journal truncate leaves
+        already-folded records behind; replay must skip them by
+        sequence, not double-apply."""
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+            stale = (tmp_path / JOURNAL_NAME).read_bytes()
+            broker.checkpoint()
+            expected = _observable(broker)
+        (tmp_path / JOURNAL_NAME).write_bytes(stale)  # resurrect the old tail
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.recovery.records_replayed == 0
+            assert _observable(recovered) == expected
+        finally:
+            recovered.close()
+
+    def test_corrupt_snapshot_never_refuses_to_start(self, kb, tmp_path):
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+        (tmp_path / SNAPSHOT_NAME).write_bytes(b"not a snapshot")
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.recovery.snapshot_discarded is True
+            # the journal alone still rebuilds everything (it was never
+            # compacted, so no records were lost with the snapshot)
+            assert _observable(recovered)["subs"] == ["s-a"]
+        finally:
+            recovered.close()
+
+    def test_compacted_pending_delivery_resent_from_snapshot(self, kb, tmp_path):
+        """A pending (unacked) delivery folded into a snapshot has no
+        journal record left to replay — recovery must re-send it from
+        the snapshot's stored rendered message."""
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+            # forge in-flight state: mark s-a's delivery un-acked
+            broker.notifier._delivery_log["s-a"][0].status = "pending"
+            broker.notifier._frontier.pop("s-a")
+            broker.checkpoint()
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.recovery.replayed_deliveries == 1
+            assert recovered.notifier.delivery_frontiers()["s-a"] == 1
+        finally:
+            recovered.close()
+
+
+class TestReplayFrom:
+    def _delivered(self, kb, durable_dir=None):
+        broker = Broker(kb, durability=durable_dir)
+        broker.register_subscriber("A", tcp="a:1", client_id="cl-a")
+        broker.register_publisher("P", client_id="cl-p")
+        broker.subscribe("cl-a", _sub("university", "Toronto", "s-a"))
+        broker.publish("cl-p", Event([("school", "Toronto")], event_id="e1"))
+        broker.publish("cl-p", Event([("school", "Toronto")], event_id="e2"))
+        return broker
+
+    def test_replays_tail_from_sequence(self, kb):
+        broker = self._delivered(kb)
+        outcomes = broker.replay_from("s-a", 1)
+        assert [o.notification.sequence for o in outcomes] == [1, 2]
+        assert all(o.delivered for o in outcomes)
+        assert broker.replay_from("s-a", 2)[0].notification.sequence == 2
+        assert broker.replay_from("s-a", 3) == []
+        # redelivery of settled entries never moves the frontier
+        assert broker.notifier.delivery_frontiers() == {"s-a": 2}
+
+    def test_replay_counts_when_durable(self, kb, tmp_path):
+        broker = self._delivered(kb, tmp_path)
+        broker.replay_from("s-a", 1)
+        assert broker.durability.stats.replayed_deliveries == 2
+        broker.close()
+
+    def test_replay_for_removed_client_fails_closed(self, kb):
+        broker = self._delivered(kb)
+        broker.remove_client("cl-a")
+        # the subscription is gone with the client, but its retained
+        # log remains readable; redelivery fails without a reachable
+        # client instead of raising
+        outcomes = broker.replay_from("s-a", 1)
+        assert outcomes and not any(o.delivered for o in outcomes)
+
+
+class TestBoundedHistories:
+    def _client(self, registry, client_id="cl-a"):
+        return registry.register("A", addresses=(("tcp", "a:1"),), client_id=client_id)
+
+    def _match(self, sub_id, event_id):
+        from repro.core.provenance import DerivedEvent, SemanticMatch
+
+        event = Event([("a", "1")], event_id=event_id)
+        return SemanticMatch(_sub("a", "1", sub_id), event, DerivedEvent.original(event), 0)
+
+    def test_outcome_and_log_eviction(self, kb):
+        from repro.broker.clients import ClientRegistry
+
+        registry = ClientRegistry()
+        client = self._client(registry)
+        engine = NotificationEngine(history_limit=2)
+        for index in range(4):
+            engine.notify(client, self._match("s-a", f"e{index}"))
+        assert len(engine.outcomes) == 2
+        assert len(engine.delivery_log("s-a")) == 2
+        # oldest entries evicted from outcomes AND the delivery log
+        assert [e.sequence for e in engine.delivery_log("s-a")] == [3, 4]
+        assert engine.stats.history_evictions == 4
+        # replay_from can only reach the retained window
+        assert [o.notification.sequence for o in engine.replay_from("s-a", 1, registry)] == [3, 4]
+
+    def test_dead_letters_bounded_and_reported(self, kb):
+        from repro.broker.clients import ClientRegistry
+
+        registry = ClientRegistry()
+        unreachable = registry.register(
+            "U", addresses=(("carrier-pigeon", "roof"),), client_id="cl-u"
+        )
+        engine = NotificationEngine(history_limit=2)
+        for index in range(3):
+            engine.notify(unreachable, self._match("s-u", f"e{index}"))
+        assert len(engine.dead_letters) == 2
+        assert engine.snapshot()["dead_letters"] == 2
+        assert engine.stats.history_evictions > 0
+
+    def test_health_surfaces_dead_letters_and_evictions(self, kb):
+        broker = Broker(kb)
+        broker.register_subscriber("U", client_id="cl-u")
+        # strip the loopback fallback so delivery genuinely fails
+        broker.registry._clients["cl-u"] = broker.registry._clients["cl-u"].__class__(
+            client_id="cl-u", name="U", kind=broker.registry._clients["cl-u"].kind,
+            addresses=(("carrier-pigeon", "roof"),),
+        )
+        broker.register_publisher("P", client_id="cl-p")
+        broker.subscribe("cl-u", _sub("university", "Toronto", "s-u"))
+        broker.publish("cl-p", Event([("school", "Toronto")], event_id="e1"))
+        health = broker.health()
+        assert health["dead_letters"] == 1
+        assert health["history_evictions"] == 0
+
+    def test_history_limit_validated(self):
+        with pytest.raises(DeliveryError):
+            NotificationEngine(history_limit=0)
+
+
+class TestEngineOwnedCounters:
+    def test_notification_ids_are_engine_scoped(self, kb):
+        """Two independent brokers both start at n1 — the counter lives
+        on the engine, not in a module global."""
+        ids = []
+        for _ in range(2):
+            broker = Broker(kb)
+            broker.register_subscriber("A", tcp="a:1", client_id="cl-a")
+            broker.register_publisher("P", client_id="cl-p")
+            broker.subscribe("cl-a", _sub("university", "Toronto", "s-a"))
+            report = broker.publish("cl-p", Event([("school", "Toronto")], event_id="e1"))
+            ids.append(report.outcomes[0].notification.notification_id)
+        assert ids == ["n1", "n1"]
+
+    def test_counter_restored_from_snapshot(self, kb, tmp_path):
+        with Broker(kb, durability=tmp_path) as broker:
+            _populate(broker)
+            broker.checkpoint()
+            next_id = broker.notifier._next_notification
+        recovered = recover(tmp_path, kb)
+        try:
+            assert recovered.notifier._next_notification == next_id
+        finally:
+            recovered.close()
+
+
+class TestShardedRecovery:
+    def test_recover_into_sharded_broker(self, kb, tmp_path):
+        with ShardedBroker(kb, shards=3, executor="serial", durability=tmp_path) as broker:
+            _populate(broker)
+            expected = _observable(broker)
+        recovered = recover(
+            tmp_path,
+            kb,
+            broker_factory=lambda kb, **kw: ShardedBroker(
+                kb, shards=3, executor="serial", **kw
+            ),
+        )
+        try:
+            assert _observable(recovered) == expected
+            # churn replayed through the normal path re-partitions
+            sizes = recovered.engine.sharding_info()["subscriptions_per_shard"]
+            assert sum(sizes) == len(expected["subs"])
+            report = recovered.publish(
+                "cl-p", Event([("school", "Toronto")], event_id="e9")
+            )
+            assert report.outcomes[0].notification.sequence == 2
+        finally:
+            recovered.close()
