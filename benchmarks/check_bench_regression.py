@@ -24,6 +24,12 @@ bound above, ``vectorized_batches`` bound below — and every field is
 ``.get``-checked against the baseline row, so scalar rows (which
 legitimately lack kernel counters) and old baselines never KeyError.
 
+And ``BENCH_worlds.json`` (written by ``bench_worlds.py``): its
+``world:*`` rows carry the deterministic world-build shape counters
+(``world_concepts``, ``world_edges``, …), which are gated for **exact**
+equality — a generated world that silently changes shape invalidates
+every number measured against it, so no tolerance applies.
+
 Counters are deterministic and machine-independent, so the tolerance
 only absorbs intentional drift; tighten it if rows start flapping.
 
@@ -73,6 +79,19 @@ LOWER_FIELDS = (
     "vectorized_batches",
 )
 
+#: deterministic world-build shape counters (``BENCH_worlds`` rows):
+#: a seeded world must rebuild *identically*, so these are compared for
+#: exact equality whenever the baseline row carries them.
+EXACT_FIELDS = (
+    "world_concepts",
+    "world_edges",
+    "world_leaves",
+    "world_depth",
+    "world_synonym_spellings",
+    "world_rules",
+    "world_terms",
+)
+
 
 def _rows(payload: dict) -> dict[tuple[str, str], dict]:
     return {
@@ -92,6 +111,15 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     for key in sorted(set(base_rows) & set(fresh_rows)):
         base, new = base_rows[key], fresh_rows[key]
         label = "/".join(key)
+
+        for field in EXACT_FIELDS:
+            if field not in base:
+                continue
+            if new.get(field) != base[field]:
+                failures.append(
+                    f"{label}: {field} changed {base[field]} -> {new.get(field)} "
+                    "(deterministic world shape; must match exactly)"
+                )
 
         for field in UPPER_FIELDS:
             if field not in base:

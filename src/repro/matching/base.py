@@ -196,6 +196,14 @@ class MatchingAlgorithm(abc.ABC):
         reasons.  The default is a no-op: serial matchers keep no memo.
         """
 
+    def memo_size(self) -> int:
+        """Live entry count of the cross-publication memo (0 for
+        matchers that keep none).  An observability seam for the churn
+        leak tests and the stress-world benchmarks: a refcounted index
+        plus a memo that sizes purely by live state must return to its
+        pre-storm footprint once a subscriber crowd departs."""
+        return 0
+
     def _match_batch(self, result: "PipelineResult") -> dict[str, tuple[int, "DerivedEvent"]]:
         """Serial fallback: full re-match per derived event."""
         best: dict[str, tuple[int, "DerivedEvent"]] = {}

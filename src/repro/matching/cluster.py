@@ -84,6 +84,9 @@ class ClusterMatcher(MatchingAlgorithm):
             self._residual_memo.clear()
             self.stats.memo_invalidations += 1
 
+    def memo_size(self) -> int:
+        return len(self._residual_memo)
+
     def bind_interner(self, value_key) -> None:
         """Adopt the interned value identity: rebuild every cluster
         under the new keys (re-inserting in insertion order, so access

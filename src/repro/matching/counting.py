@@ -74,6 +74,9 @@ class CountingMatcher(MatchingAlgorithm):
         if self._memo.clear():
             self.stats.memo_invalidations += 1
 
+    def memo_size(self) -> int:
+        return len(self._memo)
+
     def bind_interner(self, value_key) -> None:
         """Re-key the equality index under the interned identity and
         drop the memo (its pair keys embed the previous identity)."""

@@ -146,6 +146,9 @@ class VectorizedCountingMatcher(CountingMatcher):
         self._eq_tables.clear()
         self._batch_plans.clear()
 
+    def memo_size(self) -> int:
+        return len(self._memo) + len(self._pair_credits) + len(self._batch_plans)
+
     # -- compilation -------------------------------------------------------------
 
     def _ensure_layout(self) -> tuple:
@@ -388,6 +391,9 @@ class VectorizedClusterMatcher(ClusterMatcher):
         # batch plans embed membership and drop on every reason.
         super().invalidate_memo(reason)
         self._batch_plans.clear()
+
+    def memo_size(self) -> int:
+        return len(self._residual_memo) + len(self._batch_plans)
 
     def _build_batch_plan(self, derived_list, count: int, signatures: tuple) -> tuple:
         """Evaluate one batch into ``(signatures, rows, row_count,

@@ -25,6 +25,18 @@ from repro.workload.jobfinder import (
     ScenarioReport,
 )
 from repro.workload.trace import Trace, TraceOp
+from repro.workload.worlds import (
+    FlashCrowdDriver,
+    FlashCrowdReport,
+    FlashCrowdSpec,
+    MegaOntologySpec,
+    World,
+    build_world,
+    engine_footprint,
+    register_world,
+    world_names,
+    world_spec,
+)
 
 __all__ = [
     "zipf_weights",
@@ -45,4 +57,14 @@ __all__ = [
     "ScenarioReport",
     "Trace",
     "TraceOp",
+    "MegaOntologySpec",
+    "World",
+    "build_world",
+    "world_names",
+    "world_spec",
+    "register_world",
+    "FlashCrowdSpec",
+    "FlashCrowdDriver",
+    "FlashCrowdReport",
+    "engine_footprint",
 ]

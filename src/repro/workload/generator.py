@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping, Sequence
 
 from repro.errors import WorkloadError
 from repro.model.events import Event
@@ -212,7 +212,21 @@ class SemanticWorkloadGenerator:
     """Generates semantically related (but syntactically divergent)
     subscription/publication pairs from a knowledge base."""
 
-    def __init__(self, kb: KnowledgeBase, spec: SemanticSpec) -> None:
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        spec: SemanticSpec,
+        *,
+        leaf_pools: Mapping[str, Sequence[str]] | None = None,
+    ) -> None:
+        """``leaf_pools`` optionally pre-computes the per-attribute
+        concrete-term pools (``{attribute: [leaf, ...]}``).  Without it
+        every attribute scans ``taxonomy.leaves()`` and walks each
+        leaf's ancestors — fine for demo ontologies, quadratic pain on
+        a 100k-term stress world whose builder already knows its leaf
+        sets (see :mod:`repro.workload.worlds`).  Pool order is part of
+        the seeded stream: the same pool list always yields the same
+        workload."""
         self.kb = kb
         self.spec = spec
         self._rng = random.Random(spec.seed)
@@ -225,11 +239,14 @@ class SemanticWorkloadGenerator:
                 raise WorkloadError(
                     f"subtree root {subtree_root!r} is not in domain {spec.domain!r}"
                 )
-            leaves = [
-                leaf
-                for leaf in taxonomy.leaves()
-                if taxonomy.generalization_distance(leaf, subtree_root) is not None
-            ]
+            if leaf_pools is not None and attribute in leaf_pools:
+                leaves = list(leaf_pools[attribute])
+            else:
+                leaves = [
+                    leaf
+                    for leaf in taxonomy.leaves()
+                    if taxonomy.generalization_distance(leaf, subtree_root) is not None
+                ]
             if not leaves:
                 raise WorkloadError(f"no leaves under {subtree_root!r} in domain {spec.domain!r}")
             self._leaf_samplers[attribute] = ZipfSampler(leaves, spec.value_skew, rng=self._rng)

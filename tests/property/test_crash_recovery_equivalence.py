@@ -26,8 +26,11 @@ using the same generators as the interest-pruning invariant.
 
 from __future__ import annotations
 
+import os
 import tempfile
 from pathlib import Path
+
+import pytest
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -278,5 +281,38 @@ def test_random_crash_offset_recovers_to_the_uncrashed_state(kb, subs, evts, off
             assert _observable(recovered) == expected
             assert _probe(recovered, probe) == clean_probe
             _assert_acked_at_most_once(root / "crash")
+        finally:
+            recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# mega-ontology leg (nightly): crash offsets on a 100k-term world
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(
+    os.environ.get("STOPSS_STRESS_LARGE") != "1",
+    reason="100k-term world (nightly; set STOPSS_STRESS_LARGE=1 to run)",
+)
+def test_mega_world_crash_offsets_recover(tmp_path):
+    """Crash-restart equivalence against a generated 110k-concept
+    world: journal replay re-expands every subscription through the
+    full-size taxonomy closures, so recovery must still land in the
+    uncrashed state at early, middle, and no-crash offsets."""
+    from repro.workload.worlds import build_world
+
+    world = build_world("mega-100k")
+    generator = world.generator(seed=88)
+    ops = _build_ops(generator.subscriptions(5), generator.events(3))
+    probe = generator.event()
+    expected, total_appends, clean_probe = _run_clean(
+        tmp_path / "clean", world.kb, ops, probe
+    )
+    for offset in sorted({0, total_appends // 2, total_appends}):
+        work = tmp_path / f"crash{offset}"
+        recovered = _run_crashed(work, world.kb, ops, offset)
+        try:
+            assert _observable(recovered) == expected, f"state diverged at {offset}"
+            assert _probe(recovered, probe) == clean_probe, f"probe diverged at {offset}"
+            _assert_acked_at_most_once(work)
         finally:
             recovered.close()

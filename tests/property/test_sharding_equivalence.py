@@ -26,6 +26,9 @@ is allowed to cost recoveries, never correctness.
 
 from __future__ import annotations
 
+import os
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -248,6 +251,57 @@ def test_process_executor_chaos_equals_single_engine(
         for engine in (single, sharded):
             engine.unsubscribe("s0")
             engine.subscribe(Subscription(subs[0].predicates, sub_id="r0"))
+        for event in evts:
+            assert _match_list(sharded, event) == _match_list(single, event)
+    finally:
+        sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# mega-ontology leg (nightly): chaos on a 100k-term generated world
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(
+    os.environ.get("STOPSS_STRESS_LARGE") != "1",
+    reason="100k-term world (nightly; set STOPSS_STRESS_LARGE=1 to run)",
+)
+def test_chaos_on_mega_world_equals_single_engine():
+    """The chaos invariant at scale: the same seeded fault storm, but
+    against a generated 110k-concept world instead of the hypothesis
+    toys — the wire codec, shared-memory snapshot, and degraded inline
+    publish all carry full-size closure state here."""
+    from repro.workload.worlds import build_world
+
+    world = build_world("mega-100k")
+    generator = world.generator(seed=77)
+    subs = generator.subscriptions(16)
+    evts = generator.events(5)
+    plan = FaultPlan.seeded(1303, shards=2, ops=len(evts), rate=0.5)
+    policy = SupervisionPolicy(backoff_base=0.0, breaker_cooldown=0.0)
+    single = SToPSS(world.kb)
+    sharded = ShardedEngine(
+        world.kb,
+        shards=2,
+        executor="process",
+        supervision=policy,
+        fault_plan=plan,
+    )
+    try:
+        for engine in (single, sharded):
+            for index, sub in enumerate(subs):
+                engine.subscribe(
+                    Subscription(
+                        sub.predicates,
+                        sub_id=f"s{index}",
+                        max_generality=sub.max_generality,
+                    )
+                )
+        for event in evts:
+            assert _match_list(sharded, event) == _match_list(single, event)
+        assert plan.pending == 0, "a scheduled fault never fired"
+        assert sharded.supervision.recoveries > 0
+        for engine in (single, sharded):
+            engine.unsubscribe("s0")
         for event in evts:
             assert _match_list(sharded, event) == _match_list(single, event)
     finally:

@@ -62,7 +62,7 @@ def test_python_snippets_execute(doc):
 
 def test_docs_tree_is_complete():
     """The docs tree: architecture, performance, extending,
-    concurrency, resilience, durability."""
+    concurrency, resilience, durability, workloads."""
     for name in (
         "ARCHITECTURE.md",
         "PERFORMANCE.md",
@@ -70,5 +70,6 @@ def test_docs_tree_is_complete():
         "CONCURRENCY.md",
         "RESILIENCE.md",
         "DURABILITY.md",
+        "WORKLOADS.md",
     ):
         assert (_REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"

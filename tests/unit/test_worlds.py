@@ -1,0 +1,271 @@
+"""Unit tests for the stress-world substrate: the mega-ontology
+builder, the named-world registry, byte-for-byte determinism across
+``PYTHONHASHSEED`` values, and the flash-crowd churn driver (including
+the ≥10k-op leak test against the refcounted InterestIndex, the
+matcher memos, and the expansion cache)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import SToPSS
+from repro.errors import WorkloadError
+from repro.workload import worlds as worlds_module
+from repro.workload.worlds import (
+    FlashCrowdDriver,
+    FlashCrowdSpec,
+    MegaOntologySpec,
+    build_world,
+    engine_footprint,
+    register_world,
+    world_names,
+    world_spec,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestMegaOntologySpec:
+    def test_defaults_valid(self):
+        MegaOntologySpec(name="w", concepts=100)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"attributes": 0},
+            {"depth": 1},
+            {"branching": 0},
+            {"concepts": 20, "attributes": 4, "depth": 6},
+            {"synonym_ring_size": 1},
+            {"rules_per_1000": -0.5},
+            {"extra_parent_every": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            MegaOntologySpec(**{"name": "w", "concepts": 400, **kwargs})
+
+
+class TestRegistry:
+    def test_catalog_names(self):
+        names = world_names()
+        assert names == tuple(sorted(names))
+        for expected in ("jobfinder", "mega-small", "mega-deep", "mega-100k", "mega-wide-100k"):
+            assert expected in names
+
+    def test_unknown_world_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown world"):
+            world_spec("no-such-world")
+        with pytest.raises(WorkloadError, match="unknown world"):
+            build_world("no-such-world")
+
+    def test_register_and_build_custom_world(self):
+        spec = MegaOntologySpec(name="custom-unit-world", concepts=120, attributes=2, seed=3)
+        register_world(spec)
+        try:
+            with pytest.raises(WorkloadError, match="already registered"):
+                register_world(spec)
+            world = build_world("custom-unit-world")
+            assert world.counters["world_concepts"] == 120
+        finally:
+            worlds_module._SPECS.pop("custom-unit-world", None)
+
+    def test_builtin_name_collision_rejected(self):
+        with pytest.raises(WorkloadError, match="already registered"):
+            register_world(MegaOntologySpec(name="jobfinder", concepts=100))
+
+
+class TestBuilder:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world("mega-small")
+
+    def test_counters_match_spec(self, world):
+        spec = world.spec
+        assert world.counters["world_concepts"] == spec.concepts
+        assert world.counters["world_depth"] >= spec.depth
+        assert world.counters["world_rules"] == round(
+            spec.rules_per_1000 * spec.concepts / 1000
+        )
+        assert world.counters["world_terms"] == (
+            world.counters["world_concepts"] + world.counters["world_synonym_spellings"]
+        )
+        assert world.build_seconds > 0
+
+    def test_leaf_pools_are_the_taxonomy_leaves(self, world):
+        taxonomy = world.kb.taxonomy(world.spec.domain)
+        pooled = sorted(term for pool in world.leaf_pools.values() for term in pool)
+        assert pooled == list(taxonomy.leaves())
+        assert len(pooled) == world.counters["world_leaves"]
+
+    def test_repeated_build_is_identical(self, world):
+        """The determinism pin, in-process: two builds of the same spec
+        agree on every structural surface and on generated workloads."""
+        again = build_world("mega-small")
+        assert again.counters == world.counters
+        assert again.leaf_pools == world.leaf_pools
+        assert again.kb.stats() == world.kb.stats()
+        a, b = world.generator(seed=9), again.generator(seed=9)
+        assert [s.format() for s in a.subscriptions(30)] == [
+            s.format() for s in b.subscriptions(30)
+        ]
+        assert [e.format() for e in a.events(30)] == [e.format() for e in b.events(30)]
+
+    def test_generator_seed_override(self, world):
+        default = world.generator()
+        assert default.spec.seed == world.semantic_spec.seed
+        seeded = world.generator(seed=123)
+        assert seeded.spec.seed == 123
+        other = world.generator(seed=124)
+        assert [e.format() for e in seeded.events(10)] != [
+            e.format() for e in other.events(10)
+        ]
+
+    def test_world_is_matchable(self, world):
+        """A generated world is load-bearing: semantic matches happen."""
+        engine = SToPSS(world.kb)
+        generator = world.generator(seed=1)
+        for sub in generator.subscriptions(30):
+            engine.subscribe(sub)
+        assert sum(len(engine.publish(e)) for e in generator.events(10)) > 0
+
+    def test_jobfinder_world_wraps_demo_kb(self):
+        world = build_world("jobfinder")
+        assert world.spec is None and world.leaf_pools is None
+        assert world.counters["world_concepts"] > 0
+        assert world.generator(seed=2).events(3)
+
+
+_DIGEST_SCRIPT = """
+import hashlib, json
+from repro.workload.worlds import build_world
+world = build_world("mega-deep")
+generator = world.generator(seed=7)
+parts = [json.dumps({**world.stats(), "build_seconds": 0}, sort_keys=True)]
+parts += ["|".join(pool) for _, pool in sorted(world.leaf_pools.items())]
+parts += [json.dumps(world.kb.stats(), sort_keys=True, default=str)]
+parts += [s.format() for s in generator.subscriptions(40)]
+parts += [e.format() for e in generator.events(40)]
+print(hashlib.sha256("\\n".join(parts).encode()).hexdigest())
+"""
+
+
+def _digest_under_hash_seed(hash_seed: str) -> str:
+    env = {
+        **os.environ,
+        "PYTHONHASHSEED": hash_seed,
+        "PYTHONPATH": str(_REPO_ROOT / "src"),
+    }
+    result = subprocess.run(
+        [sys.executable, "-c", _DIGEST_SCRIPT],
+        env=env,
+        cwd=_REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+def test_world_build_is_hash_seed_independent():
+    """The cross-process determinism pin: the same spec builds the same
+    world (taxonomy, leaf pools, synonyms, rules) and generates the
+    same workload under wildly different ``PYTHONHASHSEED`` values —
+    i.e. no set/dict iteration order ever feeds the rng."""
+    digests = {_digest_under_hash_seed(seed) for seed in ("0", "4242")}
+    assert len(digests) == 1, "world build depends on the hash seed"
+
+
+class TestFlashCrowd:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world("mega-small")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"residents": -1},
+            {"warm_events": 0},
+            {"churn_ops": 1},
+            {"burst": 0},
+            {"max_crowd": 0},
+        ],
+    )
+    def test_spec_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            FlashCrowdSpec(**kwargs)
+
+    def test_storm_returns_to_baseline(self, world):
+        """The ≥10k-op leak test on the default (counting) engine: the
+        refcounted InterestIndex, the satisfaction memo, and the
+        expansion cache must all return exactly to the pre-storm
+        footprint once the crowd has left."""
+        engine = SToPSS(world.kb)
+        spec = FlashCrowdSpec(residents=60, churn_ops=10_000, burst=100, seed=5)
+        report = FlashCrowdDriver(world.generator(seed=5), spec).run(engine)
+        assert report.churn_ops >= 10_000
+        assert report.final == report.baseline, report.as_dict()
+        assert not report.leaked
+        # the storm really stressed the index: the crowd pushed it past
+        # the resident baseline before draining back down
+        assert report.peak_crowd > 0
+        assert report.peak_interest_index_size > report.baseline["interest_index_size"]
+        assert report.matches > 0
+        assert report.churn_ops_per_second > 0
+        # and the engine footprint helper reports the same live state
+        assert engine_footprint(engine) == report.final
+
+    def test_storm_on_cluster_matcher_bounded(self, world):
+        """The cluster matcher's residual memo survives churn *by
+        design* (predicate-keyed, capacity-bounded), so it is exempt
+        from strict equality — but the interest index and expansion
+        cache must still drain, and the memo must respect its bound."""
+        engine = SToPSS(world.kb, matcher="cluster")
+        spec = FlashCrowdSpec(residents=40, churn_ops=2_000, burst=50, seed=6)
+        report = FlashCrowdDriver(world.generator(seed=6), spec).run(engine)
+        for key in ("interest_index_size", "expansion_cache_size"):
+            assert report.final[key] == report.baseline[key], report.as_dict()
+        assert report.final["matcher_memo_size"] <= engine.matcher.memo_capacity
+
+    def test_ops_stream_is_deterministic_and_drains(self, world):
+        spec = FlashCrowdSpec(residents=10, churn_ops=200, burst=20, seed=7)
+        first = list(FlashCrowdDriver(world.generator(seed=7), spec).ops())
+        second = list(FlashCrowdDriver(world.generator(seed=7), spec).ops())
+        assert [(k, getattr(p, "format", lambda: p)()) for k, p in first] == [
+            (k, getattr(p, "format", lambda: p)()) for k, p in second
+        ]
+        live: set[str] = set()
+        kinds = {"subscribe": 0, "unsubscribe": 0, "publish": 0}
+        for kind, payload in first:
+            kinds[kind] += 1
+            if kind == "subscribe":
+                live.add(payload.sub_id)
+            elif kind == "unsubscribe":
+                assert payload in live
+                live.remove(payload)
+        # every transient subscription drained; only residents remain
+        assert len(live) == spec.residents
+        assert kinds["subscribe"] + kinds["unsubscribe"] - spec.residents >= spec.churn_ops
+        assert kinds["publish"] >= spec.warm_events
+
+    def test_ops_stream_replays_through_an_engine(self, world):
+        """The replayable stream applies cleanly to a live engine and
+        leaves exactly the residents subscribed."""
+        spec = FlashCrowdSpec(residents=8, churn_ops=100, burst=10, seed=8)
+        engine = SToPSS(world.kb)
+        matches = 0
+        for kind, payload in FlashCrowdDriver(world.generator(seed=8), spec).ops():
+            if kind == "subscribe":
+                engine.subscribe(payload)
+            elif kind == "unsubscribe":
+                engine.unsubscribe(payload)
+            else:
+                matches += len(engine.publish(payload))
+        assert len(engine) == spec.residents
+        assert matches > 0
